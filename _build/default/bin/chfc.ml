@@ -1,0 +1,300 @@
+(* chfc — the convergent-hyperblock-formation compiler driver.
+
+   Compile a named workload under a phase ordering and policy, optionally
+   dump the CFG before/after, and run the functional and cycle-level
+   simulators.
+
+     chfc list
+     chfc compile sieve --ordering iupo-merged --policy bf --dump
+     chfc compile bzip2_3 --policy df --no-backend
+     chfc table1 [--workload NAME ...]   (and table2 / table3 / figure7) *)
+
+open Cmdliner
+open Trips_workloads
+open Trips_harness
+
+(* keep the alias: Workload.make is used by compile-file *)
+
+let find_workload name =
+  match Micro.by_name name with
+  | Some w -> Ok w
+  | None -> (
+    match Spec_like.by_name name with
+    | Some w -> Ok w
+    | None ->
+      Error
+        (`Msg
+          (Fmt.str "unknown workload %S; try `chfc list`" name)))
+
+let ordering_of_string = function
+  | "bb" -> Ok Chf.Phases.Basic_blocks
+  | "upio" -> Ok Chf.Phases.Upio
+  | "iupo" -> Ok Chf.Phases.Iupo
+  | "iup-o" -> Ok Chf.Phases.Iup_o
+  | "iupo-merged" | "convergent" -> Ok Chf.Phases.Iupo_merged
+  | s -> Error (`Msg (Fmt.str "unknown ordering %S" s))
+
+let policy_of_string = function
+  | "bf" -> Ok Chf.Policy.edge_default
+  | "df" ->
+    Ok
+      {
+        Chf.Policy.edge_default with
+        Chf.Policy.heuristic = Chf.Policy.Depth_first { min_merge_prob = 0.12 };
+      }
+  | "vliw" ->
+    Ok
+      {
+        Chf.Policy.edge_default with
+        Chf.Policy.heuristic = Chf.Policy.Vliw Chf.Policy.default_vliw;
+      }
+  | s -> Error (`Msg (Fmt.str "unknown policy %S (bf|df|vliw)" s))
+
+(* ---- list ------------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List available workloads." in
+  let run () =
+    Fmt.pr "microbenchmarks (Tables 1-2):@.";
+    List.iter
+      (fun w -> Fmt.pr "  %-16s %s@." w.Workload.name w.Workload.description)
+      Micro.all;
+    Fmt.pr "@.SPEC-like programs (Table 3):@.";
+    List.iter (fun w -> Fmt.pr "  %s@." w.Workload.name) Spec_like.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---- compile ---------------------------------------------------------- *)
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let compile_workload_report w ordering config dump backend emit_asm emit_dot =
+    let bb = Pipeline.compile ~config ~backend Chf.Phases.Basic_blocks w in
+    let baseline = Pipeline.run_functional bb in
+    let bb_cycles = Pipeline.run_cycles bb in
+    let c = Pipeline.compile ~config ~backend ordering w in
+    let r = Pipeline.verify_against ~baseline c in
+    let cycles = Pipeline.run_cycles c in
+    if dump then Fmt.pr "%a@.@." Trips_ir.Cfg.pp c.Pipeline.cfg;
+    (match emit_asm with
+    | Some path ->
+      write_file path (Trips_regalloc.Tasm.to_string c.Pipeline.cfg);
+      Fmt.pr "assembly        : written to %s@." path
+    | None -> ());
+    (match emit_dot with
+    | Some path ->
+      write_file path (Trips_ir.Dot.to_string c.Pipeline.cfg);
+      Fmt.pr "dot graph       : written to %s@." path
+    | None -> ());
+    Fmt.pr "workload        : %s (%s)@." w.Workload.name w.Workload.description;
+    Fmt.pr "ordering        : %s@." (Chf.Phases.name ordering);
+    Fmt.pr "merges m/t/u/p  : %a@." Chf.Formation.pp_stats c.Pipeline.stats;
+    Fmt.pr "static          : %d blocks, %d instructions@." c.Pipeline.static_blocks
+      c.Pipeline.static_instrs;
+    (match c.Pipeline.backend with
+    | Some rep ->
+      Fmt.pr "back end        : %d cross-block values, %d fanout movs, %d splits@."
+        rep.Trips_regalloc.Backend.cross_block_values
+        rep.Trips_regalloc.Backend.fanout_movs rep.Trips_regalloc.Backend.splits
+    | None -> ());
+    Fmt.pr "functional      : ret=%a, %d blocks, %d instructions executed@."
+      Fmt.(option int)
+      r.Trips_sim.Func_sim.ret r.Trips_sim.Func_sim.blocks_executed
+      r.Trips_sim.Func_sim.instrs_executed;
+    Fmt.pr "cycles          : %d (basic blocks: %d, %+.1f%%)@."
+      cycles.Trips_sim.Cycle_sim.cycles bb_cycles.Trips_sim.Cycle_sim.cycles
+      (Stats.percent_improvement ~base:bb_cycles.Trips_sim.Cycle_sim.cycles
+         ~v:cycles.Trips_sim.Cycle_sim.cycles);
+    Fmt.pr "mispredictions  : %d (accuracy %.1f%%), D-cache miss rate %.1f%%@."
+      cycles.Trips_sim.Cycle_sim.mispredictions
+      (100.0 *. cycles.Trips_sim.Cycle_sim.predictor_accuracy)
+      (100.0 *. cycles.Trips_sim.Cycle_sim.cache_miss_rate);
+    Fmt.pr "verified        : functional checksum matches basic-block baseline@."
+
+let compile_run name ordering policy dump backend emit_asm emit_dot =
+  match
+    (find_workload name, ordering_of_string ordering, policy_of_string policy)
+  with
+  | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
+    Fmt.epr "chfc: %s@." m;
+    exit 2
+  | Ok w, Ok ordering, Ok config ->
+    compile_workload_report w ordering config dump backend emit_asm emit_dot
+
+(* compile a kernel from a source file; parameters default to 0 unless
+   given as name=value *)
+let compile_file_run path ordering policy dump backend emit_asm emit_dot args
+    memory_words unroll =
+  match (ordering_of_string ordering, policy_of_string policy) with
+  | Error (`Msg m), _ | _, Error (`Msg m) ->
+    Fmt.epr "chfc: %s@." m;
+    exit 2
+  | Ok ordering, Ok config -> (
+    let parsed =
+      try
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let src = really_input_string ic len in
+        close_in ic;
+        Ok (Trips_lang.Inline.program_of_unit (Trips_lang.Parser.parse_unit src))
+      with
+      | Trips_lang.Parser.Parse_error m -> Error m
+      | Trips_lang.Inline.Not_inlinable m -> Error m
+    in
+    match parsed with
+    | Error m ->
+      Fmt.epr "chfc: %s: %s@." path m;
+      exit 2
+    | Ok program ->
+      let parsed_args =
+        List.map
+          (fun spec ->
+            match String.split_on_char '=' spec with
+            | [ name; v ] -> (name, int_of_string v)
+            | _ -> Fmt.failwith "bad --arg %S (expected name=value)" spec)
+          args
+      in
+      let w =
+        Workload.make ~name:program.Trips_lang.Ast.prog_name
+          ~description:("kernel from " ^ path)
+          ~args:parsed_args ~memory_words ~frontend_unroll:unroll program
+      in
+      compile_workload_report w ordering config dump backend emit_asm emit_dot)
+
+let emit_asm_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-asm" ] ~docv:"FILE" ~doc:"Write TRIPS assembly to $(docv).")
+
+let emit_dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-dot" ] ~docv:"FILE" ~doc:"Write a Graphviz CFG to $(docv).")
+
+let compile_cmd =
+  let doc = "Compile a workload and report simulation results." in
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let ordering =
+    Arg.(
+      value
+      & opt string "iupo-merged"
+      & info [ "ordering"; "o" ] ~docv:"ORDERING"
+          ~doc:"Phase ordering: bb, upio, iupo, iup-o, iupo-merged.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "bf"
+      & info [ "policy"; "p" ] ~docv:"POLICY"
+          ~doc:"Block-selection policy: bf, df, vliw.")
+  in
+  let dump =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Print the compiled CFG.")
+  in
+  let backend =
+    Arg.(
+      value & opt bool true
+      & info [ "backend" ] ~docv:"BOOL"
+          ~doc:"Run register allocation and fanout insertion.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc)
+    Term.(
+      const compile_run $ workload_arg $ ordering $ policy $ dump $ backend
+      $ emit_asm_arg $ emit_dot_arg)
+
+let compile_file_cmd =
+  let doc = "Compile a kernel source file (see `chfc syntax`)." in
+  let path_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let ordering =
+    Arg.(
+      value
+      & opt string "iupo-merged"
+      & info [ "ordering"; "o" ] ~docv:"ORDERING"
+          ~doc:"Phase ordering: bb, upio, iupo, iup-o, iupo-merged.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "bf"
+      & info [ "policy"; "p" ] ~docv:"POLICY" ~doc:"bf, df or vliw.")
+  in
+  let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print the compiled CFG.") in
+  let backend =
+    Arg.(value & opt bool true & info [ "backend" ] ~docv:"BOOL" ~doc:"Run the back end.")
+  in
+  let args =
+    Arg.(
+      value & opt_all string []
+      & info [ "arg" ] ~docv:"NAME=VALUE" ~doc:"Kernel parameter binding.")
+  in
+  let memory_words =
+    Arg.(value & opt int 4096 & info [ "memory" ] ~docv:"WORDS" ~doc:"Data memory size.")
+  in
+  let unroll =
+    Arg.(
+      value & opt int 4
+      & info [ "unroll" ] ~docv:"N" ~doc:"Front-end for-loop unroll factor.")
+  in
+  Cmd.v
+    (Cmd.info "compile-file" ~doc)
+    Term.(
+      const compile_file_run $ path_arg $ ordering $ policy $ dump $ backend
+      $ emit_asm_arg $ emit_dot_arg $ args $ memory_words $ unroll)
+
+(* ---- experiment commands ---------------------------------------------- *)
+
+let workloads_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "workload"; "w" ] ~docv:"NAME" ~doc:"Restrict to these workloads.")
+
+let micro_selection names =
+  match names with
+  | [] -> Micro.all
+  | names -> List.filter_map Micro.by_name names
+
+let table1_cmd =
+  let doc = "Reproduce Table 1 (phase orderings, cycle counts)." in
+  let run names = Table1.render Fmt.stdout (Table1.run ~workloads:(micro_selection names) ()) in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ workloads_arg)
+
+let table2_cmd =
+  let doc = "Reproduce Table 2 (block-selection heuristics)." in
+  let run names = Table2.render Fmt.stdout (Table2.run ~workloads:(micro_selection names) ()) in
+  Cmd.v (Cmd.info "table2" ~doc) Term.(const run $ workloads_arg)
+
+let table3_cmd =
+  let doc = "Reproduce Table 3 (SPEC-like block counts)." in
+  let run names =
+    let workloads =
+      match names with
+      | [] -> Spec_like.all
+      | names -> List.filter_map Spec_like.by_name names
+    in
+    Table3.render Fmt.stdout (Table3.run ~workloads ())
+  in
+  Cmd.v (Cmd.info "table3" ~doc) Term.(const run $ workloads_arg)
+
+let figure7_cmd =
+  let doc = "Reproduce Figure 7 (cycle vs block count reduction)." in
+  let run names = Figure7.render Fmt.stdout (Table1.run ~workloads:(micro_selection names) ()) in
+  Cmd.v (Cmd.info "figure7" ~doc) Term.(const run $ workloads_arg)
+
+let () =
+  let doc = "convergent hyperblock formation for TRIPS (MICRO 2006 reproduction)" in
+  let info = Cmd.info "chfc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; compile_cmd; compile_file_cmd; table1_cmd; table2_cmd;
+            table3_cmd; figure7_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/duplication_gallery.ml: Array Ast Cfg Chf Fmt Func_sim Lower Trips_analysis Trips_ir Trips_lang Trips_sim

@@ -1,0 +1,1 @@
+examples/duplication_gallery.mli:

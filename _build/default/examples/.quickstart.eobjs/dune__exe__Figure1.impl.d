@@ -1,0 +1,1 @@
+examples/figure1.ml: Array Ast Chf Cycle_sim Fmt Func_sim List Lower Trips_analysis Trips_ir Trips_lang Trips_profile Trips_regalloc Trips_sim

@@ -1,0 +1,1 @@
+examples/policy_tour.ml: Chf Fmt List Micro Pipeline Trips_harness Trips_sim Trips_workloads Workload

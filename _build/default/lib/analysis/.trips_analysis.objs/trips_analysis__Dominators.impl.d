@@ -1,0 +1,1 @@
+lib/analysis/dominators.ml: Cfg IntMap IntSet List Order Trips_ir

@@ -1,0 +1,1 @@
+lib/analysis/guard_logic.ml: Hashtbl Instr List Opcode Option Trips_ir

@@ -1,0 +1,1 @@
+lib/analysis/guard_logic.mli: Instr Trips_ir

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Block Cfg Guard_logic Hashtbl Instr IntMap IntSet List Option Order Sys Trips_ir

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Cfg Dominators Fmt Hashtbl IntMap IntSet List Option Order Trips_ir

@@ -1,0 +1,1 @@
+lib/analysis/loops.mli: Cfg Format IntSet Trips_ir

@@ -1,0 +1,1 @@
+lib/analysis/order.ml: Cfg Hashtbl IntSet List Trips_ir

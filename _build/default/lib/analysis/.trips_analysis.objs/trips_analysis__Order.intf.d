@@ -1,0 +1,1 @@
+lib/analysis/order.mli: Cfg IntSet Trips_ir

@@ -1,0 +1,87 @@
+(* Immediate dominators by the Cooper-Harvey-Kennedy iterative algorithm.
+
+   The result maps each reachable block to its immediate dominator; the
+   entry maps to itself.  The algorithm walks blocks in reverse postorder
+   intersecting the dominator sets of processed predecessors, which for
+   reducible graphs converges in two passes. *)
+
+open Trips_ir
+
+type t = {
+  idom : int IntMap.t;  (* block -> immediate dominator; entry -> entry *)
+  rpo_index : int IntMap.t;  (* block -> position in reverse postorder *)
+  entry : int;
+}
+
+let compute cfg =
+  let rpo = Order.reverse_postorder cfg in
+  let rpo_index =
+    List.fold_left
+      (fun (i, m) id -> (i + 1, IntMap.add id i m))
+      (0, IntMap.empty) rpo
+    |> snd
+  in
+  let preds = Cfg.predecessor_map cfg in
+  let entry = cfg.Cfg.entry in
+  let idom = ref (IntMap.singleton entry entry) in
+  let index id = IntMap.find id rpo_index in
+  let rec intersect a b =
+    if a = b then a
+    else if index a > index b then intersect (IntMap.find a !idom) b
+    else intersect a (IntMap.find b !idom)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        if id <> entry then begin
+          let ps =
+            IntSet.elements (IntMap.find_or ~default:IntSet.empty id preds)
+          in
+          let processed = List.filter (fun p -> IntMap.mem p !idom) ps in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if IntMap.find_opt id !idom <> Some new_idom then begin
+              idom := IntMap.add id new_idom !idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  { idom = !idom; rpo_index; entry }
+
+(** Immediate dominator of [id]; [None] for the entry or unreachable
+    blocks. *)
+let idom t id =
+  if id = t.entry then None
+  else IntMap.find_opt id t.idom
+
+(** [dominates t a b] holds when every path from the entry to [b] passes
+    through [a] (reflexive). *)
+let dominates t a b =
+  let rec walk b = a = b || (b <> t.entry && walk (IntMap.find b t.idom)) in
+  IntMap.mem b t.idom && walk b
+
+(** Children map of the dominator tree. *)
+let children t =
+  IntMap.fold
+    (fun id parent acc ->
+      if id = t.entry then acc
+      else
+        let kids = IntMap.find_or ~default:[] parent acc in
+        IntMap.add parent (id :: kids) acc)
+    t.idom IntMap.empty
+
+(** Reachable blocks in a preorder walk of the dominator tree, so every
+    block appears after its dominator (used by dominator-based value
+    numbering). *)
+let tree_preorder t =
+  let kids = children t in
+  let rec visit id =
+    id
+    :: List.concat_map visit (List.sort compare (IntMap.find_or ~default:[] id kids))
+  in
+  visit t.entry

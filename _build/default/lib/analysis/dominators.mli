@@ -1,0 +1,24 @@
+(** Immediate dominators by the Cooper-Harvey-Kennedy iterative
+    algorithm. *)
+
+open Trips_ir
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator of a block; [None] for the entry or unreachable
+    blocks. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] holds when every path from the entry to [b] passes
+    through [a] (reflexive). *)
+
+val children : t -> int list IntMap.t
+(** Children map of the dominator tree. *)
+
+val tree_preorder : t -> int list
+(** Reachable blocks in a preorder walk of the dominator tree: every
+    block appears after its dominator (used by dominator-based value
+    numbering). *)

@@ -1,0 +1,29 @@
+(** Syntactic reasoning about guard implication within a block.
+
+    Repeated if-conversion builds guard predicates as conjunction chains
+    ([q = p AND c AND c' ...]), so "q implies p" is decidable by walking
+    the unguarded, single-definition [and]/[mov] instructions of the
+    block.  Used by the refined liveness analysis and by predicate
+    optimization.  Sound for arbitrary integer values: a bitwise
+    conjunction is nonzero only if both operands are. *)
+
+open Trips_ir
+
+type defs
+(** Defining operations of registers defined exactly once in a block, by
+    an unguarded instruction. *)
+
+val build_defs : Instr.t list -> defs
+
+val implies : ?use_pos:int -> defs -> Instr.guard -> Instr.guard -> bool
+(** [implies ~use_pos defs q g]: whenever guard [q] (read at instruction
+    index [use_pos]) holds, [g] holds too.  Exact for equal guard
+    reg/sense pairs; otherwise walks conjunction/copy structure of
+    positively-sensed guards, accepting only definitions strictly before
+    [use_pos].  Callers must separately guarantee that [g]'s register was
+    not redefined between [g]'s read and [use_pos]. *)
+
+val option_implies :
+  ?use_pos:int -> defs -> Instr.guard option -> Instr.guard -> bool
+(** [None] (unconditional) implies nothing but is implied by
+    everything. *)

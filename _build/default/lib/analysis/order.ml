@@ -1,0 +1,33 @@
+(* Depth-first traversal orders over the reachable part of a CFG. *)
+
+open Trips_ir
+
+(** Blocks reachable from the entry, in postorder. *)
+let postorder cfg =
+  let visited = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec visit id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      List.iter visit (Cfg.successors cfg id);
+      acc := id :: !acc
+    end
+  in
+  visit cfg.Cfg.entry;
+  List.rev !acc
+
+(** Blocks reachable from the entry, in reverse postorder: every block
+    appears before its successors, except along back edges. *)
+let reverse_postorder cfg = List.rev (postorder cfg)
+
+(** Set of block ids reachable from the entry. *)
+let reachable cfg = IntSet.of_list_fold (postorder cfg)
+
+(** Remove blocks that cannot be reached from the entry.  Transformations
+    such as merging a block's unique predecessor can strand blocks; this
+    keeps the graph tidy for analyses and printing. *)
+let prune_unreachable cfg =
+  let live = reachable cfg in
+  List.iter
+    (fun id -> if not (IntSet.mem id live) then Cfg.remove_block cfg id)
+    (Cfg.block_ids cfg)

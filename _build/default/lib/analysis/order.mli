@@ -1,0 +1,18 @@
+(** Depth-first traversal orders over the reachable part of a CFG. *)
+
+open Trips_ir
+
+val postorder : Cfg.t -> int list
+(** Blocks reachable from the entry, in postorder. *)
+
+val reverse_postorder : Cfg.t -> int list
+(** Blocks reachable from the entry, in reverse postorder: every block
+    appears before its successors, except along back edges. *)
+
+val reachable : Cfg.t -> IntSet.t
+(** Set of block ids reachable from the entry. *)
+
+val prune_unreachable : Cfg.t -> unit
+(** Remove blocks unreachable from the entry.  Transformations such as
+    merging a block's unique predecessor strand blocks; this keeps the
+    graph tidy for analyses and printing. *)

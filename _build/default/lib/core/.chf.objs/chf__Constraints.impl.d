@@ -1,0 +1,1 @@
+lib/core/constraints.ml: Block Fmt Hashtbl Instr IntSet List Liveness Machine Option Trips_analysis Trips_ir

@@ -1,0 +1,1 @@
+lib/core/discrete_up.ml: Block Cfg Constraints Formation IntSet List Liveness Loops Order Policy Profile Trips_analysis Trips_ir Trips_profile Trips_transform

@@ -1,0 +1,1 @@
+lib/core/discrete_up.mli: Cfg Formation Policy Profile Trips_ir Trips_profile

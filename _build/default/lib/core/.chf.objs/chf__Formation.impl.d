@@ -1,0 +1,1 @@
+lib/core/formation.ml: Block Cfg Combine Constraints Fmt Hashtbl List Liveness Loops Option Order Policy Profile Trips_analysis Trips_ir Trips_opt Trips_profile Trips_transform

@@ -1,0 +1,1 @@
+lib/core/formation.mli: Block Cfg Format Hashtbl Policy Profile Trips_analysis Trips_ir Trips_profile

@@ -1,0 +1,1 @@
+lib/core/phases.ml: Discrete_up Formation Policy Profile Trips_opt Trips_profile

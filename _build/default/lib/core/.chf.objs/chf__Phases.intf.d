@@ -1,0 +1,1 @@
+lib/core/phases.mli: Formation Policy Profile Trips_ir Trips_profile

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Block Cfg Constraints Float IntMap IntSet Latency List Profile Trips_ir Trips_profile

@@ -1,0 +1,1 @@
+lib/core/policy.mli: Cfg Constraints Profile Trips_ir Trips_profile

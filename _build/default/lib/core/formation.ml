@@ -1,0 +1,373 @@
+(* Convergent hyperblock formation (Figure 5 of the paper).
+
+   [expand_block] grows a seed block by repeatedly selecting a candidate
+   successor (policy-driven), trial-merging it, optimizing the merged
+   block when the configuration says to, and committing only when the
+   TRIPS structural constraints still hold.  [MergeBlocks]'s case split is
+   implemented in [classify]:
+
+   - unique predecessor: plain merge, the successor block disappears;
+   - [HB -> S] is a self back edge ([HB = S]): unrolling by head
+     duplication — a copy of the *saved one-iteration body* is merged, so
+     each unroll appends one iteration rather than doubling (Section 4.1);
+   - S is a loop header reached over a non-back edge: peeling by head
+     duplication;
+   - otherwise: classical tail duplication.
+
+   All three duplication flavors go through the single [Combine] merge
+   primitive applied to a fresh copy of S whose exits still name the
+   original targets; the copy never exists as a separate CFG block, so
+   the CFG never grows and termination is easy to see.
+
+   Instead of the paper's scratch-space trial, we install the merged
+   block, recompute liveness, optimize and constraint-check, and roll the
+   installation back on failure — observably identical, but it gives the
+   optimizer and the size estimator exact liveness information.
+
+   Convergence: candidates that failed only because the block was too
+   full are retried after further merges and optimizations shrink the
+   block ("repeatedly applies scalar optimizations until it cannot add
+   any block"). *)
+
+open Trips_ir
+open Trips_analysis
+open Trips_profile
+open Trips_transform
+
+type stats = {
+  mutable merges : int;  (* m: successful merges of any kind *)
+  mutable tail_dups : int;  (* t *)
+  mutable unrolls : int;  (* u *)
+  mutable peels : int;  (* p *)
+  mutable attempts : int;
+  mutable size_rejections : int;
+  mutable block_splits : int;  (* Section 9 extension, when enabled *)
+}
+
+let empty_stats () =
+  {
+    merges = 0;
+    tail_dups = 0;
+    unrolls = 0;
+    peels = 0;
+    attempts = 0;
+    size_rejections = 0;
+    block_splits = 0;
+  }
+
+let pp_stats fmt s =
+  Fmt.pf fmt "%d/%d/%d/%d" s.merges s.tail_dups s.unrolls s.peels
+
+type merge_kind = Simple | Unroll | Peel | Tail_dup
+
+type state = {
+  cfg : Cfg.t;
+  profile : Profile.t;
+  config : Policy.config;
+  stats : stats;
+  finalized : (int, unit) Hashtbl.t;
+  saved_bodies : (int, Block.t) Hashtbl.t;  (* loop block -> 1-iteration body *)
+  peels_done : (int, int) Hashtbl.t;  (* header -> peeled iterations *)
+  unrolls_done : (int, int) Hashtbl.t;  (* loop block -> appended iterations *)
+  mutable version : int;  (* bumped on every CFG change *)
+  mutable loops_cache : (int * Loops.t) option;
+  mutable live_cache : (int * Liveness.t) option;
+}
+
+let make config cfg profile =
+  {
+    cfg;
+    profile;
+    config;
+    stats = empty_stats ();
+    finalized = Hashtbl.create 64;
+    saved_bodies = Hashtbl.create 8;
+    peels_done = Hashtbl.create 8;
+    unrolls_done = Hashtbl.create 8;
+    version = 0;
+    loops_cache = None;
+    live_cache = None;
+  }
+
+let touch st =
+  st.version <- st.version + 1
+
+let loops st =
+  match st.loops_cache with
+  | Some (v, l) when v = st.version -> l
+  | _ ->
+    let l = Loops.compute st.cfg in
+    st.loops_cache <- Some (st.version, l);
+    l
+
+let liveness st =
+  match st.live_cache with
+  | Some (v, l) when v = st.version -> l
+  | _ ->
+    let l = Liveness.compute st.cfg in
+    st.live_cache <- Some (st.version, l);
+    l
+
+let counter tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
+let bump_counter tbl key = Hashtbl.replace tbl key (counter tbl key + 1)
+
+(* ---- LegalMerge -------------------------------------------------------- *)
+
+(* Classify the merge of successor [s_id] into [hb_id], or reject it.
+   Mirrors lines 7-15 of MergeBlocks plus the policy's legality gates. *)
+let classify st ~hb_id ~s_id : merge_kind option =
+  let cfg = st.cfg in
+  let config = st.config in
+  if not (Cfg.mem cfg s_id) then None
+  else if Hashtbl.mem st.finalized s_id && s_id <> hb_id then None
+  else begin
+    let hb = Cfg.block cfg hb_id in
+    if not (List.mem s_id (Block.distinct_successors hb)) then None
+    else if s_id = hb_id then
+      (* self back edge: unrolling *)
+      if
+        config.Policy.enable_head_dup
+        && counter st.unrolls_done hb_id < config.Policy.max_unroll
+      then Some Unroll
+      else None
+    else begin
+      let preds = Cfg.predecessors cfg s_id in
+      let lp = loops st in
+      let is_header = Loops.is_loop_header lp s_id in
+      let back_edge = Loops.is_back_edge lp ~src:hb_id ~dst:s_id in
+      if preds = [ hb_id ] && s_id <> cfg.Cfg.entry then Some Simple
+      else if is_header && not back_edge then
+        if
+          config.Policy.enable_head_dup
+          && counter st.peels_done s_id < config.Policy.max_peel
+          &&
+          (* trip-count-histogram gate: peel iteration k only when enough
+             entries run at least k iterations *)
+          (match Profile.trip_histogram st.profile s_id with
+          | [] -> true
+          | _ ->
+            Profile.trip_count_at_least st.profile s_id
+              (counter st.peels_done s_id + 1)
+            >= config.Policy.peel_coverage)
+        then Some Peel
+        else None
+      else if
+        config.Policy.enable_tail_dup
+        && Block.size (Cfg.block cfg s_id) <= config.Policy.max_tail_dup_instrs
+      then Some Tail_dup
+      else None
+    end
+  end
+
+(* ---- MergeBlocks ------------------------------------------------------- *)
+
+(* The saved one-iteration body for unrolling [hb_id]; re-saved if stale
+   (a target of the saved body has since been merged away). *)
+let body_for_unroll st hb_id =
+  let cfg = st.cfg in
+  let current = Cfg.block cfg hb_id in
+  let valid (b : Block.t) =
+    List.for_all
+      (fun t -> t = hb_id || Cfg.mem cfg t)
+      (Block.successors b)
+  in
+  match Hashtbl.find_opt st.saved_bodies hb_id with
+  | Some b when valid b -> b
+  | Some _ | None ->
+    Hashtbl.replace st.saved_bodies hb_id current;
+    current
+
+type merge_outcome = Success | Failure
+
+let merge_blocks st ~hb_id ~s_id ~kind : merge_outcome =
+  let cfg = st.cfg in
+  let config = st.config in
+  st.stats.attempts <- st.stats.attempts + 1;
+  let hb = Cfg.block cfg hb_id in
+  let s_for_merge, s_label =
+    match kind with
+    | Simple -> (Cfg.block cfg s_id, s_id)
+    | Tail_dup | Peel ->
+      (Cfg.refresh_instr_ids cfg (Cfg.block cfg s_id), s_id)
+    | Unroll -> (Cfg.refresh_instr_ids cfg (body_for_unroll st hb_id), hb_id)
+  in
+  match Combine.combine cfg ~hb ~s:s_for_merge ~s_label with
+  | exception Combine.Cannot_combine _ -> Failure
+  | combined, _ ->
+    (* install tentatively; saved state allows rollback *)
+    let old_s = if kind = Simple then Cfg.block_opt cfg s_id else None in
+    Cfg.set_block cfg combined;
+    if kind = Simple then Cfg.remove_block cfg s_id;
+    touch st;
+    let live_out = Liveness.live_out (liveness st) hb_id in
+    let final =
+      if config.Policy.iterate_opt then begin
+        let b = Trips_opt.Optimizer.optimize_block cfg combined ~live_out in
+        if b != combined then begin
+          Cfg.set_block cfg b;
+          touch st
+        end;
+        b
+      end
+      else combined
+    in
+    let live_out = Liveness.live_out (liveness st) hb_id in
+    let est = Constraints.estimate final ~live_out in
+    if Constraints.legal ~slack:config.Policy.slack config.Policy.limits est
+    then begin
+      st.stats.merges <- st.stats.merges + 1;
+      (match kind with
+      | Simple -> ()
+      | Tail_dup -> st.stats.tail_dups <- st.stats.tail_dups + 1
+      | Unroll ->
+        st.stats.unrolls <- st.stats.unrolls + 1;
+        bump_counter st.unrolls_done hb_id
+      | Peel ->
+        st.stats.peels <- st.stats.peels + 1;
+        bump_counter st.peels_done s_id);
+      Success
+    end
+    else begin
+      (* rollback *)
+      st.stats.size_rejections <- st.stats.size_rejections + 1;
+      Cfg.set_block cfg hb;
+      (match old_s with Some b -> Cfg.set_block cfg b | None -> ());
+      touch st;
+      Failure
+    end
+
+(* ---- ExpandBlock ------------------------------------------------------- *)
+
+(* Candidates reached through block [src] (whose successors are
+   [targets]), with path probabilities extended using the original edge
+   profile. *)
+let make_candidates st ~src ~targets ~depth ~prob =
+  List.map
+    (fun t ->
+      {
+        Policy.block_id = t;
+        depth;
+        prob = prob *. Profile.edge_prob st.profile ~src ~dst:t;
+      })
+    targets
+
+(* Keep the most promising entry per block id. *)
+let add_candidates pool cands =
+  List.fold_left
+    (fun pool (c : Policy.candidate) ->
+      match List.find_opt (fun x -> x.Policy.block_id = c.Policy.block_id) pool with
+      | None -> c :: pool
+      | Some existing ->
+        if c.Policy.depth < existing.Policy.depth
+           || (c.Policy.depth = existing.Policy.depth
+              && c.Policy.prob > existing.Policy.prob)
+        then c :: List.filter (fun x -> x.Policy.block_id <> c.Policy.block_id) pool
+        else pool)
+    pool cands
+
+(** Grow the hyperblock seeded at [seed] until no candidate fits. *)
+let expand_block st seed =
+  if Cfg.mem st.cfg seed then begin
+    let selector = Policy.make_selector st.config st.cfg st.profile ~seed in
+    let merge_budget = ref (4 * Cfg.num_blocks st.cfg + 64) in
+    (* candidates that failed only on size, retried after later shrinks *)
+    let retry = ref [] in
+    let rec drain pool ~progress =
+      let choice, pool = selector.Policy.select pool in
+      match choice with
+      | None ->
+        (* convergence retry: size-failed candidates get another chance
+           once something else was merged (the block may have shrunk) *)
+        if progress && !retry <> [] then begin
+          let pool = add_candidates pool !retry in
+          retry := [];
+          drain pool ~progress:false
+        end
+      | Some c ->
+        if !merge_budget <= 0 then ()
+        else begin
+          decr merge_budget;
+          let s_id = c.Policy.block_id in
+          match classify st ~hb_id:seed ~s_id with
+          | None -> drain pool ~progress
+          | Some kind -> (
+            (* snapshot the merged-in block's own successors before the
+               merge folds them into the seed's exit list *)
+            let merged_succs =
+              Block.distinct_successors (Cfg.block st.cfg s_id)
+            in
+            match merge_blocks st ~hb_id:seed ~s_id ~kind with
+            | Success ->
+              let new_cands =
+                make_candidates st ~src:s_id ~targets:merged_succs
+                  ~depth:(c.Policy.depth + 1) ~prob:c.Policy.prob
+              in
+              drain (add_candidates pool new_cands) ~progress:true
+            | Failure ->
+              (* Section 9 extension: a unique-predecessor candidate that
+                 only failed on size can be split so its first half still
+                 merges; the second half becomes a later candidate *)
+              if
+                st.config.Policy.enable_block_splitting
+                && kind = Simple
+                && Block.size (Cfg.block st.cfg s_id) >= 8
+              then begin
+                match Trips_transform.Split.split_block st.cfg s_id with
+                | Some _ ->
+                  st.stats.block_splits <- st.stats.block_splits + 1;
+                  touch st;
+                  drain (add_candidates pool [ c ]) ~progress:true
+                | None ->
+                  retry := c :: !retry;
+                  drain pool ~progress
+              end
+              else begin
+                retry := c :: !retry;
+                drain pool ~progress
+              end)
+        end
+    in
+    let initial =
+      make_candidates st ~src:seed
+        ~targets:(Block.distinct_successors (Cfg.block st.cfg seed))
+        ~depth:1 ~prob:1.0
+    in
+    drain (add_candidates [] initial) ~progress:false
+  end
+
+(** Run hyperblock formation over the whole function: expand every block,
+    hottest seed first (profiled execution count, reverse postorder as
+    tie-break), treating newly formed hyperblocks as final.  Seeding by
+    frequency lets the hot loop header absorb its body while the body
+    blocks still have unique predecessors; seeding in plain textual order
+    would let a cold predecessor (e.g. the function entry) peel and
+    tail-duplicate the loop first and fragment it.  Returns merge
+    statistics (the paper's m/t/u/p). *)
+let run config cfg profile : stats =
+  let st = make config cfg profile in
+  let rec loop () =
+    Order.prune_unreachable cfg;
+    st.version <- st.version + 1;
+    let rpo = Order.reverse_postorder cfg in
+    let order =
+      List.mapi (fun idx id -> (id, idx)) rpo
+      |> List.sort (fun (a, ia) (b, ib) ->
+             match
+               compare (Profile.block_count profile b)
+                 (Profile.block_count profile a)
+             with
+             | 0 -> compare ia ib
+             | c -> c)
+      |> List.map fst
+    in
+    match List.find_opt (fun id -> not (Hashtbl.mem st.finalized id)) order with
+    | Some seed ->
+      expand_block st seed;
+      Hashtbl.replace st.finalized seed ();
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  Order.prune_unreachable cfg;
+  Cfg.validate cfg;
+  st.stats

@@ -1,0 +1,73 @@
+(** Convergent hyperblock formation — the paper's core contribution
+    (Figure 5).
+
+    {!expand_block} grows a seed block by repeatedly selecting a
+    candidate successor (policy-driven), trial-merging it, optimizing the
+    merged block when configured to, and committing only when the TRIPS
+    structural constraints still hold.  [MergeBlocks]'s case split:
+
+    - unique predecessor: plain merge, the successor disappears;
+    - self back edge: unrolling by head duplication — a copy of the
+      {e saved one-iteration body} is merged, so each unroll appends one
+      iteration rather than doubling (Section 4.1);
+    - loop header over a non-back edge: peeling by head duplication;
+    - otherwise: classical tail duplication.
+
+    Candidates that failed only because the block was full are retried
+    after later merges and optimizations shrink it — the convergence the
+    paper's title refers to. *)
+
+open Trips_ir
+open Trips_profile
+
+type stats = {
+  mutable merges : int;  (** m: successful merges of any kind *)
+  mutable tail_dups : int;  (** t *)
+  mutable unrolls : int;  (** u *)
+  mutable peels : int;  (** p *)
+  mutable attempts : int;
+  mutable size_rejections : int;
+  mutable block_splits : int;  (** Section 9 extension, when enabled *)
+}
+
+val empty_stats : unit -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Prints the paper's [m/t/u/p] quadruple. *)
+
+type merge_kind = Simple | Unroll | Peel | Tail_dup
+
+type state = {
+  cfg : Cfg.t;
+  profile : Profile.t;
+  config : Policy.config;
+  stats : stats;
+  finalized : (int, unit) Hashtbl.t;
+  saved_bodies : (int, Block.t) Hashtbl.t;
+  peels_done : (int, int) Hashtbl.t;
+  unrolls_done : (int, int) Hashtbl.t;
+  mutable version : int;
+  mutable loops_cache : (int * Trips_analysis.Loops.t) option;
+  mutable live_cache : (int * Trips_analysis.Liveness.t) option;
+}
+
+val make : Policy.config -> Cfg.t -> Profile.t -> state
+
+val classify : state -> hb_id:int -> s_id:int -> merge_kind option
+(** [LegalMerge] plus the Figure 5 case split; [None] rejects the merge. *)
+
+type merge_outcome = Success | Failure
+
+val merge_blocks :
+  state -> hb_id:int -> s_id:int -> kind:merge_kind -> merge_outcome
+(** [MergeBlocks]: trial-merge, optionally optimize, constraint-check;
+    commits on success and rolls back on failure. *)
+
+val expand_block : state -> int -> unit
+(** [ExpandBlock]: grow the hyperblock seeded at a block until no
+    candidate fits. *)
+
+val run : Policy.config -> Cfg.t -> Profile.t -> stats
+(** Form hyperblocks over the whole function, hottest seed first
+    (profiled execution count), treating formed blocks as final.
+    Prunes unreachable blocks and validates the CFG. *)

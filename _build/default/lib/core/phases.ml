@@ -1,0 +1,80 @@
+(* The phase orderings compared in Table 1.
+
+   Parenthesized phases are merged into convergent formation's iterative
+   loop; unparenthesized ones run as discrete passes:
+
+   - BB      : basic blocks as TRIPS blocks (baseline);
+   - UPIO    : CFG-level Unroll+Peel, then incremental If-conversion with
+               tail duplication, then scalar Optimization;
+   - IUPO    : If-conversion first, then Unroll+Peel with accurate
+               post-if-conversion sizes, then Optimization;
+   - (IUP)O  : convergent formation with head duplication (I, U and P
+               interleaved) but optimization only at the end;
+   - (IUPO)  : full convergent formation — optimization runs after every
+               merge, so size estimates are tight and more blocks fit. *)
+
+open Trips_profile
+
+type ordering =
+  | Basic_blocks
+  | Upio
+  | Iupo
+  | Iup_o  (* (IUP)O *)
+  | Iupo_merged  (* (IUPO) *)
+
+let all = [ Basic_blocks; Upio; Iupo; Iup_o; Iupo_merged ]
+
+let name = function
+  | Basic_blocks -> "BB"
+  | Upio -> "UPIO"
+  | Iupo -> "IUPO"
+  | Iup_o -> "(IUP)O"
+  | Iupo_merged -> "(IUPO)"
+
+(** Apply phase ordering [o] to [cfg] in place.  [config] supplies the
+    block-selection policy and structural limits (Table 1 uses the greedy
+    breadth-first EDGE policy throughout).  Classical scalar optimization
+    runs first in every configuration, mirroring the Scale front end.
+    Returns m/t/u/p statistics. *)
+let apply ?(config = Policy.edge_default) o cfg (profile : Profile.t) :
+    Formation.stats =
+  let optimize () = Trips_opt.Optimizer.optimize_cfg cfg in
+  optimize ();
+  match o with
+  | Basic_blocks -> Formation.empty_stats ()
+  | Upio ->
+    let u, p = Discrete_up.run_before_formation config cfg profile in
+    let stats =
+      Formation.run
+        { config with Policy.enable_head_dup = false; iterate_opt = false }
+        cfg profile
+    in
+    stats.Formation.unrolls <- stats.Formation.unrolls + u;
+    stats.Formation.peels <- stats.Formation.peels + p;
+    optimize ();
+    stats
+  | Iupo ->
+    let stats =
+      Formation.run
+        { config with Policy.enable_head_dup = false; iterate_opt = false }
+        cfg profile
+    in
+    Discrete_up.run_after_formation config cfg profile stats;
+    optimize ();
+    stats
+  | Iup_o ->
+    let stats =
+      Formation.run
+        { config with Policy.enable_head_dup = true; iterate_opt = false }
+        cfg profile
+    in
+    optimize ();
+    stats
+  | Iupo_merged ->
+    let stats =
+      Formation.run
+        { config with Policy.enable_head_dup = true; iterate_opt = true }
+        cfg profile
+    in
+    optimize ();
+    stats

@@ -1,0 +1,33 @@
+(** The phase orderings compared in Table 1.
+
+    Parenthesized phases are merged into convergent formation's iterative
+    loop; the others run as discrete passes:
+
+    - BB: basic blocks as TRIPS blocks (baseline);
+    - UPIO: CFG-level Unroll+Peel, then incremental If-conversion with
+      tail duplication, then scalar Optimization;
+    - IUPO: If-conversion first, then Unroll+Peel with accurate
+      post-if-conversion sizes, then Optimization;
+    - (IUP)O: convergent formation with head duplication but optimization
+      only at the end;
+    - (IUPO): full convergent formation — optimization after every merge,
+      so size estimates are tight and more blocks fit. *)
+
+open Trips_profile
+
+type ordering =
+  | Basic_blocks
+  | Upio
+  | Iupo
+  | Iup_o  (** (IUP)O *)
+  | Iupo_merged  (** (IUPO) *)
+
+val all : ordering list
+val name : ordering -> string
+
+val apply :
+  ?config:Policy.config -> ordering -> Trips_ir.Cfg.t -> Profile.t ->
+  Formation.stats
+(** Apply the ordering in place.  Classical scalar optimization runs
+    first in every configuration, mirroring the Scale front end.  Table 1
+    uses the default breadth-first EDGE policy throughout. *)

@@ -1,0 +1,1 @@
+lib/harness/figure7.ml: Chf Float Fmt List Stats Table1

@@ -1,0 +1,1 @@
+lib/harness/figure7.mli: Chf Format Stats Table1

@@ -1,0 +1,1 @@
+lib/harness/pipeline.ml: Cfg Chf Cycle_sim Fmt Func_sim IntMap List Trips_analysis Trips_ir Trips_lang Trips_regalloc Trips_sim Trips_workloads Workload

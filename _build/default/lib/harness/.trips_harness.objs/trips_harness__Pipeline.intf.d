@@ -1,0 +1,1 @@
+lib/harness/pipeline.mli: Cfg Chf Cycle_sim Func_sim Trips_ir Trips_profile Trips_regalloc Trips_sim Trips_workloads Workload

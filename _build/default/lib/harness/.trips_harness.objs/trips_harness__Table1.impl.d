@@ -1,0 +1,1 @@
+lib/harness/table1.ml: Chf Fmt List Micro Option Pipeline Stats Trips_sim Trips_workloads Workload

@@ -1,0 +1,1 @@
+lib/harness/table1.mli: Chf Format Trips_workloads Workload

@@ -1,0 +1,1 @@
+lib/harness/table2.mli: Chf Format Trips_workloads Workload

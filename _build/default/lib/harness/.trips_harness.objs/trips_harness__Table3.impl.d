@@ -1,0 +1,1 @@
+lib/harness/table3.ml: Chf Fmt List Option Pipeline Spec_like Stats Trips_sim Trips_workloads Workload

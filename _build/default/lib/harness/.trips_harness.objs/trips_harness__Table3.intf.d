@@ -1,0 +1,1 @@
+lib/harness/table3.mli: Chf Format Trips_workloads Workload

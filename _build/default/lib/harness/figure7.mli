@@ -1,0 +1,18 @@
+(** Figure 7: cycle-count reduction versus block-count reduction across
+    all Table 1 data points, with the linear fit whose r² the paper
+    reports, and the Section 7.3 aggregate block-count ratios. *)
+
+type point = {
+  workload : string;
+  ordering : Chf.Phases.ordering;
+  block_reduction : int;
+  cycle_reduction : int;
+}
+
+val points_of_table1 : Table1.row list -> point list
+val regression : point list -> Stats.regression
+
+val block_ratio : Table1.row list -> Chf.Phases.ordering -> float
+(** Aggregate executed-block ratio (BB / configuration). *)
+
+val render : Format.formatter -> Table1.row list -> unit

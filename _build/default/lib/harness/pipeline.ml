@@ -1,0 +1,107 @@
+(* The full compiler pipeline of Figure 6, driven per workload:
+
+   front end (for-loop unrolling, lowering) -> profiling run ->
+   hyperblock formation under a phase ordering and policy ->
+   register allocation / reverse if-conversion / fanout insertion ->
+   functional and cycle-level simulation.
+
+   Every compiled configuration is checked against the basic-block
+   baseline's functional checksum, so a miscompilation can never silently
+   pollute experiment results. *)
+
+open Trips_ir
+open Trips_sim
+open Trips_workloads
+
+exception Miscompiled of string
+
+type compiled = {
+  workload : Workload.t;
+  ordering : Chf.Phases.ordering;
+  cfg : Cfg.t;
+  registers : (int * int) list;  (* post-allocation parameter registers *)
+  stats : Chf.Formation.stats;
+  backend : Trips_regalloc.Backend.report option;
+  static_blocks : int;
+  static_instrs : int;
+}
+
+(* Lower the workload (with its front-end unroll factor) and bind the
+   parameter registers. *)
+let lower_workload (w : Workload.t) =
+  let program = Trips_lang.Unroll_for.apply ~factor:w.Workload.frontend_unroll w.Workload.program in
+  let cfg, params = Trips_lang.Lower.lower program in
+  let registers =
+    List.map
+      (fun (name, value) ->
+        match List.assoc_opt name params with
+        | Some r -> (r, value)
+        | None -> Fmt.invalid_arg "workload %s: unknown parameter %s" w.Workload.name name)
+      w.Workload.args
+  in
+  (cfg, registers)
+
+(** Profile the workload at the basic-block level (edge counts, block
+    counts, trip-count histograms). *)
+let profile_workload (w : Workload.t) =
+  let cfg, registers = lower_workload w in
+  let loops = Trips_analysis.Loops.compute cfg in
+  let memory = Workload.memory w in
+  let result, profile = Func_sim.run_profiled ~registers ~loops ~memory cfg in
+  (profile, result)
+
+(** Compile [w] under phase ordering [ordering] (and policy [config]),
+    through the back end when [backend] is set. *)
+let compile ?(config = Chf.Policy.edge_default) ?(backend = true) ordering
+    (w : Workload.t) : compiled =
+  let profile, _ = profile_workload w in
+  let cfg, registers = lower_workload w in
+  let stats = Chf.Phases.apply ~config ordering cfg profile in
+  let backend_report =
+    if backend then begin
+      let report = Trips_regalloc.Backend.run cfg in
+      Some report
+    end
+    else None
+  in
+  let registers =
+    match backend_report with
+    | Some r ->
+      List.map
+        (fun (reg, value) ->
+          (IntMap.find_or ~default:reg reg r.Trips_regalloc.Backend.mapping, value))
+        registers
+    | None -> registers
+  in
+  {
+    workload = w;
+    ordering;
+    cfg;
+    registers;
+    stats;
+    backend = backend_report;
+    static_blocks = Cfg.num_blocks cfg;
+    static_instrs = Cfg.total_instrs cfg;
+  }
+
+(** Run the compiled workload functionally. *)
+let run_functional (c : compiled) : Func_sim.result =
+  let memory = Workload.memory c.workload in
+  Func_sim.run ~registers:c.registers ~memory c.cfg
+
+(** Run the compiled workload under the cycle-level timing model. *)
+let run_cycles ?timing (c : compiled) : Cycle_sim.result =
+  let memory = Workload.memory c.workload in
+  Cycle_sim.run ?timing ~registers:c.registers ~memory c.cfg
+
+(** Raise [Miscompiled] unless [c] produces the same functional checksum
+    as the basic-block baseline result [baseline]. *)
+let verify_against ~(baseline : Func_sim.result) (c : compiled) =
+  let r = run_functional c in
+  if r.Func_sim.checksum <> baseline.Func_sim.checksum then
+    raise
+      (Miscompiled
+         (Fmt.str "%s under %s: checksum %d, baseline %d" c.workload.Workload.name
+            (Chf.Phases.name c.ordering) r.Func_sim.checksum
+            baseline.Func_sim.checksum));
+  r

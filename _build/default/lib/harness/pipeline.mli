@@ -1,0 +1,49 @@
+(** The full compiler pipeline of the paper's Figure 6, driven per
+    workload: front end (for-loop unrolling, lowering) -> profiling run
+    -> hyperblock formation under a phase ordering and policy -> register
+    allocation / reverse if-conversion / fanout insertion -> functional
+    and cycle-level simulation.
+
+    Every compiled configuration can be checked against the basic-block
+    baseline's functional checksum ({!verify_against}), so a
+    miscompilation can never silently pollute experiment results. *)
+
+open Trips_ir
+open Trips_sim
+open Trips_workloads
+
+exception Miscompiled of string
+
+type compiled = {
+  workload : Workload.t;
+  ordering : Chf.Phases.ordering;
+  cfg : Cfg.t;
+  registers : (int * int) list;  (** post-allocation parameter registers *)
+  stats : Chf.Formation.stats;
+  backend : Trips_regalloc.Backend.report option;
+  static_blocks : int;
+  static_instrs : int;
+}
+
+val lower_workload : Workload.t -> Cfg.t * (int * int) list
+(** Front-end unroll + lowering; returns parameter register bindings. *)
+
+val profile_workload : Workload.t -> Trips_profile.Profile.t * Func_sim.result
+(** Profile at the basic-block level (edges, blocks, trip counts). *)
+
+val compile :
+  ?config:Chf.Policy.config ->
+  ?backend:bool ->
+  Chf.Phases.ordering ->
+  Workload.t ->
+  compiled
+(** Compile under a phase ordering (and policy), through the back end
+    when [backend] (default true). *)
+
+val run_functional : compiled -> Func_sim.result
+
+val run_cycles : ?timing:Cycle_sim.timing -> compiled -> Cycle_sim.result
+
+val verify_against : baseline:Func_sim.result -> compiled -> Func_sim.result
+(** @raise Miscompiled unless the compiled workload reproduces the
+    baseline checksum. *)

@@ -1,0 +1,44 @@
+(* Small statistics helpers for the experiment reports. *)
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(** Percent improvement of [v] over baseline [base] (positive = better,
+    i.e. fewer cycles/blocks). *)
+let percent_improvement ~base ~v =
+  if base = 0 then 0.0
+  else 100.0 *. (float_of_int (base - v) /. float_of_int base)
+
+type regression = { slope : float; intercept : float; r2 : float }
+
+(** Ordinary least squares over (x, y) points, with the coefficient of
+    determination the paper quotes for Figure 7. *)
+let linear_regression (points : (float * float) list) : regression =
+  let n = float_of_int (List.length points) in
+  if n < 2.0 then { slope = 0.0; intercept = 0.0; r2 = 0.0 }
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if Float.abs denom < 1e-9 then { slope = 0.0; intercept = mean (List.map snd points); r2 = 0.0 }
+    else begin
+      let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (slope *. sx)) /. n in
+      let ybar = sy /. n in
+      let ss_tot =
+        List.fold_left (fun a (_, y) -> a +. ((y -. ybar) ** 2.0)) 0.0 points
+      in
+      let ss_res =
+        List.fold_left
+          (fun a (x, y) ->
+            let fy = (slope *. x) +. intercept in
+            a +. ((y -. fy) ** 2.0))
+          0.0 points
+      in
+      let r2 = if ss_tot < 1e-9 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+      { slope; intercept; r2 }
+    end
+  end

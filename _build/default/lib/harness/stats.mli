@@ -1,0 +1,12 @@
+(** Small statistics helpers for the experiment reports. *)
+
+val mean : float list -> float
+
+val percent_improvement : base:int -> v:int -> float
+(** Positive = better (fewer cycles / blocks). *)
+
+type regression = { slope : float; intercept : float; r2 : float }
+
+val linear_regression : (float * float) list -> regression
+(** Ordinary least squares, with the coefficient of determination the
+    paper quotes for Figure 7. *)

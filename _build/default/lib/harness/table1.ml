@@ -1,0 +1,88 @@
+(* Table 1: cycle-count improvement of the four phase orderings over the
+   basic-block baseline on the 24 microbenchmarks, with m/t/u/p merge
+   statistics, under the greedy breadth-first EDGE policy. *)
+
+open Trips_workloads
+
+type cell = {
+  ordering : Chf.Phases.ordering;
+  cycles : int;
+  dyn_blocks : int;  (* dynamic blocks executed *)
+  stats : Chf.Formation.stats;
+  improvement : float;  (* % cycles saved vs BB *)
+}
+
+type row = {
+  workload : string;
+  bb_cycles : int;
+  bb_blocks : int;
+  cells : cell list;
+}
+
+let orderings =
+  [ Chf.Phases.Upio; Chf.Phases.Iupo; Chf.Phases.Iup_o; Chf.Phases.Iupo_merged ]
+
+let run_row ?config (w : Workload.t) : row =
+  let bb = Pipeline.compile ?config ~backend:true Chf.Phases.Basic_blocks w in
+  let bb_cycle = Pipeline.run_cycles bb in
+  let baseline = Pipeline.run_functional bb in
+  let cells =
+    List.map
+      (fun ordering ->
+        let c = Pipeline.compile ?config ~backend:true ordering w in
+        ignore (Pipeline.verify_against ~baseline c);
+        let r = Pipeline.run_cycles c in
+        {
+          ordering;
+          cycles = r.Trips_sim.Cycle_sim.cycles;
+          dyn_blocks = r.Trips_sim.Cycle_sim.blocks;
+          stats = c.Pipeline.stats;
+          improvement =
+            Stats.percent_improvement ~base:bb_cycle.Trips_sim.Cycle_sim.cycles
+              ~v:r.Trips_sim.Cycle_sim.cycles;
+        })
+      orderings
+  in
+  {
+    workload = w.Workload.name;
+    bb_cycles = bb_cycle.Trips_sim.Cycle_sim.cycles;
+    bb_blocks = bb_cycle.Trips_sim.Cycle_sim.blocks;
+    cells;
+  }
+
+(** Run the Table 1 experiment.  [workloads] defaults to all 24
+    microbenchmarks. *)
+let run ?config ?(workloads = Micro.all) () : row list =
+  List.map (run_row ?config) workloads
+
+let average rows ordering =
+  Stats.mean
+    (List.filter_map
+       (fun r ->
+         List.find_opt (fun c -> c.ordering = ordering) r.cells
+         |> Option.map (fun c -> c.improvement))
+       rows)
+
+let render fmt rows =
+  Fmt.pf fmt "Table 1: %% cycle improvement over BB and m/t/u/p statistics@.";
+  Fmt.pf fmt "%-16s %10s" "benchmark" "BB cycles";
+  List.iter
+    (fun o -> Fmt.pf fmt " | %-12s %6s" (Chf.Phases.name o) "%")
+    orderings;
+  Fmt.pf fmt "@.";
+  List.iter
+    (fun r ->
+      Fmt.pf fmt "%-16s %10d" r.workload r.bb_cycles;
+      List.iter
+        (fun c ->
+          Fmt.pf fmt " | %-12s %6.1f"
+            (Fmt.str "%a" Chf.Formation.pp_stats c.stats)
+            c.improvement)
+        r.cells;
+      Fmt.pf fmt "@.")
+    rows;
+  Fmt.pf fmt "%-16s %10s" "Average" "";
+  List.iter
+    (fun o -> Fmt.pf fmt " | %-12s %6.1f" "" (average rows o))
+    orderings;
+  Fmt.pf fmt "@."

@@ -1,0 +1,27 @@
+(** Table 1: cycle-count improvement of the four phase orderings over
+    basic blocks on the 24 microbenchmarks, with the paper's m/t/u/p
+    merge statistics, under the greedy breadth-first EDGE policy.  Every
+    configuration is checksum-verified before timing. *)
+
+open Trips_workloads
+
+type cell = {
+  ordering : Chf.Phases.ordering;
+  cycles : int;
+  dyn_blocks : int;  (** dynamic blocks executed *)
+  stats : Chf.Formation.stats;
+  improvement : float;  (** % cycles saved vs BB *)
+}
+
+type row = {
+  workload : string;
+  bb_cycles : int;
+  bb_blocks : int;
+  cells : cell list;
+}
+
+val orderings : Chf.Phases.ordering list
+
+val run : ?config:Chf.Policy.config -> ?workloads:Workload.t list -> unit -> row list
+val average : row list -> Chf.Phases.ordering -> float
+val render : Format.formatter -> row list -> unit

@@ -1,0 +1,92 @@
+(* Table 2: VLIW, convergent-VLIW, depth-first and breadth-first block
+   selection heuristics, all inside convergent hyperblock formation, on
+   the 24 microbenchmarks. *)
+
+open Trips_workloads
+
+type column = { label : string; config : Chf.Policy.config; ordering : Chf.Phases.ordering }
+
+let columns =
+  let base = Chf.Policy.edge_default in
+  [
+    (* Mahlke-style path-based selection, discrete final optimization *)
+    {
+      label = "VLIW";
+      config = { base with Chf.Policy.heuristic = Chf.Policy.Vliw Chf.Policy.default_vliw };
+      ordering = Chf.Phases.Iup_o;
+    };
+    (* the same heuristic with iterative optimization inside the loop *)
+    {
+      label = "ConvVLIW";
+      config = { base with Chf.Policy.heuristic = Chf.Policy.Vliw Chf.Policy.default_vliw };
+      ordering = Chf.Phases.Iupo_merged;
+    };
+    {
+      label = "DF";
+      config =
+        { base with Chf.Policy.heuristic = Chf.Policy.Depth_first { min_merge_prob = 0.12 } };
+      ordering = Chf.Phases.Iupo_merged;
+    };
+    { label = "BF"; config = base; ordering = Chf.Phases.Iupo_merged };
+  ]
+
+type cell = {
+  label : string;
+  cycles : int;
+  improvement : float;
+  mispredictions : int;
+  stats : Chf.Formation.stats;
+}
+
+type row = { workload : string; bb_cycles : int; cells : cell list }
+
+let run_row (w : Workload.t) : row =
+  let bb = Pipeline.compile ~backend:true Chf.Phases.Basic_blocks w in
+  let bb_cycle = Pipeline.run_cycles bb in
+  let baseline = Pipeline.run_functional bb in
+  let cells =
+    List.map
+      (fun col ->
+        let c = Pipeline.compile ~config:col.config ~backend:true col.ordering w in
+        ignore (Pipeline.verify_against ~baseline c);
+        let r = Pipeline.run_cycles c in
+        {
+          label = col.label;
+          cycles = r.Trips_sim.Cycle_sim.cycles;
+          improvement =
+            Stats.percent_improvement ~base:bb_cycle.Trips_sim.Cycle_sim.cycles
+              ~v:r.Trips_sim.Cycle_sim.cycles;
+          mispredictions = r.Trips_sim.Cycle_sim.mispredictions;
+          stats = c.Pipeline.stats;
+        })
+      columns
+  in
+  { workload = w.Workload.name; bb_cycles = bb_cycle.Trips_sim.Cycle_sim.cycles; cells }
+
+let run ?(workloads = Micro.all) () : row list = List.map run_row workloads
+
+let average rows label =
+  Stats.mean
+    (List.filter_map
+       (fun r ->
+         List.find_opt (fun c -> c.label = label) r.cells
+         |> Option.map (fun c -> c.improvement))
+       rows)
+
+let render fmt rows =
+  Fmt.pf fmt
+    "Table 2: %% cycle improvement over BB by block-selection heuristic@.";
+  Fmt.pf fmt "%-16s %10s" "benchmark" "BB cycles";
+  List.iter (fun (col : column) -> Fmt.pf fmt " | %8s" col.label) columns;
+  Fmt.pf fmt "@.";
+  List.iter
+    (fun r ->
+      Fmt.pf fmt "%-16s %10d" r.workload r.bb_cycles;
+      List.iter (fun c -> Fmt.pf fmt " | %8.1f" c.improvement) r.cells;
+      Fmt.pf fmt "@.")
+    rows;
+  Fmt.pf fmt "%-16s %10s" "Average" "";
+  List.iter
+    (fun (col : column) -> Fmt.pf fmt " | %8.1f" (average rows col.label))
+    columns;
+  Fmt.pf fmt "@."

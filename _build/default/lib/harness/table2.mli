@@ -1,0 +1,27 @@
+(** Table 2: VLIW, convergent-VLIW, depth-first and breadth-first block
+    selection heuristics, all inside convergent hyperblock formation, on
+    the 24 microbenchmarks. *)
+
+open Trips_workloads
+
+type column = {
+  label : string;
+  config : Chf.Policy.config;
+  ordering : Chf.Phases.ordering;
+}
+
+val columns : column list
+
+type cell = {
+  label : string;
+  cycles : int;
+  improvement : float;
+  mispredictions : int;
+  stats : Chf.Formation.stats;
+}
+
+type row = { workload : string; bb_cycles : int; cells : cell list }
+
+val run : ?workloads:Workload.t list -> unit -> row list
+val average : row list -> string -> float
+val render : Format.formatter -> row list -> unit

@@ -1,0 +1,66 @@
+(* Table 3: percent improvement in executed-block counts over basic
+   blocks on the 19 SPEC-like workloads, under the fast functional
+   simulator (the paper's argument: block counts correlate with cycles,
+   and full programs are too slow for cycle-level simulation). *)
+
+open Trips_workloads
+
+type cell = {
+  ordering : Chf.Phases.ordering;
+  dyn_blocks : int;
+  improvement : float;
+}
+
+type row = { workload : string; bb_blocks : int; cells : cell list }
+
+let orderings =
+  [ Chf.Phases.Upio; Chf.Phases.Iupo; Chf.Phases.Iup_o; Chf.Phases.Iupo_merged ]
+
+let run_row (w : Workload.t) : row =
+  (* no back end: Table 3 uses the functional simulator only *)
+  let bb = Pipeline.compile ~backend:false Chf.Phases.Basic_blocks w in
+  let baseline = Pipeline.run_functional bb in
+  let cells =
+    List.map
+      (fun ordering ->
+        let c = Pipeline.compile ~backend:false ordering w in
+        let r = Pipeline.verify_against ~baseline c in
+        {
+          ordering;
+          dyn_blocks = r.Trips_sim.Func_sim.blocks_executed;
+          improvement =
+            Stats.percent_improvement ~base:baseline.Trips_sim.Func_sim.blocks_executed
+              ~v:r.Trips_sim.Func_sim.blocks_executed;
+        })
+      orderings
+  in
+  {
+    workload = w.Workload.name;
+    bb_blocks = baseline.Trips_sim.Func_sim.blocks_executed;
+    cells;
+  }
+
+let run ?(workloads = Spec_like.all) () : row list = List.map run_row workloads
+
+let average rows ordering =
+  Stats.mean
+    (List.filter_map
+       (fun r ->
+         List.find_opt (fun c -> c.ordering = ordering) r.cells
+         |> Option.map (fun c -> c.improvement))
+       rows)
+
+let render fmt rows =
+  Fmt.pf fmt "Table 3: %% improvement in executed blocks over BB (SPEC-like)@.";
+  Fmt.pf fmt "%-10s %12s" "benchmark" "BB blocks";
+  List.iter (fun o -> Fmt.pf fmt " | %7s" (Chf.Phases.name o)) orderings;
+  Fmt.pf fmt "@.";
+  List.iter
+    (fun r ->
+      Fmt.pf fmt "%-10s %12d" r.workload r.bb_blocks;
+      List.iter (fun c -> Fmt.pf fmt " | %7.1f" c.improvement) r.cells;
+      Fmt.pf fmt "@.")
+    rows;
+  Fmt.pf fmt "%-10s %12s" "Average" "";
+  List.iter (fun o -> Fmt.pf fmt " | %7.1f" (average rows o)) orderings;
+  Fmt.pf fmt "@."

@@ -1,0 +1,18 @@
+(** Table 3: percent improvement in executed-block counts over basic
+    blocks on the 19 SPEC-like workloads, under the fast functional
+    simulator (the paper's SPEC proxy metric). *)
+
+open Trips_workloads
+
+type cell = {
+  ordering : Chf.Phases.ordering;
+  dyn_blocks : int;
+  improvement : float;
+}
+
+type row = { workload : string; bb_blocks : int; cells : cell list }
+
+val orderings : Chf.Phases.ordering list
+val run : ?workloads:Workload.t list -> unit -> row list
+val average : row list -> Chf.Phases.ordering -> float
+val render : Format.formatter -> row list -> unit

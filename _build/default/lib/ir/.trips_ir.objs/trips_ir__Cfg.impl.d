@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Block Fmt Hashtbl Instr IntMap IntSet List Machine

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Block Buffer Cfg Fmt Instr List Printf String

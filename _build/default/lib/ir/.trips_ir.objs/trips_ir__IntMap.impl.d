@@ -1,0 +1,1 @@
+lib/ir/intMap.ml: Int List Map

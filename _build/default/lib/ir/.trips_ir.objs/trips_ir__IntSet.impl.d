@@ -1,0 +1,1 @@
+lib/ir/intSet.ml: Fmt Int List Set

@@ -1,0 +1,1 @@
+lib/ir/intSet.mli: Format Set

@@ -1,0 +1,1 @@
+lib/ir/latency.ml: Block Hashtbl Instr List Opcode Option

@@ -1,0 +1,76 @@
+(* Imperative CFG construction helper used by the front end and by tests.
+
+   Usage: open a block with [start_block], append instructions with
+   [emit]/[emit'], close it with one of the terminators ([jump], [branch],
+   [ret]).  Blocks may be opened ahead of time with [reserve] so forward
+   branches can name their target. *)
+
+type t = {
+  cfg : Cfg.t;
+  mutable current : int option;
+  mutable pending : Instr.t list;  (* reversed *)
+}
+
+let create ?name () = { cfg = Cfg.create ?name (); current = None; pending = [] }
+
+let cfg b = b.cfg
+
+(** Allocate a block id without opening it, for forward references. *)
+let reserve b = Cfg.fresh_block_id b.cfg
+
+let start_block ?id b =
+  (match b.current with
+  | Some open_id ->
+    Fmt.invalid_arg "Builder.start_block: block b%d still open" open_id
+  | None -> ());
+  let id = match id with Some id -> id | None -> Cfg.fresh_block_id b.cfg in
+  b.current <- Some id;
+  b.pending <- [];
+  id
+
+let current b =
+  match b.current with
+  | Some id -> id
+  | None -> invalid_arg "Builder: no open block"
+
+(** Append an instruction computing [op]; returns nothing. *)
+let emit ?guard b op =
+  ignore (current b);
+  b.pending <- Cfg.instr ?guard b.cfg op :: b.pending
+
+(** Append a binop/cmp writing a fresh register; returns that register. *)
+let emit_value ?guard b make_op =
+  let dst = Cfg.fresh_reg b.cfg in
+  emit ?guard b (make_op dst);
+  dst
+
+let fresh_reg b = Cfg.fresh_reg b.cfg
+
+let finish b exits =
+  let id = current b in
+  Cfg.set_block b.cfg (Block.make id (List.rev b.pending) exits);
+  b.current <- None;
+  b.pending <- []
+
+(** Close the open block with an unconditional jump. *)
+let jump b target = finish b [ { Block.eguard = None; target = Block.Goto target } ]
+
+(** Close the open block with a two-way branch on register [cond]. *)
+let branch b cond ~if_true ~if_false =
+  finish b
+    [
+      {
+        Block.eguard = Some { Instr.greg = cond; sense = true };
+        target = Block.Goto if_true;
+      };
+      {
+        Block.eguard = Some { Instr.greg = cond; sense = false };
+        target = Block.Goto if_false;
+      };
+    ]
+
+(** Close the open block with a return. *)
+let ret ?value b = finish b [ { Block.eguard = None; target = Block.Ret value } ]
+
+(** Mark the entry block of the function. *)
+let set_entry b id = b.cfg.Cfg.entry <- id

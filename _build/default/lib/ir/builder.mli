@@ -1,0 +1,45 @@
+(** Imperative CFG construction helper used by the front end and tests.
+
+    Open a block with {!start_block}, append instructions with
+    {!emit}/{!emit_value}, and close it with one of the terminators
+    ({!jump}, {!branch}, {!ret}).  Blocks may be reserved ahead of time
+    with {!reserve} so forward branches can name their target. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val cfg : t -> Cfg.t
+
+val reserve : t -> int
+(** Allocate a block id without opening it, for forward references. *)
+
+val start_block : ?id:int -> t -> int
+(** Open a block (fresh id unless [id] was reserved).
+    @raise Invalid_argument if a block is already open. *)
+
+val current : t -> int
+(** Id of the open block.  @raise Invalid_argument if none is open. *)
+
+val emit : ?guard:Instr.guard -> t -> Instr.op -> unit
+(** Append an instruction to the open block. *)
+
+val emit_value : ?guard:Instr.guard -> t -> (Instr.reg -> Instr.op) -> Instr.reg
+(** Append an instruction writing a fresh register; returns the
+    register. *)
+
+val fresh_reg : t -> Instr.reg
+
+val finish : t -> Block.exit_ list -> unit
+(** Close the open block with explicit exits. *)
+
+val jump : t -> int -> unit
+(** Close the open block with an unconditional jump. *)
+
+val branch : t -> Instr.reg -> if_true:int -> if_false:int -> unit
+(** Close the open block with a two-way branch on a 0/1 register. *)
+
+val ret : ?value:Instr.operand -> t -> unit
+(** Close the open block with a return. *)
+
+val set_entry : t -> int -> unit
+(** Mark the function's entry block. *)

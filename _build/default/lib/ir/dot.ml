@@ -1,0 +1,54 @@
+(* Graphviz export of a CFG, for visual inspection of formation results
+   ("dot -Tsvg out.dot").  Nodes show instruction counts and a short
+   instruction listing; edge labels show the exit guard. *)
+
+let escape s =
+  String.concat "\\l"
+    (String.split_on_char '\n' (String.concat "\\\"" (String.split_on_char '"' s)))
+
+let node_label (b : Block.t) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "b%d (%d instrs)\n" b.Block.id (Block.size b));
+  let shown = ref 0 in
+  List.iter
+    (fun i ->
+      if !shown < 12 then begin
+        Buffer.add_string buf (Fmt.str "%a\n" Instr.pp i);
+        incr shown
+      end)
+    b.Block.instrs;
+  if Block.size b > 12 then
+    Buffer.add_string buf (Printf.sprintf "... %d more\n" (Block.size b - 12));
+  escape (Buffer.contents buf)
+
+let edge_label (e : Block.exit_) =
+  match e.Block.eguard with
+  | None -> ""
+  | Some g -> Fmt.str "%a" Instr.pp_guard g
+
+(** Render the CFG in Graphviz dot syntax. *)
+let emit fmt (cfg : Cfg.t) =
+  Fmt.pf fmt "digraph %S {@." cfg.Cfg.name;
+  Fmt.pf fmt "  node [shape=box, fontname=\"monospace\", fontsize=9];@.";
+  Cfg.iter_blocks
+    (fun b ->
+      let style =
+        if b.Block.id = cfg.Cfg.entry then ", style=bold, color=blue" else ""
+      in
+      Fmt.pf fmt "  b%d [label=\"%s\"%s];@." b.Block.id (node_label b) style;
+      List.iter
+        (fun (e : Block.exit_) ->
+          match e.Block.target with
+          | Block.Goto d ->
+            Fmt.pf fmt "  b%d -> b%d [label=\"%s\"];@." b.Block.id d
+              (edge_label e)
+          | Block.Ret _ ->
+            Fmt.pf fmt "  b%d -> ret_%d [label=\"%s\"];@." b.Block.id
+              b.Block.id (edge_label e);
+            Fmt.pf fmt "  ret_%d [shape=doublecircle, label=\"ret\"];@."
+              b.Block.id)
+        b.Block.exits)
+    cfg;
+  Fmt.pf fmt "}@."
+
+let to_string cfg = Fmt.str "%a" emit cfg

@@ -1,0 +1,6 @@
+(** Graphviz export of a CFG, for visual inspection of formation results
+    ([dot -Tsvg out.dot]).  Nodes show instruction counts and a short
+    listing; edge labels show exit guards; the entry is highlighted. *)
+
+val emit : Format.formatter -> Cfg.t -> unit
+val to_string : Cfg.t -> string

@@ -1,0 +1,9 @@
+(* Integer-keyed maps, used for block tables and register environments. *)
+
+include Map.Make (Int)
+
+let keys m = List.map fst (bindings m)
+let values m = List.map snd (bindings m)
+
+let find_or ~default k m =
+  match find_opt k m with Some v -> v | None -> default

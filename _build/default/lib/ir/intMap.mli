@@ -1,0 +1,9 @@
+(** Integer-keyed maps, used for block tables and register environments. *)
+
+include Map.S with type key = int
+
+val keys : 'a t -> int list
+val values : 'a t -> 'a list
+
+val find_or : default:'a -> int -> 'a t -> 'a
+(** [find_or ~default k m] is the binding of [k], or [default]. *)

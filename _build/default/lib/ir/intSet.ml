@@ -1,0 +1,6 @@
+(* Integer sets, used pervasively for register and block-id sets. *)
+
+include Set.Make (Int)
+
+let of_list_fold l = List.fold_left (fun s x -> add x s) empty l
+let pp fmt s = Fmt.pf fmt "{%a}" Fmt.(list ~sep:comma int) (elements s)

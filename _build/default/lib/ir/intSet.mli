@@ -1,0 +1,6 @@
+(** Integer sets, used pervasively for register and block-id sets. *)
+
+include Set.S with type elt = int
+
+val of_list_fold : int list -> t
+val pp : Format.formatter -> t -> unit

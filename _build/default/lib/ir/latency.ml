@@ -1,0 +1,37 @@
+(* Nominal instruction latencies, shared by the VLIW dependence-height
+   heuristic and the cycle-level timing model. *)
+
+let of_op (op : Instr.op) =
+  match op with
+  | Instr.Binop (b, _, _, _) -> (
+    match b with
+    | Opcode.Mul -> 3
+    | Opcode.Div | Opcode.Rem -> 20
+    | Opcode.Add | Opcode.Sub | Opcode.And | Opcode.Or | Opcode.Xor
+    | Opcode.Shl | Opcode.Shr | Opcode.Asr ->
+      1)
+  | Instr.Cmp _ -> 1
+  | Instr.Mov _ -> 1
+  | Instr.Load _ -> 3  (* L1 hit; the cache model adds miss penalties *)
+  | Instr.Store _ -> 1
+  | Instr.Nullw _ -> 1
+
+(** Longest latency-weighted dependence chain through the block,
+    following register dataflow in program order (the VLIW notion of
+    schedule height). *)
+let dependence_height (b : Block.t) =
+  let completion : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let height = ref 0 in
+  List.iter
+    (fun (i : Instr.t) ->
+      let ready =
+        List.fold_left
+          (fun acc r ->
+            max acc (Option.value ~default:0 (Hashtbl.find_opt completion r)))
+          0 (Instr.uses i)
+      in
+      let done_ = ready + of_op i.Instr.op in
+      List.iter (fun d -> Hashtbl.replace completion d done_) (Instr.defs i);
+      if done_ > !height then height := done_)
+    b.Block.instrs;
+  !height

@@ -1,0 +1,11 @@
+(** Nominal instruction latencies, shared by the VLIW dependence-height
+    heuristic and the cycle-level timing model. *)
+
+val of_op : Instr.op -> int
+(** Latency in cycles (loads assume an L1 hit; the cache model adds miss
+    penalties). *)
+
+val dependence_height : Block.t -> int
+(** Longest latency-weighted dependence chain through the block,
+    following register dataflow in program order — the VLIW notion of
+    schedule height. *)

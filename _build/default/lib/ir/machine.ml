@@ -1,0 +1,53 @@
+(* TRIPS machine parameters shared by the constraint checker, the register
+   allocator and the simulators.  Values follow the prototype described in
+   Section 2 of the paper. *)
+
+(** Maximum number of regular instructions in a block. *)
+let max_instrs = 128
+
+(** Maximum number of load/store identifiers that may issue per block. *)
+let max_load_store = 32
+
+(** Number of architectural register banks. *)
+let num_banks = 4
+
+(** Registers per bank; [num_banks * regs_per_bank = 128] architectural
+    registers. *)
+let regs_per_bank = 32
+
+(** Total number of architectural registers. *)
+let num_arch_regs = num_banks * regs_per_bank
+
+(** Maximum register reads per bank per block. *)
+let max_reads_per_bank = 8
+
+(** Maximum register writes per bank per block. *)
+let max_writes_per_bank = 8
+
+(** Maximum register reads per block (8 reads x 4 banks). *)
+let max_reads = max_reads_per_bank * num_banks
+
+(** Maximum register writes per block. *)
+let max_writes = max_writes_per_bank * num_banks
+
+(** Blocks concurrently in flight (one non-speculative + seven
+    speculative). *)
+let max_blocks_in_flight = 8
+
+(** Peak instruction issue width of the 16-wide prototype. *)
+let issue_width = 16
+
+(** Each instruction encodes at most this many explicit targets; a value
+    with more consumers needs fanout (mov) instructions. *)
+let max_targets = 2
+
+(** Architectural registers are numbered [0 .. num_arch_regs-1].  Virtual
+    registers produced by the front end and by the optimizer start here,
+    so [is_arch r] distinguishes the two after allocation. *)
+let first_virtual_reg = 1024
+
+let is_arch r = r >= 0 && r < num_arch_regs
+
+(** Bank to which architectural register [r] belongs (registers are
+    interleaved across banks). *)
+let bank_of r = r mod num_banks

@@ -1,0 +1,39 @@
+(** Arithmetic and comparison operators of the RISC-like TRIPS
+    intermediate language.
+
+    Semantics are total: division and remainder by zero yield zero, so
+    speculatively executed instructions can never fault — mirroring how an
+    EDGE machine nullifies mis-speculated work. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** total: [x / 0 = 0] *)
+  | Rem  (** total: [x mod 0 = 0] *)
+  | And  (** bitwise *)
+  | Or  (** bitwise *)
+  | Xor  (** bitwise *)
+  | Shl
+  | Shr  (** logical right shift *)
+  | Asr  (** arithmetic right shift *)
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+val eval_binop : binop -> int -> int -> int
+(** Evaluate a binary operator; total on all integer inputs. *)
+
+val eval_cmp : cmpop -> int -> int -> int
+(** Evaluate a comparison; returns 0 or 1. *)
+
+val negate_cmp : cmpop -> cmpop
+(** [negate_cmp op] computes the logical complement:
+    [eval_cmp op a b + eval_cmp (negate_cmp op) a b = 1]. *)
+
+val is_commutative : binop -> bool
+(** Operators whose operands value numbering may canonically reorder. *)
+
+val binop_to_string : binop -> string
+val cmpop_to_string : cmpop -> string
+val pp_binop : Format.formatter -> binop -> unit
+val pp_cmpop : Format.formatter -> cmpop -> unit

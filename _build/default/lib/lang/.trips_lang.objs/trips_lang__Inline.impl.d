@@ -1,0 +1,1 @@
+lib/lang/inline.ml: Ast Fmt Hashtbl List Option Printf Trips_ir

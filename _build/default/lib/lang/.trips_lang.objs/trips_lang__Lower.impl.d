@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Ast Builder Cfg Fmt Hashtbl Instr List Opcode Option Trips_ir

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Buffer Fmt List Opcode String Trips_ir

@@ -1,0 +1,1 @@
+lib/lang/unroll_for.ml: Ast List Opcode Trips_ir

@@ -1,0 +1,1 @@
+lib/lang/unroll_for.mli: Ast

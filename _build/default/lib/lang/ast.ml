@@ -1,0 +1,150 @@
+(* Abstract syntax of the mini language in which workloads are written.
+
+   The language is a small imperative subset (assignments, loads/stores to
+   a flat word memory, if/while/do-while/for, break, return) — just enough
+   to express the loop-and-branch kernels the paper extracts from SPEC,
+   GMTI and Dhrystone.  Functions are written pre-inlined, mirroring the
+   Scale pipeline where inlining runs before everything else. *)
+
+open Trips_ir
+
+type expr =
+  | Int of int
+  | Var of string
+  | Load of expr  (* mem[e] *)
+  | Binop of Opcode.binop * expr * expr
+  | Cmp of Opcode.cmpop * expr * expr
+  | Not of expr  (* logical: 1 when e = 0 *)
+  | And of expr * expr  (* logical, non-short-circuit, yields 0/1 *)
+  | Or of expr * expr
+  | Call of string * expr list
+      (* call to another kernel in the same compilation unit; the
+         front-end inliner eliminates every call before lowering *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of expr * expr  (* mem[e1] <- e2 *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | DoWhile of stmt list * expr  (* body; repeat while expr *)
+  | For of for_loop
+  | Break  (* exit the innermost enclosing loop *)
+  | Return of expr option
+
+and for_loop = {
+  var : string;
+  lo : expr;  (* evaluated once at entry *)
+  hi : expr;  (* evaluated once at entry; loop runs while var < hi *)
+  step : int;  (* positive literal step *)
+  body : stmt list;
+}
+
+type program = {
+  prog_name : string;
+  params : string list;  (* bound to fresh registers at function entry *)
+  body : stmt list;
+}
+
+(* A compilation unit: several kernels, the last of which is the entry
+   point (mirroring a C file whose main calls helpers).  The inliner
+   flattens a unit into a single program. *)
+type compilation_unit = { kernels : program list; entry : string }
+
+(* -- convenience constructors, so kernels read almost like C ----------- *)
+
+let ( + ) a b = Binop (Opcode.Add, a, b)
+let ( - ) a b = Binop (Opcode.Sub, a, b)
+let ( * ) a b = Binop (Opcode.Mul, a, b)
+let ( / ) a b = Binop (Opcode.Div, a, b)
+let ( % ) a b = Binop (Opcode.Rem, a, b)
+let ( <<< ) a b = Binop (Opcode.Shl, a, b)
+let ( >>> ) a b = Binop (Opcode.Asr, a, b)
+let ( &&& ) a b = Binop (Opcode.And, a, b)
+let ( ||| ) a b = Binop (Opcode.Or, a, b)
+let ( ^^^ ) a b = Binop (Opcode.Xor, a, b)
+let ( = ) a b = Cmp (Opcode.Eq, a, b)
+let ( <> ) a b = Cmp (Opcode.Ne, a, b)
+let ( < ) a b = Cmp (Opcode.Lt, a, b)
+let ( <= ) a b = Cmp (Opcode.Le, a, b)
+let ( > ) a b = Cmp (Opcode.Gt, a, b)
+let ( >= ) a b = Cmp (Opcode.Ge, a, b)
+let i n = Int n
+let v x = Var x
+let mem e = Load e
+let ( <-- ) x e = Assign (x, e)
+
+let for_ var lo hi ?(step = 1) body = For { var; lo; hi; step; body }
+
+(* -- traversal helpers -------------------------------------------------- *)
+
+let rec map_stmts f stmts = List.concat_map (map_stmt f) stmts
+
+and map_stmt f s =
+  match f s with
+  | Some replacement -> replacement
+  | None -> (
+    match s with
+    | If (c, t, e) -> [ If (c, map_stmts f t, map_stmts f e) ]
+    | While (c, b) -> [ While (c, map_stmts f b) ]
+    | DoWhile (b, c) -> [ DoWhile (map_stmts f b, c) ]
+    | For l -> [ For { l with body = map_stmts f l.body } ]
+    | Assign _ | Store _ | Break | Return _ -> [ s ])
+
+let rec stmt_contains_loop = function
+  | While _ | DoWhile _ | For _ -> true
+  | If (_, t, e) -> List.exists stmt_contains_loop t || List.exists stmt_contains_loop e
+  | Assign _ | Store _ | Break | Return _ -> false
+
+let rec stmt_contains_break = function
+  | Break -> true
+  | If (_, t, e) ->
+    List.exists stmt_contains_break t || List.exists stmt_contains_break e
+  | While _ | DoWhile _ | For _ -> false  (* break binds to the inner loop *)
+  | Assign _ | Store _ | Return _ -> false
+
+let rec stmt_contains_return = function
+  | Return _ -> true
+  | If (_, t, e) ->
+    List.exists stmt_contains_return t || List.exists stmt_contains_return e
+  | While (_, b) | DoWhile (b, _) -> List.exists stmt_contains_return b
+  | For l -> List.exists stmt_contains_return l.body
+  | Assign _ | Store _ | Break -> false
+
+(* -- pretty printing ---------------------------------------------------- *)
+
+let rec pp_expr fmt = function
+  | Int n -> Fmt.int fmt n
+  | Var x -> Fmt.string fmt x
+  | Load e -> Fmt.pf fmt "mem[%a]" pp_expr e
+  | Binop (op, a, b) ->
+    Fmt.pf fmt "(%a %s %a)" pp_expr a (Opcode.binop_to_string op) pp_expr b
+  | Cmp (op, a, b) ->
+    Fmt.pf fmt "(%a %s %a)" pp_expr a (Opcode.cmpop_to_string op) pp_expr b
+  | Not e -> Fmt.pf fmt "!%a" pp_expr e
+  | And (a, b) -> Fmt.pf fmt "(%a && %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Fmt.pf fmt "(%a || %a)" pp_expr a pp_expr b
+  | Call (f, args) ->
+    Fmt.pf fmt "%s(%a)" f Fmt.(list ~sep:comma pp_expr) args
+
+let rec pp_stmt fmt = function
+  | Assign (x, e) -> Fmt.pf fmt "%s = %a;" x pp_expr e
+  | Store (a, e) -> Fmt.pf fmt "mem[%a] = %a;" pp_expr a pp_expr e
+  | If (c, t, []) -> Fmt.pf fmt "@[<v 2>if %a {%a@]@,}" pp_expr c pp_body t
+  | If (c, t, e) ->
+    Fmt.pf fmt "@[<v 2>if %a {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr c pp_body
+      t pp_body e
+  | While (c, b) -> Fmt.pf fmt "@[<v 2>while %a {%a@]@,}" pp_expr c pp_body b
+  | DoWhile (b, c) -> Fmt.pf fmt "@[<v 2>do {%a@]@,} while %a;" pp_body b pp_expr c
+  | For l ->
+    Fmt.pf fmt "@[<v 2>for (%s = %a; %s < %a; %s += %d) {%a@]@,}" l.var
+      pp_expr l.lo l.var pp_expr l.hi l.var l.step pp_body l.body
+  | Break -> Fmt.string fmt "break;"
+  | Return None -> Fmt.string fmt "return;"
+  | Return (Some e) -> Fmt.pf fmt "return %a;" pp_expr e
+
+and pp_body fmt stmts = List.iter (fun s -> Fmt.pf fmt "@,%a" pp_stmt s) stmts
+
+let pp_program fmt p =
+  Fmt.pf fmt "@[<v 2>%s(%a) {%a@]@,}" p.prog_name
+    Fmt.(list ~sep:comma string)
+    p.params pp_body p.body

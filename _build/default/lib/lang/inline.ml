@@ -1,0 +1,222 @@
+(* Front-end inlining.
+
+   The Scale pipeline the paper builds on runs inlining before everything
+   else (Figure 6), and the paper's workloads are single inlined
+   procedures.  This pass flattens a compilation unit — several kernels,
+   the last being the entry point — into one program by substituting
+   every call with the callee's renamed body.
+
+   Calls may appear anywhere inside expressions; they are hoisted into
+   temporaries first, left to right, with loop conditions handled by
+   rotation (a while-loop condition containing a call is re-evaluated at
+   the end of each iteration).  A callee is inlinable when it is
+   non-recursive and returns only in tail position (the last statement of
+   its body or of a trailing if/else); callees with internal control
+   returns raise [Not_inlinable]. *)
+
+exception Not_inlinable of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Not_inlinable s)) fmt
+
+(* fresh-name supply shared across the whole flattening *)
+type state = { mutable counter : int; kernels : (string, Ast.program) Hashtbl.t }
+
+let fresh st base =
+  st.counter <- st.counter + 1;
+  Printf.sprintf "$i%d_%s" st.counter base
+
+(* ---- callee preparation ------------------------------------------------ *)
+
+(* Rename every variable of the callee with a per-inlining prefix. *)
+let rec rename_expr sub (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Int _ -> e
+  | Ast.Var x -> Ast.Var (sub x)
+  | Ast.Load a -> Ast.Load (rename_expr sub a)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, rename_expr sub a, rename_expr sub b)
+  | Ast.Cmp (op, a, b) -> Ast.Cmp (op, rename_expr sub a, rename_expr sub b)
+  | Ast.Not a -> Ast.Not (rename_expr sub a)
+  | Ast.And (a, b) -> Ast.And (rename_expr sub a, rename_expr sub b)
+  | Ast.Or (a, b) -> Ast.Or (rename_expr sub a, rename_expr sub b)
+  | Ast.Call (f, args) -> Ast.Call (f, List.map (rename_expr sub) args)
+
+let rec rename_stmt sub (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Ast.Assign (x, e) -> Ast.Assign (sub x, rename_expr sub e)
+  | Ast.Store (a, e) -> Ast.Store (rename_expr sub a, rename_expr sub e)
+  | Ast.If (c, t, e) ->
+    Ast.If (rename_expr sub c, List.map (rename_stmt sub) t, List.map (rename_stmt sub) e)
+  | Ast.While (c, b) -> Ast.While (rename_expr sub c, List.map (rename_stmt sub) b)
+  | Ast.DoWhile (b, c) -> Ast.DoWhile (List.map (rename_stmt sub) b, rename_expr sub c)
+  | Ast.For l ->
+    Ast.For
+      {
+        Ast.var = sub l.Ast.var;
+        lo = rename_expr sub l.Ast.lo;
+        hi = rename_expr sub l.Ast.hi;
+        step = l.Ast.step;
+        body = List.map (rename_stmt sub) l.Ast.body;
+      }
+  | Ast.Break -> Ast.Break
+  | Ast.Return e -> Ast.Return (Option.map (rename_expr sub) e)
+
+(* Replace tail-position returns with assignments to [result].  Returns
+   whether every path through [stmts] assigned the result. *)
+let rec retarget_returns callee result (stmts : Ast.stmt list) : Ast.stmt list =
+  (* non-tail returns anywhere? *)
+  let check_no_return (s : Ast.stmt) =
+    if Ast.stmt_contains_return s then
+      error "%s: return in non-tail position prevents inlining" callee
+  in
+  match List.rev stmts with
+  | [] -> error "%s: callee must end in a return" callee
+  | last :: rev_prefix ->
+    List.iter check_no_return rev_prefix;
+    let last' =
+      match last with
+      | Ast.Return (Some e) -> [ Ast.Assign (result, e) ]
+      | Ast.Return None -> [ Ast.Assign (result, Ast.Int 0) ]
+      | Ast.If (c, t, e) when t <> [] && e <> [] ->
+        [ Ast.If (c, retarget_returns callee result t,
+                  retarget_returns callee result e) ]
+      | _ -> error "%s: callee must end in a return" callee
+    in
+    List.rev_append rev_prefix last'
+
+(* ---- call hoisting + expansion ----------------------------------------- *)
+
+(* Rewrite an expression, hoisting every call into preceding statements;
+   returns (prelude, call-free expression). *)
+let rec hoist_expr st stack (e : Ast.expr) : Ast.stmt list * Ast.expr =
+  match e with
+  | Ast.Int _ | Ast.Var _ -> ([], e)
+  | Ast.Load a ->
+    let p, a = hoist_expr st stack a in
+    (p, Ast.Load a)
+  | Ast.Binop (op, a, b) ->
+    let pa, a = hoist_expr st stack a in
+    let pb, b = hoist_expr st stack b in
+    (pa @ pb, Ast.Binop (op, a, b))
+  | Ast.Cmp (op, a, b) ->
+    let pa, a = hoist_expr st stack a in
+    let pb, b = hoist_expr st stack b in
+    (pa @ pb, Ast.Cmp (op, a, b))
+  | Ast.Not a ->
+    let p, a = hoist_expr st stack a in
+    (p, Ast.Not a)
+  | Ast.And (a, b) ->
+    let pa, a = hoist_expr st stack a in
+    let pb, b = hoist_expr st stack b in
+    (pa @ pb, Ast.And (a, b))
+  | Ast.Or (a, b) ->
+    let pa, a = hoist_expr st stack a in
+    let pb, b = hoist_expr st stack b in
+    (pa @ pb, Ast.Or (a, b))
+  | Ast.Call (f, args) ->
+    (* arguments first, left to right *)
+    let preludes, args =
+      List.fold_left
+        (fun (ps, vs) a ->
+          let p, a = hoist_expr st stack a in
+          (ps @ p, a :: vs))
+        ([], []) args
+    in
+    let args = List.rev args in
+    let body, result = expand_call st stack f args in
+    (preludes @ body, Ast.Var result)
+
+(* Produce the inlined body of a call and the variable holding its
+   result. *)
+and expand_call st stack f args : Ast.stmt list * string =
+  if List.mem f stack then error "recursive call to %s cannot be inlined" f;
+  let callee =
+    match Hashtbl.find_opt st.kernels f with
+    | Some k -> k
+    | None -> error "call to unknown kernel %s" f
+  in
+  if List.length args <> List.length callee.Ast.params then
+    error "%s expects %d arguments, got %d" f
+      (List.length callee.Ast.params) (List.length args);
+  (* fresh names for every callee variable *)
+  let mapping = Hashtbl.create 16 in
+  let sub x =
+    match Hashtbl.find_opt mapping x with
+    | Some y -> y
+    | None ->
+      let y = fresh st x in
+      Hashtbl.add mapping x y;
+      y
+  in
+  let result = fresh st (f ^ "_ret") in
+  let param_binds =
+    List.map2 (fun p a -> Ast.Assign (sub p, a)) callee.Ast.params args
+  in
+  let body = List.map (rename_stmt sub) callee.Ast.body in
+  let body = retarget_returns f result body in
+  (* calls inside the callee are expanded too *)
+  let body = inline_stmts st (f :: stack) body in
+  (param_binds @ body, result)
+
+(* Rewrite statements so that no expression contains a call. *)
+and inline_stmts st stack (stmts : Ast.stmt list) : Ast.stmt list =
+  List.concat_map (inline_stmt st stack) stmts
+
+and inline_stmt st stack (s : Ast.stmt) : Ast.stmt list =
+  match s with
+  | Ast.Assign (x, e) ->
+    let p, e = hoist_expr st stack e in
+    p @ [ Ast.Assign (x, e) ]
+  | Ast.Store (a, e) ->
+    let pa, a = hoist_expr st stack a in
+    let pe, e = hoist_expr st stack e in
+    pa @ pe @ [ Ast.Store (a, e) ]
+  | Ast.Return e -> (
+    match e with
+    | None -> [ s ]
+    | Some e ->
+      let p, e = hoist_expr st stack e in
+      p @ [ Ast.Return (Some e) ])
+  | Ast.Break -> [ s ]
+  | Ast.If (c, t, els) ->
+    let p, c = hoist_expr st stack c in
+    p @ [ Ast.If (c, inline_stmts st stack t, inline_stmts st stack els) ]
+  | Ast.While (c, body) ->
+    let p, c' = hoist_expr st stack c in
+    let body = inline_stmts st stack body in
+    if p = [] then [ Ast.While (c', body) ]
+    else
+      (* rotate: evaluate the (call-bearing) condition before entry and at
+         the end of every iteration *)
+      let t = fresh st "whilecond" in
+      p
+      @ [ Ast.Assign (t, c');
+          Ast.While (Ast.Cmp (Trips_ir.Opcode.Ne, Ast.Var t, Ast.Int 0),
+                     body @ p @ [ Ast.Assign (t, c') ]) ]
+  | Ast.DoWhile (body, c) ->
+    let p, c' = hoist_expr st stack c in
+    let body = inline_stmts st stack body in
+    if p = [] then [ Ast.DoWhile (body, c') ]
+    else
+      let t = fresh st "docond" in
+      [ Ast.DoWhile (body @ p @ [ Ast.Assign (t, c') ],
+                     Ast.Cmp (Trips_ir.Opcode.Ne, Ast.Var t, Ast.Int 0)) ]
+  | Ast.For l ->
+    (* lo and hi are evaluated once, so plain hoisting is exact *)
+    let plo, lo = hoist_expr st stack l.Ast.lo in
+    let phi, hi = hoist_expr st stack l.Ast.hi in
+    plo @ phi
+    @ [ Ast.For { l with Ast.lo; hi; body = inline_stmts st stack l.Ast.body } ]
+
+(** Flatten a compilation unit into a single call-free program by
+    inlining every call into the entry kernel.
+    @raise Not_inlinable on recursion, unknown callees, arity mismatches
+    or non-tail returns in a callee. *)
+let program_of_unit (u : Ast.compilation_unit) : Ast.program =
+  let st = { counter = 0; kernels = Hashtbl.create 8 } in
+  List.iter (fun k -> Hashtbl.replace st.kernels k.Ast.prog_name k) u.Ast.kernels;
+  let entry =
+    match Hashtbl.find_opt st.kernels u.Ast.entry with
+    | Some k -> k
+    | None -> error "entry kernel %s not found" u.Ast.entry
+  in
+  { entry with Ast.body = inline_stmts st [ entry.Ast.prog_name ] entry.Ast.body }

@@ -1,0 +1,14 @@
+(** Front-end inlining (the first box of the paper's Figure 6 pipeline).
+
+    Flattens a compilation unit — several kernels, the last being the
+    entry point — into one call-free program by substituting every call
+    with the callee's renamed body.  Calls are hoisted out of expressions
+    left to right; loop conditions containing calls are rotated so they
+    are re-evaluated each iteration.  A callee must be non-recursive and
+    return only in tail position. *)
+
+exception Not_inlinable of string
+
+val program_of_unit : Ast.compilation_unit -> Ast.program
+(** @raise Not_inlinable on recursion, unknown callees, arity mismatches
+    or non-tail returns in a callee. *)

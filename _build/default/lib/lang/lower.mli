@@ -1,0 +1,14 @@
+(** Lowering from the mini-language AST to the RISC-like CFG.
+
+    Every conditional branch condition is normalized to a 0/1 register,
+    so exit guards always read boolean values — the invariant the
+    predicate negation ([xor 1]) in if-conversion relies on.  [For] loops
+    hoist their bound into a hidden temporary evaluated once; the loop
+    itself lowers to the same test-at-top shape as [While]. *)
+
+open Trips_ir
+
+val lower : Ast.program -> Cfg.t * (string * int) list
+(** Lower a program.  Returns the validated CFG and the registers
+    assigned to the program's parameters (callers initialize them through
+    the simulator). *)

@@ -1,0 +1,56 @@
+(* Front-end for-loop unrolling.
+
+   Scale unrolls for loops in the front end, before lowering and
+   hyperblock formation (paper Figure 6 and Section 7.1); this pass is the
+   analogue.  A candidate loop's body is replicated [factor] times inside
+   a main loop guarded by [var < hi - (factor-1)*step], followed by the
+   original loop as the remainder.  Because the intermediate tests are
+   removed (for-loop trip structure is known), this is stronger than the
+   while-loop unrolling head duplication performs — which is exactly why
+   the paper observes little extra benefit from head duplication on
+   for-loop-dominated kernels.
+
+   Only innermost loops without [break] or [return] in their body are
+   unrolled, matching the conservative front-end policy. *)
+
+open Trips_ir
+
+let eligible (l : Ast.for_loop) =
+  l.Ast.step > 0
+  && (not (List.exists Ast.stmt_contains_loop l.Ast.body))
+  && (not (List.exists Ast.stmt_contains_break l.Ast.body))
+  && not (List.exists Ast.stmt_contains_return l.Ast.body)
+
+let unroll_loop ~factor (l : Ast.for_loop) : Ast.stmt list =
+  let advance =
+    Ast.Assign (l.var, Ast.Binop (Opcode.Add, Ast.Var l.var, Ast.Int l.step))
+  in
+  let one_iteration = l.body @ [ advance ] in
+  let unrolled_body = List.concat (List.init factor (fun _ -> one_iteration)) in
+  let bound = "$ub_" ^ l.var in
+  (* main loop runs while var < hi - (factor-1)*step, i.e. while a full
+     group of [factor] iterations remains *)
+  let main_cond =
+    Ast.Cmp
+      ( Opcode.Lt,
+        Ast.Var l.var,
+        Ast.Binop (Opcode.Sub, Ast.Var bound, Ast.Int ((factor - 1) * l.step)) )
+  in
+  [
+    Ast.Assign (l.var, l.lo);
+    Ast.Assign (bound, l.hi);
+    Ast.While (main_cond, unrolled_body);
+    (* remainder iterations keep the original per-iteration test *)
+    Ast.While (Ast.Cmp (Opcode.Lt, Ast.Var l.var, Ast.Var bound), one_iteration);
+  ]
+
+(** Unroll every eligible innermost for loop of [p] by [factor].  A factor
+    of 1 or less is the identity. *)
+let apply ~factor (p : Ast.program) : Ast.program =
+  if factor <= 1 then p
+  else
+    let rewrite = function
+      | Ast.For l when eligible l -> Some (unroll_loop ~factor l)
+      | _ -> None
+    in
+    { p with Ast.body = Ast.map_stmts rewrite p.Ast.body }

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Block Instr IntSet List Trips_ir

@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Block Cfg Dominators Hashtbl Instr IntMap List Opcode Option Trips_analysis Trips_ir

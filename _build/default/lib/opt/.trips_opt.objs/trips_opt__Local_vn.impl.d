@@ -1,0 +1,1 @@
+lib/opt/local_vn.ml: Block Cfg Hashtbl Instr List Opcode Option Trips_ir

@@ -1,0 +1,1 @@
+lib/opt/local_vn.mli: Block Cfg Trips_ir

@@ -1,0 +1,1 @@
+lib/opt/optimizer.ml: Block Cfg Dce Gvn Instr List Liveness Local_vn Predicate_opt Trips_analysis Trips_ir

@@ -1,0 +1,1 @@
+lib/opt/optimizer.mli: Block Cfg IntSet Trips_ir

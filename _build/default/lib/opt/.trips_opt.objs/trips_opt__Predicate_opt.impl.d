@@ -1,0 +1,1 @@
+lib/opt/predicate_opt.ml: Block Guard_logic Instr IntSet List Opcode Trips_analysis Trips_ir

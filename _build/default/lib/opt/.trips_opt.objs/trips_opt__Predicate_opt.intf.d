@@ -1,0 +1,1 @@
+lib/opt/predicate_opt.mli: Block IntSet Trips_ir

@@ -1,0 +1,31 @@
+(* Dead-code elimination within a block.
+
+   A backward pass over the instruction list with a liveness set seeded
+   from [live_out] and the registers the block's exits read.  Stores are
+   always live.  Predication discipline: only an *unguarded* definition
+   kills its register; a guarded definition keeps the register live below
+   it (the incoming value may flow through). *)
+
+open Trips_ir
+
+(** Remove instructions of [b] whose results are never observed, given
+    the registers live when the block exits. *)
+let run (b : Block.t) ~live_out : Block.t =
+  let live = ref (IntSet.union live_out (Block.exit_uses b)) in
+  let keep_instr (i : Instr.t) =
+    let defs = Instr.defs i in
+    let needed =
+      Instr.has_side_effect i
+      || List.exists (fun d -> IntSet.mem d !live) defs
+    in
+    if needed then begin
+      (match i.Instr.guard with
+      | None -> List.iter (fun d -> live := IntSet.remove d !live) defs
+      | Some _ -> ());
+      List.iter (fun u -> live := IntSet.add u !live) (Instr.uses i);
+      true
+    end
+    else false
+  in
+  let instrs = List.rev (List.filter keep_instr (List.rev b.Block.instrs)) in
+  { b with Block.instrs }

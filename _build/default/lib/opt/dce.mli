@@ -1,0 +1,11 @@
+(** Dead-code elimination within a block.
+
+    A backward pass with a liveness set seeded from [live_out] and the
+    registers the block's exits read.  Stores are always live.  Only an
+    unguarded definition kills its register: a guarded definition keeps
+    the register live below it, because the incoming value may flow
+    through. *)
+
+open Trips_ir
+
+val run : Block.t -> live_out:IntSet.t -> Block.t

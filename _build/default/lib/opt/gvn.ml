@@ -1,0 +1,138 @@
+(* Dominator-based global value numbering.
+
+   The paper's Optimize step "applies dominator-based global value
+   numbering" (Section 4.2).  This pass walks the dominator tree with a
+   scoped table of available expressions: a computation already performed
+   in a dominating block is replaced by a copy of its result, which local
+   value numbering and copy propagation then fold away.
+
+   Without SSA, reusing a value computed elsewhere is only sound if every
+   register involved denotes the same value at both program points.  We
+   restrict the table to *stable* registers — defined by exactly one
+   unguarded instruction in the whole function — and additionally require
+   the defining block of every operand (and of the reused result) to
+   dominate the block of the reuse.  Stable registers behave exactly like
+   SSA names, and the front end produces them in abundance: every
+   expression temporary is freshly named.
+
+   Loads are not globally numbered (any store on any path could
+   invalidate them); the block-local pass handles those with its memory
+   versioning. *)
+
+open Trips_ir
+open Trips_analysis
+
+(* Registers defined by exactly one unguarded instruction in the
+   function, with their defining block. *)
+let stable_defs cfg =
+  let count : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let where : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let guarded : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter
+            (fun d ->
+              Hashtbl.replace count d
+                (1 + Option.value ~default:0 (Hashtbl.find_opt count d));
+              Hashtbl.replace where d b.Block.id;
+              if i.Instr.guard <> None then Hashtbl.replace guarded d ())
+            (Instr.defs i))
+        b.Block.instrs)
+    cfg;
+  let stable = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun r n ->
+      if n = 1 && not (Hashtbl.mem guarded r) then
+        Hashtbl.replace stable r (Hashtbl.find where r))
+    count;
+  stable
+
+type expr_key = string * Instr.operand list
+
+let key_of (i : Instr.t) : expr_key option =
+  if i.Instr.guard <> None then None
+  else
+    match i.Instr.op with
+    | Instr.Binop (op, _, a, b) ->
+      let a, b =
+        if Opcode.is_commutative op && compare b a < 0 then (b, a) else (a, b)
+      in
+      Some (Opcode.binop_to_string op, [ a; b ])
+    | Instr.Cmp (op, _, a, b) -> Some (Opcode.cmpop_to_string op, [ a; b ])
+    | Instr.Mov _ | Instr.Load _ | Instr.Store _ | Instr.Nullw _ -> None
+
+(** Run global value numbering over the reachable CFG; returns the number
+    of computations replaced by copies. *)
+let run cfg : int =
+  let dom = Dominators.compute cfg in
+  let stable = stable_defs cfg in
+  let stable_in_scope ~use_block r =
+    match Hashtbl.find_opt stable r with
+    | Some def_block ->
+      (* strict for same-block cases: the block-local pass owns those *)
+      def_block <> use_block && Dominators.dominates dom def_block use_block
+    | None -> false
+  in
+  let operand_ok ~use_block = function
+    | Instr.Imm _ -> true
+    | Instr.Reg r -> stable_in_scope ~use_block r
+  in
+  let table : (expr_key, int) Hashtbl.t = Hashtbl.create 128 in
+  let replaced = ref 0 in
+  let rec visit block_id =
+    let b = Cfg.block cfg block_id in
+    let added = ref [] in
+    let defined_here = Hashtbl.create 16 in
+    (* explicit left-to-right fold: recording is positional *)
+    let step rev_instrs (i : Instr.t) =
+      let i' =
+        match (key_of i, Instr.defs i) with
+        | Some key, [ d ] -> (
+          match Hashtbl.find_opt table key with
+          | Some r
+            when r <> d
+                 && stable_in_scope ~use_block:block_id r
+                 && List.for_all (operand_ok ~use_block:block_id) (snd key) ->
+            incr replaced;
+            { i with Instr.op = Instr.Mov (d, Instr.Reg r) }
+          | _ ->
+            (* make this computation available below in the tree; the
+               operands' single definitions must dominate this block or
+               sit earlier in it, or the recorded value would not be
+               reproducible at descendants *)
+            let operand_recordable = function
+              | Instr.Imm _ -> true
+              | Instr.Reg r -> (
+                match Hashtbl.find_opt stable r with
+                | Some def_block ->
+                  (def_block = block_id && Hashtbl.mem defined_here r)
+                  || def_block <> block_id
+                     && Dominators.dominates dom def_block block_id
+                | None -> false)
+            in
+            if
+              Hashtbl.mem stable d
+              && List.for_all operand_recordable (snd key)
+              && not (Hashtbl.mem table key)
+            then begin
+              Hashtbl.replace table key d;
+              added := key :: !added
+            end;
+            i)
+        | _ -> i
+      in
+      List.iter (fun d -> Hashtbl.replace defined_here d ()) (Instr.defs i');
+      i' :: rev_instrs
+    in
+    let instrs = List.rev (List.fold_left step [] b.Block.instrs) in
+    Cfg.set_block cfg { b with Block.instrs };
+    List.iter visit
+      (List.sort compare
+         (IntMap.find_or ~default:[] block_id (Dominators.children dom)));
+    (* pop this block's scope *)
+    List.iter (Hashtbl.remove table) !added
+  in
+  visit cfg.Cfg.entry;
+  !replaced

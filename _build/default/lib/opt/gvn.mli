@@ -1,0 +1,15 @@
+(** Dominator-based global value numbering (the paper's Optimize step,
+    Section 4.2).
+
+    Walks the dominator tree with a scoped table of available
+    expressions; a computation already performed in a dominating block is
+    replaced by a copy of its result, which local value numbering and
+    copy propagation then fold away.  Without SSA, soundness is obtained
+    by restricting the table to registers defined by exactly one
+    unguarded instruction in the function (which behave like SSA names)
+    whose definitions dominate the point of reuse. *)
+
+open Trips_ir
+
+val run : Cfg.t -> int
+(** Rewrite in place; returns the number of computations replaced. *)

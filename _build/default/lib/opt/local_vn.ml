@@ -1,0 +1,560 @@
+(* Guard-aware local value numbering.
+
+   One forward pass over a block that performs, simultaneously:
+   - common-subexpression elimination (redundant computations become movs,
+     which later passes propagate and delete);
+   - constant propagation and folding, including comparison folding;
+   - algebraic simplification (x+0, x*1, x*0, x-x, ...);
+   - copy propagation (operands are canonicalized to the oldest register
+     holding the same value);
+   - store-to-load forwarding within the block;
+   - guard resolution: an instruction whose guard register is a known
+     constant either loses its guard or is deleted outright, and an exit
+     whose guard is constant-true becomes the block's only exit.
+
+   Predication discipline: a *guarded* definition is conditional, so the
+   defined register's value afterwards is unknown (a fresh value number).
+   A guarded computation may still be reused — but only by an instruction
+   under the *same* guard, checked via a per-register definition stamp
+   that invalidates stale table entries.  Unguarded computations are
+   reusable anywhere.  This is what lets the pass delete the duplicate
+   predicate-combination instructions that repeated merges create, which
+   is one of the concrete ways convergent formation packs blocks more
+   tightly. *)
+
+open Trips_ir
+
+type state = {
+  cfg : Cfg.t;
+  mutable next_vn : int;
+  cur_vn : (int, int) Hashtbl.t;  (* register -> value number *)
+  stamps : (int, int) Hashtbl.t;  (* register -> definition counter *)
+  const_vn : (int, int) Hashtbl.t;  (* constant -> its value number *)
+  const_of : (int, int) Hashtbl.t;  (* value number -> constant *)
+  rep : (int, int * int) Hashtbl.t;  (* value number -> (register, stamp) *)
+  exprs : (expr_key, int * int * int) Hashtbl.t;
+      (* key -> (register, stamp, value number) *)
+  structure : (int, string * int list) Hashtbl.t;
+      (* value number -> defining operation, for unconditionally computed
+         values; enables boolean-predicate simplification *)
+  linear : (int, int * int) Hashtbl.t;
+      (* value number -> (base value number, constant offset); collapses
+         add/sub-immediate chains such as unrolled induction updates *)
+  booleans : (int, unit) Hashtbl.t;
+      (* value numbers proven to hold 0/1: comparison results, the
+         constants 0 and 1, and and/or/xor combinations of booleans.
+         Boolean-predicate simplification applies only to proven
+         booleans: bitwise [xor x 1] is NOT logical negation for wide
+         values, and user programs can reach these operators *)
+  guarded_copy : (int, int * int * int) Hashtbl.t;
+      (* reg -> (source reg, source stamp, guard value number) for the
+         latest definition of reg when it was [<p> mov reg, source];
+         enables predicate-aware copy propagation: a reader whose guard
+         implies p may read the source directly *)
+  mutable mem_version : int;
+}
+
+and expr_key = string * int list * (int * bool) option
+(* operation tag, argument value numbers (plus offsets etc.), and the
+   guard under which the value was computed (None = unconditional). *)
+
+let create cfg =
+  {
+    cfg;
+    next_vn = 0;
+    cur_vn = Hashtbl.create 64;
+    stamps = Hashtbl.create 64;
+    const_vn = Hashtbl.create 32;
+    const_of = Hashtbl.create 32;
+    rep = Hashtbl.create 64;
+    exprs = Hashtbl.create 64;
+    structure = Hashtbl.create 64;
+    linear = Hashtbl.create 64;
+    booleans = Hashtbl.create 64;
+    guarded_copy = Hashtbl.create 32;
+    mem_version = 0;
+  }
+
+let fresh_vn st =
+  let v = st.next_vn in
+  st.next_vn <- v + 1;
+  v
+
+let stamp st r = Option.value ~default:0 (Hashtbl.find_opt st.stamps r)
+
+let vn_of_reg st r =
+  match Hashtbl.find_opt st.cur_vn r with
+  | Some v -> v
+  | None ->
+    let v = fresh_vn st in
+    Hashtbl.replace st.cur_vn r v;
+    (* the incoming value is represented by the register itself *)
+    Hashtbl.replace st.rep v (r, stamp st r);
+    v
+
+let vn_of_const st n =
+  match Hashtbl.find_opt st.const_vn n with
+  | Some v -> v
+  | None ->
+    let v = fresh_vn st in
+    Hashtbl.replace st.const_vn n v;
+    Hashtbl.replace st.const_of v n;
+    if n = 0 || n = 1 then Hashtbl.replace st.booleans v ();
+    v
+
+let is_boolean st v = Hashtbl.mem st.booleans v
+
+let vn_of_operand st = function
+  | Instr.Reg r -> vn_of_reg st r
+  | Instr.Imm n -> vn_of_const st n
+
+let const_of_vn st v = Hashtbl.find_opt st.const_of v
+
+(* The oldest register currently holding value number [v], if any. *)
+let valid_rep st v =
+  match Hashtbl.find_opt st.rep v with
+  | Some (r, s) when stamp st r = s && Hashtbl.find_opt st.cur_vn r = Some v ->
+    Some r
+  | Some _ | None -> None
+
+(* Canonicalize an operand: constants become immediates, registers are
+   replaced by the canonical holder of their value. *)
+let canonical_operand st (o : Instr.operand) =
+  match o with
+  | Instr.Imm _ -> o
+  | Instr.Reg r -> (
+    let v = vn_of_reg st r in
+    match const_of_vn st v with
+    | Some n -> Instr.Imm n
+    | None -> (
+      match valid_rep st v with
+      | Some r' when r' <> r -> Instr.Reg r'
+      | Some _ | None -> o))
+
+(* Record that [d] was defined.  An unguarded definition binds [d] to
+   [v]; a guarded one leaves [d]'s value unknown. *)
+let define st d ~guard ~v =
+  Hashtbl.remove st.guarded_copy d;
+  Hashtbl.replace st.stamps d (stamp st d + 1);
+  (match guard with
+  | None ->
+    Hashtbl.replace st.cur_vn d v;
+    (match valid_rep st v with
+    | Some _ -> ()
+    | None -> Hashtbl.replace st.rep v (d, stamp st d))
+  | Some _ -> Hashtbl.replace st.cur_vn d (fresh_vn st));
+  ()
+
+let guard_key st = function
+  | None -> None
+  | Some g -> Some (vn_of_reg st g.Instr.greg, g.Instr.sense)
+
+(* Try to reuse a previously computed expression: first an unconditional
+   computation, then one under the same guard. *)
+let lookup_expr st (tag, args, gkey) =
+  let try_key k =
+    match Hashtbl.find_opt st.exprs k with
+    | Some (r, s, v) -> (
+      match const_of_vn st v with
+      | Some n -> Some (Instr.Imm n, v)
+      | None ->
+        if stamp st r = s then Some (Instr.Reg r, v) else None)
+    | None -> None
+  in
+  match try_key (tag, args, None) with
+  | Some _ as hit -> hit
+  | None -> ( match gkey with None -> None | Some _ -> try_key (tag, args, gkey))
+
+let record_expr st key ~reg ~v =
+  Hashtbl.replace st.exprs key (reg, stamp st reg, v)
+
+(* Follow the linear-form chain: the ultimate base value number and total
+   constant offset of [v]. *)
+let linear_base st v =
+  match Hashtbl.find_opt st.linear v with
+  | Some (base, off) -> (base, off)
+  | None -> (v, 0)
+
+(* [complement st x y]: do value numbers [x] and [y] always hold logical
+   complements (for 0/1 predicate values)?  Recognizes [y = xor x 1] and
+   comparison pairs like [teq a b] vs [tne a b]. *)
+(* [structural_complement st x y]: is one of [x], [y] literally
+   [xor other 1] (or a comparison-negation pair)?  For arbitrary values c
+   this only guarantees y = c XOR 1, which flips bit 0 and nothing else —
+   enough for the or-factoring rule below, where only the common factor
+   must be boolean: p AND c  OR  p AND (c xor 1) = p AND (c or 1) = p
+   when p is 0/1. *)
+let structural_complement st x y =
+  let one = vn_of_const st 1 in
+  let is_xor1 a b =
+    match Hashtbl.find_opt st.structure a with
+    | Some ("xor", args) -> args = List.sort compare [ b; one ]
+    | _ -> false
+  in
+  let cmp_negation a b =
+    match (Hashtbl.find_opt st.structure a, Hashtbl.find_opt st.structure b) with
+    | Some (ta, argsa), Some (tb, argsb) when argsa = argsb ->
+      let neg t =
+        match t with
+        | "teq" -> Some "tne"
+        | "tne" -> Some "teq"
+        | "tlt" -> Some "tge"
+        | "tge" -> Some "tlt"
+        | "tle" -> Some "tgt"
+        | "tgt" -> Some "tle"
+        | _ -> None
+      in
+      neg ta = Some tb
+    | _ -> false
+  in
+  is_xor1 x y || is_xor1 y x || cmp_negation x y
+
+let complement st x y =
+  let one = vn_of_const st 1 in
+  let is_not a b =
+    is_boolean st b
+    &&
+    match Hashtbl.find_opt st.structure a with
+    | Some ("xor", args) -> args = List.sort compare [ b; one ]
+    | _ -> false
+  in
+  let cmp_negation a b =
+    match (Hashtbl.find_opt st.structure a, Hashtbl.find_opt st.structure b) with
+    | Some (ta, argsa), Some (tb, argsb) when argsa = argsb ->
+      let neg t =
+        match t with
+        | "teq" -> Some "tne"
+        | "tne" -> Some "teq"
+        | "tlt" -> Some "tge"
+        | "tge" -> Some "tlt"
+        | "tle" -> Some "tgt"
+        | "tgt" -> Some "tle"
+        | _ -> None
+      in
+      neg ta = Some tb
+    | _ -> false
+  in
+  is_not x y || is_not y x || cmp_negation x y
+
+(* Boolean-predicate simplification over value-number structure:
+   - or (p and c) (p and not c)  ==>  p
+   - or  b (not b)               ==>  1
+   - and b (not b)               ==>  0
+   - xor (xor u 1) 1             ==>  u
+   Sound for the 0/1 predicate registers the front end and if-conversion
+   produce; this is what lets the guard of a merge point reached from
+   both arms of a converted diamond collapse back to the loop predicate
+   (the paper's predicate optimizations [25]). *)
+let bool_simplify st op va vb : [ `Vn of int | `Const of int ] option =
+  let open Opcode in
+  match op with
+  | And -> if complement st va vb then Some (`Const 0) else None
+  | Or when complement st va vb -> Some (`Const 1)
+  | Or -> (
+    match (Hashtbl.find_opt st.structure va, Hashtbl.find_opt st.structure vb) with
+    | Some ("and", [ a1; a2 ]), Some ("and", [ b1; b2 ]) ->
+      let try_factor common ra rb =
+        if is_boolean st common && structural_complement st ra rb then
+          Some (`Vn common)
+        else None
+      in
+      let candidates =
+        [
+          (if a1 = b1 then try_factor a1 a2 b2 else None);
+          (if a1 = b2 then try_factor a1 a2 b1 else None);
+          (if a2 = b1 then try_factor a2 a1 b2 else None);
+          (if a2 = b2 then try_factor a2 a1 b1 else None);
+        ]
+      in
+      List.find_map (fun x -> x) candidates
+    | _ -> None)
+  | Xor -> (
+    let one = vn_of_const st 1 in
+    let un_negate v =
+      match Hashtbl.find_opt st.structure v with
+      | Some ("xor", args) -> (
+        match List.filter (fun a -> a <> one) args with
+        | [ u ] when List.mem one args -> Some (`Vn u)
+        | _ -> None)
+      | _ -> None
+    in
+    if va = one then un_negate vb
+    else if vb = one then un_negate va
+    else None)
+  | Add | Sub | Mul | Div | Rem | Shl | Shr | Asr -> None
+
+(* Materialize a value number as an operand, if possible. *)
+let operand_of_vn st v =
+  match const_of_vn st v with
+  | Some n -> Some (Instr.Imm n)
+  | None -> (
+    match valid_rep st v with
+    | Some r -> Some (Instr.Reg r)
+    | None -> None)
+
+(* Does guard [g] (positively sensed) imply the condition with value
+   number [pvn]?  True when they are the same value, or when [g]'s value
+   is structurally a conjunction with [pvn] as one conjunct — exactly the
+   shape repeated if-conversion produces (q = p AND c). *)
+let guard_implies st (g : Instr.guard option) pvn =
+  match g with
+  | Some g when g.Instr.sense -> (
+    let gv = vn_of_reg st g.Instr.greg in
+    gv = pvn
+    ||
+    match Hashtbl.find_opt st.structure gv with
+    | Some ("and", args) -> List.mem pvn args
+    | _ -> false)
+  | Some _ | None -> false
+
+(* Predicate-aware copy propagation: replace a read of [r] by the source
+   of its latest guarded-mov definition when the reading instruction's
+   guard implies the mov's guard (so whenever the reader executes, the
+   mov executed too and the values coincide). *)
+let substitute_guarded_aliases st (i : Instr.t) =
+  let subst = function
+    | Instr.Reg r as o -> (
+      match Hashtbl.find_opt st.guarded_copy r with
+      | Some (src, src_stamp, pvn)
+        when stamp st src = src_stamp && guard_implies st i.Instr.guard pvn ->
+        Instr.Reg src
+      | _ -> o)
+    | o -> o
+  in
+  let op =
+    match i.Instr.op with
+    | Instr.Binop (o, d, a, b) -> Instr.Binop (o, d, subst a, subst b)
+    | Instr.Cmp (o, d, a, b) -> Instr.Cmp (o, d, subst a, subst b)
+    | Instr.Mov (d, a) -> Instr.Mov (d, subst a)
+    | Instr.Load (d, a, off) -> Instr.Load (d, subst a, off)
+    | Instr.Store (v, a, off) -> Instr.Store (subst v, subst a, off)
+    | Instr.Nullw _ as op -> op
+  in
+  { i with Instr.op }
+
+(* The rewritten form of one instruction: deleted, or replaced. *)
+type rewrite = Delete | Keep of Instr.t
+
+(* Turn a computation into a mov (same guard), handling the
+   "already holds this value" deletion. *)
+let as_mov st (i : Instr.t) d (src : Instr.operand) ~v =
+  let dv = Hashtbl.find_opt st.cur_vn d in
+  if dv = Some v then Delete  (* d already holds the value, even guarded *)
+  else begin
+    define st d ~guard:i.Instr.guard ~v;
+    Keep { i with Instr.op = Instr.Mov (d, src) }
+  end
+
+let simplify_binop op (a : Instr.operand) (b : Instr.operand) =
+  let open Opcode in
+  match (op, a, b) with
+  | Add, x, Instr.Imm 0 | Add, Instr.Imm 0, x -> Some (`Copy x)
+  | Sub, x, Instr.Imm 0 -> Some (`Copy x)
+  | Sub, Instr.Reg r1, Instr.Reg r2 when r1 = r2 -> Some (`Const 0)
+  | Mul, x, Instr.Imm 1 | Mul, Instr.Imm 1, x -> Some (`Copy x)
+  | Mul, _, Instr.Imm 0 | Mul, Instr.Imm 0, _ -> Some (`Const 0)
+  | Div, x, Instr.Imm 1 -> Some (`Copy x)
+  | And, x, Instr.Reg r when x = Instr.Reg r -> Some (`Copy x)
+  | Or, x, Instr.Reg r when x = Instr.Reg r -> Some (`Copy x)
+  | Xor, Instr.Reg r1, Instr.Reg r2 when r1 = r2 -> Some (`Const 0)
+  | And, _, Instr.Imm 0 | And, Instr.Imm 0, _ -> Some (`Const 0)
+  | Or, x, Instr.Imm 0 | Or, Instr.Imm 0, x -> Some (`Copy x)
+  | Xor, x, Instr.Imm 0 | Xor, Instr.Imm 0, x -> Some (`Copy x)
+  | (Shl | Shr | Asr), x, Instr.Imm 0 -> Some (`Copy x)
+  | _ -> None
+
+let rec rewrite_instr st (i : Instr.t) : rewrite =
+  (* Resolve constant guards: a guard proven false deletes the
+     instruction, a guard proven true is dropped. *)
+  match i.Instr.guard with
+  | Some g -> (
+    match const_of_vn st (vn_of_reg st g.Instr.greg) with
+    | Some c when c <> 0 <> g.Instr.sense -> Delete
+    | Some _ -> rewrite_instr st { i with Instr.guard = None }
+    | None -> (
+      (* canonicalize the guard register itself *)
+      match valid_rep st (vn_of_reg st g.Instr.greg) with
+      | Some r when r <> g.Instr.greg ->
+        rewrite_core st { i with Instr.guard = Some { g with Instr.greg = r } }
+      | Some _ | None -> rewrite_core st i))
+  | None -> rewrite_core st i
+
+and rewrite_core st (i : Instr.t) : rewrite =
+    let i = substitute_guarded_aliases st i in
+    let gkey = guard_key st i.Instr.guard in
+    match i.Instr.op with
+    | Instr.Mov (d, x) ->
+      let x = canonical_operand st x in
+      let v = vn_of_operand st x in
+      let result = as_mov st i d x ~v in
+      (match (result, i.Instr.guard, x) with
+      | Keep _, Some g, Instr.Reg rx when g.Instr.sense ->
+        Hashtbl.replace st.guarded_copy d
+          (rx, stamp st rx, vn_of_reg st g.Instr.greg)
+      | _ -> ());
+      result
+    | Instr.Binop (op, d, a, b) -> (
+      let a = canonical_operand st a and b = canonical_operand st b in
+      match (a, b) with
+      | Instr.Imm ca, Instr.Imm cb ->
+        let n = Opcode.eval_binop op ca cb in
+        as_mov st i d (Instr.Imm n) ~v:(vn_of_const st n)
+      | _ -> (
+        (* collapse add/sub-immediate chains onto their ultimate base:
+           j2 = j1 + 1 with j1 = j0 + 1 becomes j2 = j0 + 2, shortening
+           the dependence chains unrolling would otherwise serialize *)
+        let op, a, b, lin =
+          let chain r k =
+            let base, off = linear_base st (vn_of_reg st r) in
+            let total = off + k in
+            match valid_rep st base with
+            | Some rb -> (Opcode.Add, Instr.Reg rb, Instr.Imm total, Some (base, total))
+            | None -> (op, a, b, Some (base, total))
+          in
+          match (op, a, b) with
+          | Opcode.Add, Instr.Reg r, Instr.Imm k
+          | Opcode.Add, Instr.Imm k, Instr.Reg r ->
+            chain r k
+          | Opcode.Sub, Instr.Reg r, Instr.Imm k -> chain r (-k)
+          | _ -> (op, a, b, None)
+        in
+        match simplify_binop op a b with
+        | Some (`Copy x) -> as_mov st i d x ~v:(vn_of_operand st x)
+        | Some (`Const n) -> as_mov st i d (Instr.Imm n) ~v:(vn_of_const st n)
+        | None -> (
+          let va = vn_of_operand st a and vb = vn_of_operand st b in
+          match bool_simplify st op va vb with
+          | Some (`Const n) -> as_mov st i d (Instr.Imm n) ~v:(vn_of_const st n)
+          | Some (`Vn v) when operand_of_vn st v <> None ->
+            as_mov st i d (Option.get (operand_of_vn st v)) ~v
+          | Some (`Vn _) | None -> (
+            let args =
+              if Opcode.is_commutative op && va > vb then [ vb; va ]
+              else [ va; vb ]
+            in
+            let key = (Opcode.binop_to_string op, args, gkey) in
+            match lookup_expr st key with
+            | Some (src, v) -> as_mov st i d src ~v
+            | None ->
+              let v = fresh_vn st in
+              define st d ~guard:i.Instr.guard ~v;
+              record_expr st key ~reg:d ~v;
+              (match op with
+              | Opcode.And ->
+                (* bitwise AND with a 0/1 operand yields 0/1 *)
+                if is_boolean st va || is_boolean st vb then
+                  Hashtbl.replace st.booleans v ()
+              | Opcode.Or | Opcode.Xor ->
+                if is_boolean st va && is_boolean st vb then
+                  Hashtbl.replace st.booleans v ()
+              | _ -> ());
+              if i.Instr.guard = None then begin
+                Hashtbl.replace st.structure v (Opcode.binop_to_string op, args);
+                match lin with
+                | Some (base, total) -> Hashtbl.replace st.linear v (base, total)
+                | None -> ()
+              end;
+              Keep { i with Instr.op = Instr.Binop (op, d, a, b) }))))
+    | Instr.Cmp (op, d, a, b) -> (
+      let a = canonical_operand st a and b = canonical_operand st b in
+      match (a, b) with
+      | Instr.Imm ca, Instr.Imm cb ->
+        let n = Opcode.eval_cmp op ca cb in
+        as_mov st i d (Instr.Imm n) ~v:(vn_of_const st n)
+      | _ -> (
+        let va = vn_of_operand st a and vb = vn_of_operand st b in
+        let key = (Opcode.cmpop_to_string op, [ va; vb ], gkey) in
+        match lookup_expr st key with
+        | Some (src, v) -> as_mov st i d src ~v
+        | None ->
+          let v = fresh_vn st in
+          define st d ~guard:i.Instr.guard ~v;
+          record_expr st key ~reg:d ~v;
+          Hashtbl.replace st.booleans v ();
+          if i.Instr.guard = None then
+            Hashtbl.replace st.structure v (Opcode.cmpop_to_string op, [ va; vb ]);
+          Keep { i with Instr.op = Instr.Cmp (op, d, a, b) }))
+    | Instr.Load (d, a, off) -> (
+      let a = canonical_operand st a in
+      let va = vn_of_operand st a in
+      let key = ("ld", [ va; off; st.mem_version ], gkey) in
+      match lookup_expr st key with
+      | Some (src, v) -> as_mov st i d src ~v
+      | None ->
+        let v = fresh_vn st in
+        define st d ~guard:i.Instr.guard ~v;
+        record_expr st key ~reg:d ~v;
+        Keep { i with Instr.op = Instr.Load (d, a, off) })
+    | Instr.Store (x, a, off) ->
+      let x = canonical_operand st x and a = canonical_operand st a in
+      st.mem_version <- st.mem_version + 1;
+      (* store-to-load forwarding: an unguarded store defines the value a
+         subsequent load of the same address would read *)
+      (match i.Instr.guard with
+      | None ->
+        let va = vn_of_operand st a in
+        let vx = vn_of_operand st x in
+        let key = ("ld", [ va; off; st.mem_version ], None) in
+        (match x with
+        | Instr.Reg rx -> record_expr st key ~reg:rx ~v:vx
+        | Instr.Imm _ ->
+          (* record via the constant's value number; lookup resolves
+             constants without needing a live register *)
+          Hashtbl.replace st.exprs key (-1, -1, vx))
+      | Some _ -> ());
+      Keep { i with Instr.op = Instr.Store (x, a, off) }
+    | Instr.Nullw _ -> Keep i
+
+(* Simplify the exit list with end-of-block knowledge. *)
+let rewrite_exits st (exits : Block.exit_ list) =
+  let rewrite_target (t : Block.target) =
+    match t with
+    | Block.Ret (Some v) -> Block.Ret (Some (canonical_operand st v))
+    | Block.Ret None | Block.Goto _ -> t
+  in
+  let resolved =
+    List.filter_map
+      (fun (e : Block.exit_) ->
+        match e.Block.eguard with
+        | None -> Some { e with Block.target = rewrite_target e.Block.target }
+        | Some g -> (
+          match const_of_vn st (vn_of_reg st g.Instr.greg) with
+          | Some c ->
+            if c <> 0 = g.Instr.sense then
+              (* constant-true: by the one-exit invariant, siblings are
+                 dead; marking unguarded lets the filter below prune *)
+              Some
+                {
+                  Block.eguard = None;
+                  target = rewrite_target e.Block.target;
+                }
+            else None  (* constant-false exit never fires *)
+          | None ->
+            let g =
+              match valid_rep st (vn_of_reg st g.Instr.greg) with
+              | Some r -> { g with Instr.greg = r }
+              | None -> g
+            in
+            Some
+              { Block.eguard = Some g; target = rewrite_target e.Block.target }))
+      exits
+  in
+  (* If an unguarded exit exists, every other exit is unreachable. *)
+  match List.find_opt (fun e -> e.Block.eguard = None) resolved with
+  | Some e -> [ e ]
+  | None -> (
+    (* A single surviving guarded exit must always fire. *)
+    match resolved with
+    | [ e ] -> [ { e with Block.eguard = None } ]
+    | es -> es)
+
+(** Run local value numbering over [b]; returns the rewritten block. *)
+let run cfg (b : Block.t) : Block.t =
+  let st = create cfg in
+  let instrs =
+    List.filter_map
+      (fun i -> match rewrite_instr st i with Delete -> None | Keep i -> Some i)
+      b.Block.instrs
+  in
+  let exits = rewrite_exits st b.Block.exits in
+  { b with Block.instrs; exits }

@@ -1,0 +1,22 @@
+(** Guard-aware local value numbering.
+
+    One forward pass over a block performing, simultaneously:
+    common-subexpression elimination, constant propagation and folding,
+    algebraic simplification, copy propagation (operands canonicalize to
+    the oldest register holding the value), store-to-load forwarding,
+    guard resolution (constant guards drop or delete instructions and
+    resolve exits), linear-chain folding (add/sub-immediate chains such
+    as unrolled induction updates rebase onto their ultimate source),
+    predicate-aware copy propagation through guarded movs, and
+    boolean-predicate simplification
+    ([or (p and c) (p and not c) ==> p], gated on proven 0/1 values).
+
+    Predication discipline: a guarded definition is conditional, so the
+    defined register's value afterwards is a fresh unknown; a guarded
+    computation may be reused only under the same guard, enforced with
+    per-register definition stamps. *)
+
+open Trips_ir
+
+val run : Cfg.t -> Block.t -> Block.t
+(** Rewrite one block (needs the CFG only for fresh ids). *)

@@ -1,0 +1,21 @@
+(** Predicate optimization: implicit predication (Smith et al., "Dataflow
+    predication").
+
+    On a dataflow machine it suffices to predicate the head of a
+    dependence chain; instructions whose results can only reach
+    observable sinks across guards at least as strong as their own may
+    run speculatively.  Each dropped guard removes a consumer of the
+    predicate register (saving fanout instructions) and removes a
+    predicate-resolution wait from the critical path.
+
+    The guard of an instruction defining [d] is dropped when every
+    dataflow path from [d] to an observable sink (store, exit read,
+    live-out register) crosses an implied guard — including transitively
+    through unguarded side-effect-free instructions, and through the
+    self-masking reads of unguarded [and p, d] predicate combinations.
+    A use of [d] as a downstream instruction's own guard register is a
+    control use and always blocks the drop. *)
+
+open Trips_ir
+
+val run : Block.t -> live_out:IntSet.t -> Block.t

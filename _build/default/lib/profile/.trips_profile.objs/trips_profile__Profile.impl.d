@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Fmt Hashtbl List Loops Option Trips_analysis

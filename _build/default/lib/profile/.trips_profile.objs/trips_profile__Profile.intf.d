@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Format Loops Trips_analysis

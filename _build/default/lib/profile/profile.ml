@@ -1,0 +1,185 @@
+(* Execution profiles: block counts, edge counts and loop trip-count
+   histograms.
+
+   The paper's policies consume an edge-frequency profile, and its loop
+   peeling policy additionally consumes trip-count histograms (Section 5).
+   A [collector] is fed block transitions online by the functional
+   simulator; trip counts are derived during collection using natural-loop
+   information from the profiled CFG. *)
+
+open Trips_analysis
+
+module Edge = struct
+  type t = int * int
+
+  let equal (a, b) (c, d) = a = c && b = d
+  let hash (a, b) = (a * 65599) + b
+end
+
+module EdgeTbl = Hashtbl.Make (Edge)
+
+type t = {
+  block_counts : (int, int) Hashtbl.t;
+  edge_counts : int EdgeTbl.t;
+  trip_histograms : (int, (int, int) Hashtbl.t) Hashtbl.t;
+      (* loop header -> (trip count -> occurrences) *)
+}
+
+type collector = {
+  profile : t;
+  loops : Loops.t option;
+  mutable prev : int option;
+  active_trips : (int, int) Hashtbl.t;  (* header -> iterations so far *)
+}
+
+let empty () =
+  {
+    block_counts = Hashtbl.create 64;
+    edge_counts = EdgeTbl.create 64;
+    trip_histograms = Hashtbl.create 8;
+  }
+
+let collector ?loops () =
+  { profile = empty (); loops; prev = None; active_trips = Hashtbl.create 8 }
+
+let incr_tbl tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let record_trip p ~header ~trips =
+  let hist =
+    match Hashtbl.find_opt p.trip_histograms header with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.add p.trip_histograms header h;
+      h
+  in
+  incr_tbl hist trips
+
+(* Trip count = number of back-edge traversals per loop entry, which for a
+   test-at-top (while) loop equals the number of body iterations.  Entries
+   that exit without iterating record a trip count of zero — the peeling
+   policy needs to see those. *)
+let flush_trip c header =
+  match Hashtbl.find_opt c.active_trips header with
+  | Some n ->
+    record_trip c.profile ~header ~trips:n;
+    Hashtbl.remove c.active_trips header
+  | None -> ()
+
+(** Record the execution of block [id], arriving from the previously
+    recorded block (if any). *)
+let record_block c id =
+  incr_tbl c.profile.block_counts id;
+  (match c.prev with
+  | Some src ->
+    let n =
+      1 + Option.value ~default:0 (EdgeTbl.find_opt c.profile.edge_counts (src, id))
+    in
+    EdgeTbl.replace c.profile.edge_counts (src, id) n;
+    (match c.loops with
+    | Some loops when Loops.is_loop_header loops id ->
+      if Loops.is_back_edge loops ~src ~dst:id then
+        incr_tbl c.active_trips id
+      else begin
+        (* fresh entry into the loop: close any previous episode *)
+        flush_trip c id;
+        Hashtbl.replace c.active_trips id 0
+      end
+    | Some _ | None -> ())
+  | None ->
+    (* first block of the run; may itself be a loop header *)
+    match c.loops with
+    | Some loops when Loops.is_loop_header loops id ->
+      Hashtbl.replace c.active_trips id 0
+    | Some _ | None -> ());
+  c.prev <- Some id
+
+(** Close all in-flight trip-count episodes; call at end of run. *)
+let finish c =
+  Hashtbl.iter
+    (fun header n -> record_trip c.profile ~header ~trips:n)
+    c.active_trips;
+  Hashtbl.reset c.active_trips;
+  c.profile
+
+let block_count p id = Option.value ~default:0 (Hashtbl.find_opt p.block_counts id)
+
+let edge_count p ~src ~dst =
+  Option.value ~default:0 (EdgeTbl.find_opt p.edge_counts (src, dst))
+
+(** Probability of taking edge [src -> dst] among all recorded departures
+    from [src]; 0 if [src] was never executed. *)
+let edge_prob p ~src ~dst =
+  let total = block_count p src in
+  if total = 0 then 0.0
+  else float_of_int (edge_count p ~src ~dst) /. float_of_int total
+
+(** Trip-count histogram of the loop headed by [header], sorted by trip
+    count. *)
+let trip_histogram p header =
+  match Hashtbl.find_opt p.trip_histograms header with
+  | None -> []
+  | Some h ->
+    Hashtbl.fold (fun trips occ acc -> (trips, occ) :: acc) h []
+    |> List.sort compare
+
+let average_trip_count p header =
+  match trip_histogram p header with
+  | [] -> None
+  | hist ->
+    let total, weighted =
+      List.fold_left
+        (fun (t, w) (trips, occ) -> (t + occ, w + (trips * occ)))
+        (0, 0) hist
+    in
+    Some (float_of_int weighted /. float_of_int total)
+
+(** Most common trip count, the paper's input to the peeling threshold
+    policy. *)
+let dominant_trip_count p header =
+  match trip_histogram p header with
+  | [] -> None
+  | hist ->
+    let best =
+      List.fold_left
+        (fun best (trips, occ) ->
+          match best with
+          | Some (_, bocc) when bocc >= occ -> best
+          | _ -> Some (trips, occ))
+        None hist
+    in
+    Option.map fst best
+
+(** Fraction of loop entries whose trip count was at least [n]. *)
+let trip_count_at_least p header n =
+  match trip_histogram p header with
+  | [] -> 0.0
+  | hist ->
+    let total, ge =
+      List.fold_left
+        (fun (t, g) (trips, occ) ->
+          (t + occ, if trips >= n then g + occ else g))
+        (0, 0) hist
+    in
+    float_of_int ge /. float_of_int total
+
+(** Translate a profile collected on one CFG onto a renaming of its
+    blocks, used when transformations copy a profiled CFG. *)
+let rename_blocks p f =
+  let q = empty () in
+  Hashtbl.iter (fun id n -> Hashtbl.replace q.block_counts (f id) n) p.block_counts;
+  EdgeTbl.iter
+    (fun (s, d) n -> EdgeTbl.replace q.edge_counts (f s, f d) n)
+    p.edge_counts;
+  Hashtbl.iter
+    (fun h hist -> Hashtbl.replace q.trip_histograms (f h) (Hashtbl.copy hist))
+    p.trip_histograms;
+  q
+
+let pp fmt p =
+  Fmt.pf fmt "@[<v>profile:";
+  Hashtbl.fold (fun id n acc -> (id, n) :: acc) p.block_counts []
+  |> List.sort compare
+  |> List.iter (fun (id, n) -> Fmt.pf fmt "@,b%d: %d" id n);
+  Fmt.pf fmt "@]"

@@ -1,0 +1,1 @@
+lib/regalloc/backend.ml: Cfg Fanout IntMap List Logs Reg_alloc Reverse_if_convert Trips_ir

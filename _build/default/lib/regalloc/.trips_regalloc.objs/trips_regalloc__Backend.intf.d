@@ -1,0 +1,1 @@
+lib/regalloc/backend.mli: Cfg IntMap Trips_ir

@@ -1,0 +1,1 @@
+lib/regalloc/fanout.ml: Array Block Cfg Hashtbl Instr IntSet List Machine Trips_ir

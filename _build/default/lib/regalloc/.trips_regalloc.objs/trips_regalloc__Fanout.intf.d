@@ -1,0 +1,1 @@
+lib/regalloc/fanout.mli: Cfg Trips_ir

@@ -1,0 +1,1 @@
+lib/regalloc/reg_alloc.ml: Array Block Cfg Hashtbl Instr IntMap IntSet List Liveness Machine Option Trips_analysis Trips_ir

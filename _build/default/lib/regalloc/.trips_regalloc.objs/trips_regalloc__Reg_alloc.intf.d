@@ -1,0 +1,1 @@
+lib/regalloc/reg_alloc.mli: Cfg IntMap Trips_ir

@@ -1,0 +1,1 @@
+lib/regalloc/reverse_if_convert.ml: Trips_transform

@@ -1,0 +1,1 @@
+lib/regalloc/reverse_if_convert.mli: Cfg Trips_ir

@@ -1,0 +1,1 @@
+lib/regalloc/tasm.ml: Array Block Cfg Fmt Hashtbl Instr IntSet List Liveness Machine Opcode Option Printf String Trips_analysis Trips_ir

@@ -1,0 +1,1 @@
+lib/regalloc/tasm.mli: Block Cfg Format Trips_analysis Trips_ir

@@ -1,0 +1,49 @@
+(* Back-end driver: register allocation, reverse if-conversion on
+   constraint violations, then fanout insertion — the lower half of the
+   compiler flow in Figure 6 of the paper. *)
+
+open Trips_ir
+
+type report = {
+  mapping : int IntMap.t;  (* original virtual register -> architectural *)
+  cross_block_values : int;
+  splits : int;  (* blocks split by reverse if-conversion *)
+  fanout_movs : int;
+  rounds : int;  (* allocation rounds run *)
+}
+
+(** Run the back end on a formed CFG, in place.  Returns the allocation
+    report; the [mapping] lets callers translate front-end register names
+    (e.g. kernel parameters) to their architectural homes. *)
+let run ?(max_rounds = 8) cfg : report =
+  let splits = ref 0 in
+  let rec allocate mapping round =
+    let result = Reg_alloc.run cfg in
+    (* compose: earlier names may map through this round's renaming *)
+    let mapping =
+      IntMap.map
+        (fun v -> IntMap.find_or ~default:v v result.Reg_alloc.mapping)
+        mapping
+      |> IntMap.union (fun _ a _ -> Some a) result.Reg_alloc.mapping
+    in
+    match Reg_alloc.violations cfg with
+    | [] -> (mapping, result.Reg_alloc.cross_block_values, round)
+    | viols when round < max_rounds ->
+      List.iter
+        (fun (v : Reg_alloc.violation) ->
+          match Reverse_if_convert.split_block cfg v.Reg_alloc.block with
+          | Some _ -> incr splits
+          | None -> ())
+        viols;
+      allocate mapping (round + 1)
+    | viols ->
+      (* give up: report rather than loop; the cycle model still runs *)
+      Logs.warn (fun m ->
+          m "%s: %d bank violations remain after %d allocation rounds"
+            cfg.Cfg.name (List.length viols) round);
+      (mapping, result.Reg_alloc.cross_block_values, round)
+  in
+  let mapping, cross_block_values, rounds = allocate IntMap.empty 1 in
+  let fanout_movs = Fanout.run cfg in
+  Cfg.validate cfg;
+  { mapping; cross_block_values; splits = !splits; fanout_movs; rounds }

@@ -1,0 +1,14 @@
+(** Fanout insertion.
+
+    A TRIPS instruction encodes at most {!Trips_ir.Machine.max_targets}
+    explicit consumers; a value with more consumers needs a tree of mov
+    instructions.  This pass runs after register allocation (paper
+    Figure 6) and rewrites surplus intra-block consumers to read fresh
+    copies arranged as a balanced tree (logarithmic added latency).
+    The inserted movs are unguarded, so every consumer observes exactly
+    the value it would have read from the original register. *)
+
+open Trips_ir
+
+val run : Cfg.t -> int
+(** Insert fanout movs in every block; returns how many were added. *)

@@ -1,0 +1,186 @@
+(* Register allocation for TRIPS.
+
+   Only values live across a block boundary occupy architectural
+   registers — intra-block values travel on the operand network in target
+   form.  The allocator therefore:
+
+   1. computes boundary liveness;
+   2. builds an interference graph whose nodes are the cross-block
+      virtual registers, with an edge when two values are simultaneously
+      live at some block boundary;
+   3. greedily colors nodes (highest degree first) onto the 128
+      architectural registers; picking the lowest free color interleaves
+      values across the four banks since bank = register mod 4;
+   4. rewrites the CFG, renaming colored virtuals to architectural ids
+      (block-local temporaries keep their virtual names);
+   5. reports, per block, any bank read/write budget violations, which
+      the back-end driver repairs by reverse if-conversion.
+
+   With 128 registers and kernel-sized functions true spills are rare
+   (the paper says the same); if coloring ever needs more than 128
+   colors, [Out_of_registers] is raised and the driver splits the
+   worst block and retries. *)
+
+open Trips_ir
+open Trips_analysis
+
+exception Out_of_registers
+
+type result = {
+  mapping : int IntMap.t;  (* virtual -> architectural *)
+  cross_block_values : int;
+}
+
+(* Virtual registers live at any block boundary. *)
+let boundary_values cfg live =
+  List.fold_left
+    (fun acc id ->
+      IntSet.union acc
+        (IntSet.union (Liveness.live_in live id) (Liveness.live_out live id)))
+    IntSet.empty (Cfg.block_ids cfg)
+
+(* Interference: one clique per block over live-in UNION live-out UNION
+   the block's definitions.  The live-in/live-out union (rather than two
+   separate boundary cliques) makes a value defined mid-block conflict
+   with a live-in value that is still read after the definition point;
+   including *all* definitions matters because under the refined
+   predication-aware liveness a guarded definition can be dead (its value
+   provably unobservable) yet it still physically writes its register, so
+   it must not share a home with anything live in the block.  With 128
+   registers the conservatism is harmless.  All boundary-live registers
+   participate, so already-allocated architectural registers (from a
+   previous round, when allocation repeats after reverse if-conversion)
+   act as precolored nodes. *)
+let interference cfg live =
+  let edges : (int, IntSet.t) Hashtbl.t = Hashtbl.create 64 in
+  let add a b =
+    if a <> b then
+      Hashtbl.replace edges a
+        (IntSet.add b (Option.value ~default:IntSet.empty (Hashtbl.find_opt edges a)))
+  in
+  let clique set =
+    IntSet.iter (fun a -> IntSet.iter (fun b -> add a b) set) set
+  in
+  List.iter
+    (fun id ->
+      let b = Cfg.block cfg id in
+      clique
+        (IntSet.union (Block.defs b)
+           (IntSet.union (Liveness.live_in live id) (Liveness.live_out live id))))
+    (Cfg.block_ids cfg);
+  edges
+
+let color values edges =
+  let degree r =
+    IntSet.cardinal
+      (Option.value ~default:IntSet.empty (Hashtbl.find_opt edges r))
+  in
+  let order =
+    List.sort
+      (fun a b ->
+        match compare (degree b) (degree a) with 0 -> compare a b | c -> c)
+      (IntSet.elements values)
+  in
+  let assignment = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let neighbors =
+        Option.value ~default:IntSet.empty (Hashtbl.find_opt edges r)
+      in
+      let taken =
+        IntSet.fold
+          (fun n acc ->
+            if Machine.is_arch n then IntSet.add n acc  (* precolored *)
+            else
+              match Hashtbl.find_opt assignment n with
+              | Some c -> IntSet.add c acc
+              | None -> acc)
+          neighbors IntSet.empty
+      in
+      let rec first_free c =
+        if c >= Machine.num_arch_regs then raise Out_of_registers
+        else if IntSet.mem c taken then first_free (c + 1)
+        else c
+      in
+      Hashtbl.replace assignment r (first_free 0))
+    order;
+  assignment
+
+let rewrite cfg mapping =
+  let rename r = IntMap.find_or ~default:r r mapping in
+  List.iter
+    (fun id ->
+      let b = Cfg.block cfg id in
+      let instrs = List.map (Instr.map_regs rename) b.Block.instrs in
+      let exits =
+        List.map
+          (fun (e : Block.exit_) ->
+            let eguard =
+              Option.map
+                (fun g -> { g with Instr.greg = rename g.Instr.greg })
+                e.Block.eguard
+            in
+            let target =
+              match e.Block.target with
+              | Block.Ret (Some (Instr.Reg r)) ->
+                Block.Ret (Some (Instr.Reg (rename r)))
+              | t -> t
+            in
+            { Block.eguard; target })
+          b.Block.exits
+      in
+      Cfg.set_block cfg { b with Block.instrs; exits })
+    (Cfg.block_ids cfg)
+
+(** Allocate architectural registers; rewrites the CFG in place. *)
+let run cfg : result =
+  let live = Liveness.compute cfg in
+  let values =
+    IntSet.filter
+      (fun r -> not (Machine.is_arch r))
+      (boundary_values cfg live)
+  in
+  let edges = interference cfg live in
+  let assignment = color values edges in
+  let mapping =
+    Hashtbl.fold (fun r c acc -> IntMap.add r c acc) assignment IntMap.empty
+  in
+  rewrite cfg mapping;
+  { mapping; cross_block_values = IntSet.cardinal values }
+
+(* ---- bank-budget checking --------------------------------------------- *)
+
+type violation = { block : int; reads_over : int; writes_over : int }
+
+(* Reads/writes of *architectural* registers per bank for one block. *)
+let bank_pressure cfg live id =
+  let b = Cfg.block cfg id in
+  let arch s = IntSet.filter Machine.is_arch s in
+  let reads =
+    arch (Liveness.block_inputs b ~live_out:(Liveness.live_out live id))
+  in
+  let writes =
+    arch (IntSet.inter (Block.defs b) (Liveness.live_out live id))
+  in
+  let per_bank s =
+    let a = Array.make Machine.num_banks 0 in
+    IntSet.iter (fun r -> a.(Machine.bank_of r) <- a.(Machine.bank_of r) + 1) s;
+    a
+  in
+  (per_bank reads, per_bank writes)
+
+(** Blocks whose per-bank read or write counts exceed the TRIPS budget
+    after allocation. *)
+let violations cfg : violation list =
+  let live = Liveness.compute cfg in
+  List.filter_map
+    (fun id ->
+      let reads, writes = bank_pressure cfg live id in
+      let over a limit =
+        Array.fold_left (fun acc n -> acc + max 0 (n - limit)) 0 a
+      in
+      let r = over reads Machine.max_reads_per_bank in
+      let w = over writes Machine.max_writes_per_bank in
+      if r > 0 || w > 0 then Some { block = id; reads_over = r; writes_over = w }
+      else None)
+    (Cfg.block_ids cfg)

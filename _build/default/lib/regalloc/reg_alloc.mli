@@ -1,0 +1,31 @@
+(** Register allocation for TRIPS.
+
+    Only values live across a block boundary occupy architectural
+    registers — intra-block values travel on the operand network in
+    target form.  Boundary-live virtual registers are colored greedily
+    onto the 128 architectural registers over per-block interference
+    cliques (live-in ∪ live-out ∪ block definitions, so even dead
+    guarded definitions cannot clobber a live neighbor); picking the
+    lowest free color interleaves values across the four banks.
+    Architectural registers from a previous round act as precolored
+    nodes when allocation repeats after reverse if-conversion. *)
+
+open Trips_ir
+
+exception Out_of_registers
+
+type result = {
+  mapping : int IntMap.t;  (** virtual -> architectural *)
+  cross_block_values : int;
+}
+
+val run : Cfg.t -> result
+(** Allocate and rewrite the CFG in place.
+    @raise Out_of_registers if more than 128 values interfere. *)
+
+type violation = { block : int; reads_over : int; writes_over : int }
+
+val violations : Cfg.t -> violation list
+(** Blocks whose per-bank read or write counts exceed the TRIPS budget
+    after allocation; the back-end driver repairs them by reverse
+    if-conversion. *)

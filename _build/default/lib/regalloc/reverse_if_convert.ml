@@ -1,0 +1,11 @@
+(* Reverse if-conversion (block splitting).
+
+   When a block violates a structural constraint after register
+   allocation — typically a bank's read or write budget — the compiler
+   splits it and repeats allocation (paper Section 6).  The mechanics
+   live in Trips_transform.Split; this module is the back end's entry
+   point. *)
+
+(** Split block [id] roughly in half.  Returns the id of the new second
+    block, or [None] if the block is too small to split. *)
+let split_block cfg id = Trips_transform.Split.split_block cfg id

@@ -1,0 +1,14 @@
+(** Reverse if-conversion (block splitting).
+
+    When a block violates a structural constraint after register
+    allocation — typically a bank's read or write budget — the compiler
+    splits it and repeats allocation (paper Section 6).  The first half
+    gets a single unconditional exit to a new block holding the second
+    half and all original exits; values crossing the split become
+    block-boundary values. *)
+
+open Trips_ir
+
+val split_block : Cfg.t -> int -> int option
+(** Split a block roughly in half; returns the new second block's id, or
+    [None] if the block is too small to split. *)

@@ -1,0 +1,131 @@
+(* TRIPS assembly emission.
+
+   Renders post-allocation code in a TASL-like textual form that makes
+   the EDGE execution model explicit: each block opens with its register
+   *read* instructions, closes with its *write* instructions and
+   predicated branches, and every producer names its consumers in target
+   form ("-> I[5].op1") instead of writing a shared register — the
+   block's dataflow graph is literally visible.
+
+   The emitter is a faithful pretty-printer, not an encoder: the goal is
+   letting a TRIPS-literate reader audit block structure (instruction
+   count, read/write/load-store budgets, predicate usage) the way the
+   paper's compiler emitted TRIPS assembly for its scheduler. *)
+
+open Trips_ir
+open Trips_analysis
+
+(* Consumers of each instruction index's definitions: for every operand
+   read, find the producing instruction (last def before the reader);
+   reads with no in-block producer come from a register read. *)
+let dataflow_targets (b : Block.t) =
+  let n = List.length b.Block.instrs in
+  let instrs = Array.of_list b.Block.instrs in
+  let targets = Array.make n [] in
+  (* last def position of each register, scanning forward *)
+  let last_def : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let producer_of = Array.make n [] in
+  Array.iteri
+    (fun k (i : Instr.t) ->
+      let sources =
+        List.filter_map
+          (fun r -> Option.map (fun p -> (r, p)) (Hashtbl.find_opt last_def r))
+          (Instr.uses i)
+      in
+      producer_of.(k) <- sources;
+      List.iter
+        (fun (_, p) -> targets.(p) <- k :: targets.(p))
+        sources;
+      List.iter (fun d -> Hashtbl.replace last_def d k) (Instr.defs i))
+    instrs;
+  (targets, last_def)
+
+let operand_str = function
+  | Instr.Reg r when Machine.is_arch r -> Printf.sprintf "G%d" r
+  | Instr.Reg r -> Printf.sprintf "t%d" r
+  | Instr.Imm n -> Printf.sprintf "#%d" n
+
+let guard_str = function
+  | None -> ""
+  | Some g ->
+    Printf.sprintf "_%c<%s>" (if g.Instr.sense then 't' else 'f')
+      (operand_str (Instr.Reg g.Instr.greg))
+
+let op_mnemonic (i : Instr.t) =
+  match i.Instr.op with
+  | Instr.Binop (op, _, _, _) -> Opcode.binop_to_string op
+  | Instr.Cmp (op, _, _, _) -> Opcode.cmpop_to_string op
+  | Instr.Mov (_, Instr.Imm _) -> "movi"
+  | Instr.Mov (_, _) -> "mov"
+  | Instr.Load _ -> "lw"
+  | Instr.Store _ -> "sw"
+  | Instr.Nullw _ -> "null"
+
+let op_operands (i : Instr.t) =
+  match i.Instr.op with
+  | Instr.Binop (_, d, a, b) | Instr.Cmp (_, d, a, b) ->
+    Printf.sprintf "%s, %s, %s" (operand_str (Instr.Reg d)) (operand_str a)
+      (operand_str b)
+  | Instr.Mov (d, a) ->
+    Printf.sprintf "%s, %s" (operand_str (Instr.Reg d)) (operand_str a)
+  | Instr.Load (d, a, off) ->
+    Printf.sprintf "%s, %d(%s)" (operand_str (Instr.Reg d)) off (operand_str a)
+  | Instr.Store (v, a, off) ->
+    Printf.sprintf "%s, %d(%s)" (operand_str v) off (operand_str a)
+  | Instr.Nullw r -> operand_str (Instr.Reg r)
+
+(** Emit one block. *)
+let emit_block fmt (cfg : Cfg.t) (live : Liveness.t) (b : Block.t) =
+  let live_out = Liveness.live_out live b.Block.id in
+  let inputs =
+    IntSet.filter Machine.is_arch (Liveness.block_inputs b ~live_out)
+  in
+  let outputs =
+    IntSet.filter Machine.is_arch (IntSet.inter (Block.defs b) live_out)
+  in
+  let targets, _ = dataflow_targets b in
+  Fmt.pf fmt ".bbegin %s$b%d@." cfg.Cfg.name b.Block.id;
+  (* register reads *)
+  List.iteri
+    (fun k r -> Fmt.pf fmt "  R[%d]  read  G%d@." k r)
+    (IntSet.elements inputs);
+  (* regular instructions, with explicit dataflow targets *)
+  List.iteri
+    (fun k (i : Instr.t) ->
+      let tgt =
+        match List.sort_uniq compare targets.(k) with
+        | [] -> ""
+        | l ->
+          "  -> "
+          ^ String.concat ", " (List.map (Printf.sprintf "I[%d]") l)
+      in
+      Fmt.pf fmt "  I[%d]  %s%s  %s%s@." k (op_mnemonic i) (guard_str i.Instr.guard)
+        (op_operands i) tgt)
+    b.Block.instrs;
+  (* register writes (block outputs) *)
+  List.iteri
+    (fun k r -> Fmt.pf fmt "  W[%d]  write G%d@." k r)
+    (IntSet.elements outputs);
+  (* predicated branches *)
+  List.iteri
+    (fun k (e : Block.exit_) ->
+      let dest =
+        match e.Block.target with
+        | Block.Goto d -> Printf.sprintf "%s$b%d" cfg.Cfg.name d
+        | Block.Ret _ -> "$ret"
+      in
+      Fmt.pf fmt "  B[%d]  bro%s  %s@." k (guard_str e.Block.eguard) dest)
+    b.Block.exits;
+  Fmt.pf fmt ".bend  ; %d instrs, %d reads, %d writes, %d load/store@.@."
+    (Block.size b) (IntSet.cardinal inputs) (IntSet.cardinal outputs)
+    (Block.num_load_store b)
+
+(** Emit the whole function in TASL-like form. *)
+let emit fmt (cfg : Cfg.t) =
+  let live = Liveness.compute cfg in
+  Fmt.pf fmt ";;; TRIPS assembly for %s (%d blocks)@.@." cfg.Cfg.name
+    (Cfg.num_blocks cfg);
+  Cfg.iter_blocks (fun b -> emit_block fmt cfg live b) cfg
+
+(** Emit to a string. *)
+let to_string cfg = Fmt.str "%a" emit cfg

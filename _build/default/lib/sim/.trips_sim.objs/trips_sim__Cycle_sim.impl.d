@@ -1,0 +1,1 @@
+lib/sim/cycle_sim.ml: Array Block Cache Fmt Func_sim Hashtbl Instr Latency List Machine Option Predictor Trips_ir

@@ -1,0 +1,1 @@
+lib/sim/cycle_sim.mli: Cfg Trips_ir

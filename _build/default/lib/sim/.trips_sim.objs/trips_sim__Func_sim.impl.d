@@ -1,0 +1,1 @@
+lib/sim/func_sim.ml: Array Block Cfg Fmt Hashtbl Instr List Opcode Option Trips_ir Trips_profile

@@ -1,0 +1,1 @@
+lib/sim/func_sim.mli: Block Cfg Instr Trips_analysis Trips_ir Trips_profile

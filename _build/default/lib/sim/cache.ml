@@ -1,0 +1,30 @@
+(* Direct-mapped L1 data cache model (word-addressed).
+
+   Only hit/miss classification matters to the timing model; data always
+   comes from the functional memory.  Deterministic. *)
+
+type t = {
+  tags : int array;  (* -1 = invalid *)
+  line_words : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ?(size_words = 2048) ?(line_words = 8) () =
+  { tags = Array.make (size_words / line_words) (-1); line_words; accesses = 0; misses = 0 }
+
+(** Access [addr]; returns [true] on hit and updates the cache. *)
+let access t ~addr =
+  t.accesses <- t.accesses + 1;
+  let line = addr / t.line_words in
+  let set = line mod Array.length t.tags in
+  if t.tags.(set) = line then true
+  else begin
+    t.misses <- t.misses + 1;
+    t.tags.(set) <- line;
+    false
+  end
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.misses /. float_of_int t.accesses

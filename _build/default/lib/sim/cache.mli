@@ -1,0 +1,13 @@
+(** Direct-mapped L1 data cache model (word-addressed).
+
+    Only hit/miss classification matters to the timing model; data always
+    comes from the functional memory.  Deterministic. *)
+
+type t
+
+val create : ?size_words:int -> ?line_words:int -> unit -> t
+
+val access : t -> addr:int -> bool
+(** [true] on hit; updates the cache. *)
+
+val miss_rate : t -> float

@@ -1,0 +1,296 @@
+(* Trace-driven TRIPS cycle-level timing model.
+
+   The functional simulator supplies, per dynamic block instance, which
+   instructions fired, the memory addresses they touched and the exit that
+   fired; this module converts that trace into cycles online (no trace is
+   stored).  The model charges the costs the paper's analysis rests on:
+
+   - per-block *mapping overhead*: a fixed dispatch cost plus fetch
+     bandwidth, amortized better by fuller blocks (the [overhead] term of
+     the Section 7.3 cost equation);
+   - *dataflow issue*: an instruction becomes ready when its operands —
+     including its predicate — are produced, plus an operand-network hop;
+     issue contends for the 16-wide execution resources;
+   - *dataflow predication*: nullified (guard-false) instructions never
+     issue; guarded instructions wait for their guard, which is exactly
+     why tail-duplicating an induction-variable update serializes an
+     otherwise parallel loop (the bzip2_3 effect);
+   - *speculative next-block fetch*: up to 8 blocks in flight, in-order
+     commit, and a flush penalty paid from branch-resolution time on a
+     next-block misprediction;
+   - *block commit*: a block commits once all its outputs (register
+     writes, stores, the branch) are produced — a short untaken path
+     never waits for a long one, the key EDGE/VLIW contrast of Section 5;
+   - a small direct-mapped L1 with per-access hit/miss latency.
+
+   Cross-block dependences flow through [reg_ready]: a consumer of a
+   register written by an earlier block waits for the producing write,
+   which keeps loop-carried dependence chains serial no matter how many
+   blocks are in flight. *)
+
+open Trips_ir
+
+type timing = {
+  fetch_bandwidth : int;  (* instructions mapped per cycle *)
+  block_overhead : int;  (* fixed per-block dispatch/map cost *)
+  issue_width : int;
+  operand_hop : int;  (* operand-network latency per grid hop *)
+  spatial_grid : int;
+      (* side of the ALU grid for the *unoptimized-placement* mode:
+         instructions are placed round-robin and producer->consumer
+         latency is operand_hop * Manhattan distance.  0 (the default)
+         charges a flat operand_hop per edge, which approximates a
+         well-optimized SPDI placement; the grid mode exists to quantify
+         what placement quality is worth. *)
+  reg_read_latency : int;  (* block input availability after dispatch *)
+  miss_penalty : int;  (* added to a load's latency on L1 miss *)
+  flush_penalty : int;  (* misprediction redirect cost *)
+  commit_overhead : int;
+  window_blocks : int;
+  cache_size_words : int;
+  cache_line_words : int;
+}
+
+let default_timing =
+  {
+    fetch_bandwidth = Machine.issue_width;
+    block_overhead = 6;
+    issue_width = Machine.issue_width;
+    operand_hop = 1;
+    spatial_grid = 0;
+    reg_read_latency = 2;
+    miss_penalty = 12;
+    flush_penalty = 12;
+    commit_overhead = 2;
+    window_blocks = Machine.max_blocks_in_flight;
+    cache_size_words = 2048;
+    cache_line_words = 8;
+  }
+
+type result = {
+  cycles : int;
+  blocks : int;
+  instrs_fired : int;
+  instrs_fetched : int;
+  mispredictions : int;
+  predictor_accuracy : float;
+  cache_miss_rate : float;
+  ret : int option;
+  checksum : int;
+}
+
+(* Mutable per-run machine state. *)
+type machine = {
+  t : timing;
+  trace : int ref;  (* block instances still to trace to stderr *)
+  predictor : Predictor.t;
+  cache : Cache.t;
+  reg_ready : (int, int) Hashtbl.t;  (* register -> producer completion *)
+  issue_load : (int, int) Hashtbl.t;  (* cycle -> instructions issued *)
+  mutable prev_dispatch_end : int;
+  mutable last_commit : int;
+  commit_ring : int array;  (* commit times of the last [window] blocks *)
+  mutable block_index : int;
+  mutable redirect_at : int;  (* earliest next fetch after a misprediction *)
+  mutable mispredictions : int;
+  mutable instrs_fired : int;
+  mutable instrs_fetched : int;
+  (* current block instance being accumulated *)
+  mutable cur_block : int;
+  mutable cur_events : (Instr.t * bool * int option) list;  (* reversed *)
+  mutable cur_exit : Block.exit_ option;
+  mutable started : bool;
+}
+
+let make_machine ?(trace = 0) t =
+  {
+    t;
+    trace = ref trace;
+    predictor = Predictor.create ();
+    cache = Cache.create ~size_words:t.cache_size_words ~line_words:t.cache_line_words ();
+    reg_ready = Hashtbl.create 256;
+    issue_load = Hashtbl.create 4096;
+    prev_dispatch_end = 0;
+    last_commit = 0;
+    commit_ring = Array.make t.window_blocks 0;
+    block_index = 0;
+    redirect_at = 0;
+    mispredictions = 0;
+    instrs_fired = 0;
+    instrs_fetched = 0;
+    cur_block = -1;
+    cur_events = [];
+    cur_exit = None;
+    started = false;
+  }
+
+(* Greedy issue-slot search from [ready]. *)
+let issue_at m ~ready =
+  let rec find c =
+    let used = Option.value ~default:0 (Hashtbl.find_opt m.issue_load c) in
+    if used < m.t.issue_width then begin
+      Hashtbl.replace m.issue_load c (used + 1);
+      c
+    end
+    else find (c + 1)
+  in
+  find ready
+
+(* Retire the accumulated block instance: compute its dispatch, issue and
+   commit times, update predictor/window bookkeeping.  [next] is the id of
+   the actually-following block, or None at program end. *)
+let retire m ~next =
+  if m.started then begin
+    let t = m.t in
+    let events = List.rev m.cur_events in
+    let n_instrs = List.length events in
+    m.instrs_fetched <- m.instrs_fetched + n_instrs;
+    (* window: the (window-1)-blocks-ago commit gates dispatch *)
+    let slot = m.block_index mod t.window_blocks in
+    let window_gate = m.commit_ring.(slot) in
+    let dispatch_start =
+      max (max m.prev_dispatch_end m.redirect_at) window_gate
+    in
+    let dispatch_end =
+      dispatch_start + t.block_overhead
+      + ((n_instrs + t.fetch_bandwidth - 1) / t.fetch_bandwidth)
+    in
+    (* dataflow issue.  Instructions are placed round-robin across the
+       ALU grid in fetch order (the static-placement half of SPDI);
+       operand latency between two instructions is the Manhattan distance
+       between their ALUs, so dependence chains mapped far apart pay for
+       the operand network, as on the real array. *)
+    let grid = max 0 t.spatial_grid in
+    let slot_of idx =
+      if grid = 0 then (0, 0)
+      else
+        let cell = idx mod (grid * grid) in
+        (cell mod grid, cell / grid)
+    in
+    let hop_between a b =
+      if grid = 0 then t.operand_hop
+      else
+        let ax, ay = slot_of a and bx, by = slot_of b in
+        let manhattan = abs (ax - bx) + abs (ay - by) in
+        t.operand_hop * max 1 manhattan
+    in
+    let local_done : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+    (* register -> (completion, producer slot index) *)
+    let input_ready ~consumer_idx r =
+      match Hashtbl.find_opt local_done r with
+      | Some (c, producer_idx) -> c + hop_between producer_idx consumer_idx
+      | None ->
+        let produced =
+          Option.value ~default:0 (Hashtbl.find_opt m.reg_ready r)
+        in
+        max (dispatch_end + t.reg_read_latency) (produced + t.operand_hop)
+    in
+    let block_done = ref dispatch_end in
+    List.iteri
+      (fun idx ((i : Instr.t), fired, addr) ->
+        if fired then begin
+          m.instrs_fired <- m.instrs_fired + 1;
+          let ready =
+            List.fold_left
+              (fun acc r -> max acc (input_ready ~consumer_idx:idx r))
+              dispatch_end (Instr.uses i)
+          in
+          let issue = issue_at m ~ready in
+          let latency =
+            Latency.of_op i.Instr.op
+            +
+            match (i.Instr.op, addr) with
+            | Instr.Load _, Some a ->
+              if Cache.access m.cache ~addr:a then 0 else t.miss_penalty
+            | Instr.Store _, Some a ->
+              ignore (Cache.access m.cache ~addr:a);
+              0
+            | _ -> 0
+          in
+          let done_ = issue + latency in
+          List.iter
+            (fun d -> Hashtbl.replace local_done d (done_, idx))
+            (Instr.defs i);
+          if done_ > !block_done then block_done := done_
+        end)
+      events;
+    (* branch resolution: the firing exit's guard producer (branches sit
+       at the end of the mapped block) *)
+    let branch_time =
+      match m.cur_exit with
+      | Some { Block.eguard = Some g; _ } ->
+        input_ready ~consumer_idx:n_instrs g.Instr.greg
+      | Some { Block.eguard = None; _ } | None -> dispatch_end
+    in
+    let commit =
+      max (max !block_done branch_time) m.last_commit + t.commit_overhead
+    in
+    (* export register writes for later blocks *)
+    List.iter
+      (fun ((i : Instr.t), fired, _) ->
+        if fired then
+          List.iter
+            (fun d ->
+              Hashtbl.replace m.reg_ready d
+                (match Hashtbl.find_opt local_done d with
+                | Some (c, _) -> c
+                | None -> commit))
+            (Instr.defs i))
+      events;
+    if !(m.trace) > 0 then begin
+      decr m.trace;
+      Fmt.epr
+        "[trace] b%d n=%d dispatch=%d..%d done=%d branch=%d commit=%d@."
+        m.cur_block n_instrs dispatch_start dispatch_end !block_done
+        branch_time commit
+    end;
+    m.commit_ring.(slot) <- commit;
+    m.last_commit <- commit;
+    m.prev_dispatch_end <- dispatch_end;
+    m.block_index <- m.block_index + 1;
+    (* next-block prediction *)
+    (match next with
+    | Some actual ->
+      let predicted = Predictor.predict m.predictor ~block:m.cur_block in
+      let correct = Predictor.update m.predictor ~block:m.cur_block ~actual in
+      let was_hit = correct && predicted = Some actual in
+      if not was_hit then begin
+        m.mispredictions <- m.mispredictions + 1;
+        m.redirect_at <- branch_time + t.flush_penalty
+      end
+    | None -> ())
+  end
+
+(** Run [cfg] under the timing model.  Functionally identical to
+    [Func_sim.run]; additionally reports cycles and microarchitectural
+    statistics. *)
+let run ?(timing = default_timing) ?(trace = 0) ?fuel ?strict_exits
+    ?registers ~memory cfg : result =
+  let m = make_machine ~trace timing in
+  let hooks =
+    {
+      Func_sim.on_block =
+        (fun id ->
+          retire m ~next:(Some id);
+          m.started <- true;
+          m.cur_block <- id;
+          m.cur_events <- [];
+          m.cur_exit <- None);
+      on_instr =
+        (fun i ~fired ~addr -> m.cur_events <- (i, fired, addr) :: m.cur_events);
+      on_exit = (fun e -> m.cur_exit <- Some e);
+    }
+  in
+  let fr = Func_sim.run ?fuel ?strict_exits ~hooks ?registers ~memory cfg in
+  retire m ~next:None;
+  {
+    cycles = m.last_commit;
+    blocks = fr.Func_sim.blocks_executed;
+    instrs_fired = m.instrs_fired;
+    instrs_fetched = m.instrs_fetched;
+    mispredictions = m.mispredictions;
+    predictor_accuracy = Predictor.accuracy m.predictor;
+    cache_miss_rate = Cache.miss_rate m.cache;
+    ret = fr.Func_sim.ret;
+    checksum = fr.Func_sim.checksum;
+  }

@@ -1,0 +1,163 @@
+(* Functional (architectural) simulator.
+
+   Interprets a CFG over an integer register file and a word-addressed
+   memory.  It executes basic blocks and predicated hyperblocks uniformly:
+   instructions run in program order, an instruction fires only when its
+   guard holds, and the block's exit is the unique exit whose guard holds.
+   Strict mode asserts that uniqueness, which is the central dataflow
+   invariant every transformation must preserve.
+
+   Semantics are total: memory addresses are wrapped into the memory size,
+   division by zero yields zero, so speculative code can never fault —
+   mirroring how an EDGE machine squashes mis-speculated work.
+
+   The simulator reports block and instruction counts (the paper's
+   Table 3 metric) and exposes per-step hooks used by the profiler and by
+   the cycle-level timing model. *)
+
+open Trips_ir
+
+exception Out_of_fuel of string
+exception Exit_invariant_violated of string
+
+type hooks = {
+  on_block : int -> unit;  (* dynamic block instance begins *)
+  on_instr : Instr.t -> fired:bool -> addr:int option -> unit;
+      (* per instruction in program order; [addr] for memory operations *)
+  on_exit : Block.exit_ -> unit;  (* the exit that fired *)
+}
+
+let no_hooks =
+  {
+    on_block = (fun _ -> ());
+    on_instr = (fun _ ~fired:_ ~addr:_ -> ());
+    on_exit = (fun _ -> ());
+  }
+
+type result = {
+  ret : int option;  (* value returned by the final Ret, if any *)
+  blocks_executed : int;
+  instrs_executed : int;  (* instructions whose guard held *)
+  instrs_fetched : int;  (* all instructions of executed blocks *)
+  checksum : int;  (* digest of return value and final memory *)
+}
+
+type state = {
+  regs : (int, int) Hashtbl.t;
+  memory : int array;
+  mutable fuel : int;
+}
+
+let read_reg st r = Option.value ~default:0 (Hashtbl.find_opt st.regs r)
+let write_reg st r v = Hashtbl.replace st.regs r v
+
+let operand_value st = function
+  | Instr.Reg r -> read_reg st r
+  | Instr.Imm n -> n
+
+let guard_holds st = function
+  | None -> true
+  | Some g -> read_reg st g.Instr.greg <> 0 = g.Instr.sense
+
+let wrap_addr st a =
+  let n = Array.length st.memory in
+  if n = 0 then 0 else ((a mod n) + n) mod n
+
+(* Execute one instruction; returns the memory address touched, if any. *)
+let exec_instr st i =
+  match i.Instr.op with
+  | Instr.Binop (op, d, a, b) ->
+    write_reg st d (Opcode.eval_binop op (operand_value st a) (operand_value st b));
+    None
+  | Instr.Cmp (op, d, a, b) ->
+    write_reg st d (Opcode.eval_cmp op (operand_value st a) (operand_value st b));
+    None
+  | Instr.Mov (d, a) ->
+    write_reg st d (operand_value st a);
+    None
+  | Instr.Load (d, a, off) ->
+    let addr = wrap_addr st (operand_value st a + off) in
+    write_reg st d st.memory.(addr);
+    Some addr
+  | Instr.Store (v, a, off) ->
+    let addr = wrap_addr st (operand_value st a + off) in
+    st.memory.(addr) <- operand_value st v;
+    Some addr
+  | Instr.Nullw _ -> None
+
+let memory_checksum memory =
+  Array.fold_left (fun acc v -> (acc * 31) + v) 5381 memory
+
+(** Run [cfg] to completion (first firing [Ret] exit).
+
+    @param fuel maximum dynamic instructions before raising [Out_of_fuel].
+    @param strict_exits check that exactly one exit guard holds per block.
+    @param registers initial register values (e.g. kernel parameters).
+    @param memory the data memory, mutated in place. *)
+let run ?(fuel = 50_000_000) ?(strict_exits = true) ?(hooks = no_hooks)
+    ?(registers = []) ~memory cfg =
+  let st = { regs = Hashtbl.create 256; memory; fuel } in
+  List.iter (fun (r, v) -> write_reg st r v) registers;
+  let blocks_executed = ref 0 in
+  let instrs_executed = ref 0 in
+  let instrs_fetched = ref 0 in
+  let rec step id =
+    let b = Cfg.block cfg id in
+    incr blocks_executed;
+    hooks.on_block id;
+    List.iter
+      (fun i ->
+        st.fuel <- st.fuel - 1;
+        if st.fuel <= 0 then
+          raise (Out_of_fuel (Fmt.str "%s: fuel exhausted in b%d" cfg.Cfg.name id));
+        incr instrs_fetched;
+        let fired = guard_holds st i.Instr.guard in
+        let addr = if fired then exec_instr st i else None in
+        if fired then incr instrs_executed;
+        hooks.on_instr i ~fired ~addr)
+      b.Block.instrs;
+    let holding =
+      List.filter (fun e -> guard_holds st e.Block.eguard) b.Block.exits
+    in
+    (match holding with
+    | [] ->
+      raise
+        (Exit_invariant_violated
+           (Fmt.str "%s: no exit guard holds in b%d" cfg.Cfg.name id))
+    | _ :: _ :: _ when strict_exits ->
+      raise
+        (Exit_invariant_violated
+           (Fmt.str "%s: %d exit guards hold in b%d" cfg.Cfg.name
+              (List.length holding) id))
+    | _ -> ());
+    let e = List.hd holding in
+    hooks.on_exit e;
+    match e.Block.target with
+    | Block.Goto next -> step next
+    | Block.Ret v -> Option.map (operand_value st) v
+  in
+  let ret = step cfg.Cfg.entry in
+  let checksum =
+    (memory_checksum memory * 31) + Option.value ~default:(-1) ret
+  in
+  {
+    ret;
+    blocks_executed = !blocks_executed;
+    instrs_executed = !instrs_executed;
+    instrs_fetched = !instrs_fetched;
+    checksum;
+  }
+
+(** Run while collecting an edge/block/trip-count profile; returns the
+    result and the profile.  Loop information, when provided, enables
+    trip-count histograms. *)
+let run_profiled ?fuel ?strict_exits ?registers ?loops ~memory cfg =
+  let collector = Trips_profile.Profile.collector ?loops () in
+  let hooks =
+    {
+      no_hooks with
+      on_block = (fun id -> Trips_profile.Profile.record_block collector id);
+    }
+  in
+  let result = run ?fuel ?strict_exits ~hooks ?registers ~memory cfg in
+  (result, Trips_profile.Profile.finish collector)

@@ -1,0 +1,22 @@
+(** Next-block predictor.
+
+    TRIPS fetches speculatively along a predicted block sequence; a wrong
+    prediction flushes the speculative blocks.  A two-level predictor
+    indexed by the current block and a short history of recent successor
+    choices, with per-entry hysteresis (the stored target only changes
+    after two consecutive misses), keeps loop-exit behaviour realistic.
+    Deterministic. *)
+
+type t
+
+val create : ?history_bits:int -> unit -> t
+(** [history_bits = 0] gives a direct-mapped, history-free table. *)
+
+val predict : t -> block:int -> int option
+(** [None] when no information exists yet. *)
+
+val update : t -> block:int -> actual:int -> bool
+(** Record the actual successor; returns whether the prediction was
+    correct. *)
+
+val accuracy : t -> float

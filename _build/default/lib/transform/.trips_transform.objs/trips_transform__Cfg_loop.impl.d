@@ -1,0 +1,1 @@
+lib/transform/cfg_loop.ml: Block Cfg Duplicate IntMap IntSet List Loops Trips_analysis Trips_ir

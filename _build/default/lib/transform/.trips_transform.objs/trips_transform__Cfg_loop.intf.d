@@ -1,0 +1,1 @@
+lib/transform/cfg_loop.mli: Cfg Loops Trips_analysis Trips_ir

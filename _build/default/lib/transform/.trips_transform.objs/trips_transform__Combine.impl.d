@@ -1,0 +1,1 @@
+lib/transform/combine.ml: Block Cfg Fmt Hashtbl Instr IntMap IntSet List Opcode Option Trips_ir

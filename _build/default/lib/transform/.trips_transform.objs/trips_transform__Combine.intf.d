@@ -1,0 +1,1 @@
+lib/transform/combine.mli: Block Cfg Trips_ir

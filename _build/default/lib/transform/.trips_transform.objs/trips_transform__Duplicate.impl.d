@@ -1,0 +1,1 @@
+lib/transform/duplicate.ml: Block Cfg List Trips_ir

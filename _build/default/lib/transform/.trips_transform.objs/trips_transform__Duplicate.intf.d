@@ -1,0 +1,1 @@
+lib/transform/duplicate.mli: Block Cfg Trips_ir

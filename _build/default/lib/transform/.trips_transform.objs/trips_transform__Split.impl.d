@@ -1,0 +1,1 @@
+lib/transform/split.ml: Block Cfg List Trips_ir

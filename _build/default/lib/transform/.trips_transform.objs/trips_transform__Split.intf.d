@@ -1,0 +1,1 @@
+lib/transform/split.mli: Cfg Trips_ir

@@ -1,0 +1,93 @@
+(* Discrete-phase, CFG-level loop unrolling and peeling.
+
+   These are the classical transformations a fixed phase ordering (the
+   paper's UPIO and IUPO configurations) applies as a separate pass: the
+   whole natural-loop body is replicated block-by-block, with every
+   iteration keeping its own exit test (while-loop unrolling cannot remove
+   intermediate tests).  No predication is involved — side entrances never
+   arise because copies are chained through their headers.
+
+   Contrast with head duplication (lib/core), which performs the same
+   peeling and unrolling *incrementally inside* hyperblock formation. *)
+
+open Trips_ir
+open Trips_analysis
+
+(* Copy every block of [body], returning the id map.  Exits are rewired
+   inside the copy: targets within the body map to their copies, except
+   back edges to the header, which [next_header] overrides (the next
+   iteration's header, or the original header for the last copy). *)
+let copy_body cfg (l : Loops.loop) ~next_header =
+  let mapping =
+    IntSet.fold
+      (fun id acc ->
+        let b = Cfg.block cfg id in
+        let copy = Duplicate.copy_block cfg b in
+        IntMap.add id copy.Block.id acc)
+      l.Loops.body IntMap.empty
+  in
+  let rewire t =
+    if t = l.Loops.header then next_header
+    else IntMap.find_or ~default:t t mapping
+  in
+  IntMap.iter
+    (fun _ copy_id ->
+      let b = Cfg.block cfg copy_id in
+      Cfg.set_block cfg (Block.map_targets rewire b))
+    mapping;
+  mapping
+
+(* In-body back edges to the header; [body] contains only such sources. *)
+let redirect_back_edges cfg (l : Loops.loop) ~to_ =
+  IntSet.iter
+    (fun latch ->
+      let b = Cfg.block cfg latch in
+      Cfg.set_block cfg
+        (Duplicate.redirect_exits b ~from_:l.Loops.header ~to_))
+    l.Loops.latches
+
+(** Unroll the loop so its body appears [factor] times per back-edge trip.
+    [factor <= 1] is the identity.  Each replica keeps its exit test, so
+    any trip count remains correct.  Returns the number of blocks added. *)
+let unroll cfg (l : Loops.loop) ~factor =
+  if factor <= 1 then 0
+  else begin
+    (* Build copies last-to-first so each knows its successor's header. *)
+    let rec build j next_header acc =
+      if j = 0 then acc
+      else
+        let mapping = copy_body cfg l ~next_header in
+        build (j - 1) (IntMap.find l.Loops.header mapping) (mapping :: acc)
+    in
+    let mappings = build (factor - 1) l.Loops.header [] in
+    (match mappings with
+    | first :: _ ->
+      redirect_back_edges cfg l ~to_:(IntMap.find l.Loops.header first)
+    | [] -> ());
+    (factor - 1) * IntSet.cardinal l.Loops.body
+  end
+
+(** Peel [count] iterations: the loop entry now runs [count] copies of the
+    body (each with its own exit test) before reaching the original loop.
+    Returns the number of blocks added. *)
+let peel cfg (l : Loops.loop) ~count =
+  if count <= 0 then 0
+  else begin
+    (* Entry edges: predecessors of the header outside the body. *)
+    let preds = Cfg.predecessors cfg l.Loops.header in
+    let outside = List.filter (fun p -> not (IntSet.mem p l.Loops.body)) preds in
+    let rec build j next_header acc =
+      if j = 0 then acc
+      else
+        let mapping = copy_body cfg l ~next_header in
+        build (j - 1) (IntMap.find l.Loops.header mapping) (mapping :: acc)
+    in
+    let mappings = build count l.Loops.header [] in
+    (match mappings with
+    | first :: _ ->
+      let first_header = IntMap.find l.Loops.header first in
+      Duplicate.redirect_all cfg outside ~from_:l.Loops.header ~to_:first_header;
+      if cfg.Cfg.entry = l.Loops.header then cfg.Cfg.entry <- first_header
+    | [] -> ());
+    count * IntSet.cardinal l.Loops.body
+  end

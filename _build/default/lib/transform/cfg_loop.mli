@@ -1,0 +1,20 @@
+(** Discrete-phase, CFG-level loop unrolling and peeling.
+
+    The classical transformations a fixed phase ordering (the paper's
+    UPIO configuration) applies as separate passes: the whole
+    natural-loop body is replicated block-by-block with every iteration
+    keeping its own exit test; no predication is involved.  Contrast with
+    head duplication (lib/core), which performs peeling and unrolling
+    incrementally inside hyperblock formation. *)
+
+open Trips_ir
+open Trips_analysis
+
+val unroll : Cfg.t -> Loops.loop -> factor:int -> int
+(** Replicate the body so it appears [factor] times per back-edge trip
+    ([factor <= 1] is the identity).  Any trip count remains correct.
+    Returns the number of blocks added. *)
+
+val peel : Cfg.t -> Loops.loop -> count:int -> int
+(** Run [count] copies of the body (each with its own exit test) before
+    entering the original loop.  Returns the number of blocks added. *)

@@ -1,0 +1,35 @@
+(** The merge primitive: if-convert block S into hyperblock HB.
+
+    All three duplication flavors of the paper reduce to this single
+    operation applied to a copy of S whose exits still name the original
+    targets:
+
+    - unique predecessor: merge S itself, then delete S;
+    - tail duplication / head-duplication peeling: merge a fresh copy
+      (a copied self-loop exit points at the original — Figure 3);
+    - head-duplication unrolling: [s_label] is HB's own id and S is a
+      copy of the saved one-iteration loop body (Figure 4).
+
+    The merge computes the entry predicate from HB's exits that target
+    [s_label] (OR-ing several, negations via [xor 1] on the 0/1 branch
+    guards), conjoins it with S's instruction and exit guards (emitting
+    the conjunction instructions that are the paper's "additional
+    predication" cost of duplication), snapshots any register a kept exit
+    reads that S redefines — including the entry-predicate register
+    itself — and preserves the exactly-one-exit invariant. *)
+
+open Trips_ir
+
+exception Cannot_combine of string
+(** Raised when HB has no exit to [s_label], or mixes an unguarded exit
+    to it with other exits (whose guards would then be dead). *)
+
+type stats = { combine_instrs : int }
+(** Helper instructions (negations, disjunctions, conjunctions,
+    snapshots) the merge added. *)
+
+val combine :
+  Cfg.t -> hb:Block.t -> s:Block.t -> s_label:int -> Block.t * stats
+(** Returns the merged block (HB's id) without installing it; callers
+    commit or abandon it.  [s]'s instruction ids must already be fresh if
+    [s] is a duplicate. *)

@@ -1,0 +1,10 @@
+(** Block splitting (shared by reverse if-conversion and the optional
+    block-splitting extension of hyperblock formation, paper Section 9).
+    The first half ends in an unconditional jump to the new second block,
+    which keeps all original exits; program order is preserved. *)
+
+open Trips_ir
+
+val split_block : ?at:int -> Cfg.t -> int -> int option
+(** Split at instruction index [at] (default: the middle).  [None] when
+    either side would be empty. *)

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Array Ast List Rng Trips_lang Workload

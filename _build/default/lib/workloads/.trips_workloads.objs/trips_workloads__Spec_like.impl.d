@@ -1,0 +1,1 @@
+lib/workloads/spec_like.ml: Ast List Printf Rng Trips_ir Trips_lang Workload

@@ -1,0 +1,23 @@
+(* Deterministic linear-congruential generator for workload data and for
+   the SPEC-like program generator.  No dependence on [Random] so runs
+   are reproducible across OCaml versions. *)
+
+type t = { mutable state : int }
+
+let create seed = { state = (seed lxor 0x9e3779b9) land 0x3fffffff }
+
+let next t =
+  t.state <- ((t.state * 1103515245) + 12345) land 0x3fffffff;
+  t.state
+
+(** Uniform in [0, bound). *)
+let int t bound = if bound <= 0 then 0 else next t mod bound
+
+(** Bernoulli with probability [p]. *)
+let flip t p = float_of_int (int t 10000) /. 10000.0 < p
+
+let pick t l = List.nth l (int t (List.length l))
+
+(** Fill an array with small pseudo-random values. *)
+let fill ?(bound = 256) t a =
+  Array.iteri (fun i _ -> a.(i) <- int t bound) a

@@ -1,0 +1,19 @@
+(** Deterministic linear-congruential generator for workload data and the
+    SPEC-like program generator.  No dependence on [Random], so runs are
+    reproducible across OCaml versions. *)
+
+type t
+
+val create : int -> t
+val next : t -> int
+
+val int : t -> int -> int
+(** Uniform in [0, bound). *)
+
+val flip : t -> float -> bool
+(** Bernoulli with the given probability. *)
+
+val pick : t -> 'a list -> 'a
+
+val fill : ?bound:int -> t -> int array -> unit
+(** Fill an array with small pseudo-random values. *)

@@ -1,0 +1,201 @@
+(* Synthetic whole-program workloads standing in for the 19 SPEC2000
+   benchmarks of Table 3.
+
+   Table 3 measures executed-*block* counts under a fast functional
+   simulator, so what matters is each benchmark's control-flow texture:
+   loop-nest shape, trip-count distribution, branch density and bias, and
+   code-size mix.  Each recipe encodes those per benchmark (rough
+   characterizations from the SPEC suite: mgrid/swim are regular
+   loop-dominated FP codes with long trips; gap/crafty/parser are
+   branchy integer codes with short trips; etc.), and a seeded generator
+   expands a recipe into a deterministic mini-language program. *)
+
+open Trips_lang
+
+type recipe = {
+  name : string;
+  seed : int;
+  outer_iters : int;  (* iterations of the top-level loop *)
+  segments : int;  (* independent statement regions in the main loop *)
+  branch_density : float;  (* probability a segment is a conditional *)
+  branch_bias : float;  (* how lopsided conditionals are (0.5 = even) *)
+  while_fraction : float;  (* inner loops that are while (vs for) *)
+  trip_choices : int list;  (* inner-loop trip counts *)
+  nest_prob : float;  (* probability an inner loop nests another level *)
+  stmts_per_block : int;  (* straight-line statements per region *)
+}
+
+(* ---- program generation ------------------------------------------------ *)
+
+(* Distinct scratch variables keep segments mostly independent, which
+   gives the optimizer realistic room without collapsing everything. *)
+let var k = Printf.sprintf "t%d" (k mod 8)
+
+let gen_expr rng depth k =
+  let rec go depth =
+    if depth = 0 then
+      match Rng.int rng 3 with
+      | 0 -> Ast.Int (Rng.int rng 64)
+      | 1 -> Ast.Var (var (k + Rng.int rng 3))
+      | _ -> Ast.Load (Ast.Binop (Trips_ir.Opcode.Rem, Ast.Var (var k), Ast.Int 2048))
+    else
+      let op =
+        Rng.pick rng
+          [ Trips_ir.Opcode.Add; Trips_ir.Opcode.Sub; Trips_ir.Opcode.Mul; Trips_ir.Opcode.And; Trips_ir.Opcode.Xor ]
+      in
+      Ast.Binop (op, go (depth - 1), go (depth - 1))
+  in
+  go depth
+
+let gen_straight_line rng r k =
+  List.init r.stmts_per_block (fun j ->
+      if Rng.flip rng 0.25 then
+        Ast.Store
+          ( Ast.Binop (Trips_ir.Opcode.Rem, Ast.Binop (Trips_ir.Opcode.Add, Ast.Var (var k), Ast.Int (Rng.int rng 512)), Ast.Int 2048),
+            gen_expr rng 1 (k + j) )
+      else Ast.Assign (var (k + j), gen_expr rng (1 + Rng.int rng 2) (k + j)))
+
+let rec gen_segment rng r k ~depth =
+  if Rng.flip rng r.branch_density then begin
+    (* conditional segment; bias controls predictability *)
+    let threshold = int_of_float (r.branch_bias *. 256.0) in
+    let cond =
+      Ast.Cmp
+        ( Trips_ir.Opcode.Lt,
+          Ast.Binop (Trips_ir.Opcode.Rem, Ast.Load (Ast.Binop (Trips_ir.Opcode.Rem, Ast.Var (var k), Ast.Int 2048)), Ast.Int 256),
+          Ast.Int threshold )
+    in
+    let then_branch = gen_straight_line rng r k in
+    let else_branch =
+      if Rng.flip rng 0.5 then gen_straight_line rng r (k + 1) else []
+    in
+    [ Ast.If (cond, then_branch, else_branch) ]
+  end
+  else if depth < 2 && Rng.flip rng r.nest_prob then begin
+    (* inner loop *)
+    let trips = Rng.pick rng r.trip_choices in
+    let body =
+      gen_straight_line rng r k
+      @ (if Rng.flip rng 0.5 then gen_segment rng r (k + 2) ~depth:(depth + 1)
+         else [])
+    in
+    let ivar = Printf.sprintf "i%d" depth in
+    if Rng.flip rng r.while_fraction then
+      (* while loop with a data-dependent bound near [trips] *)
+      [
+        Ast.Assign (ivar, Ast.Int 0);
+        Ast.Assign
+          ( "$bound",
+            Ast.Binop
+              ( Trips_ir.Opcode.Add,
+                Ast.Int (max 1 (trips - 1)),
+                Ast.Binop (Trips_ir.Opcode.Rem, Ast.Load (Ast.Var (var k)), Ast.Int 3) ) );
+        Ast.While
+          ( Ast.Cmp (Trips_ir.Opcode.Lt, Ast.Var ivar, Ast.Var "$bound"),
+            body @ [ Ast.Assign (ivar, Ast.Binop (Trips_ir.Opcode.Add, Ast.Var ivar, Ast.Int 1)) ] );
+      ]
+    else [ Ast.for_ ivar (Ast.Int 0) (Ast.Int trips) body ]
+  end
+  else gen_straight_line rng r k
+
+let generate (r : recipe) : Workload.t =
+  let rng = Rng.create r.seed in
+  let segments =
+    List.concat (List.init r.segments (fun k -> gen_segment rng r k ~depth:0))
+  in
+  let body =
+    [
+      Ast.Assign ("t0", Ast.Int 1);
+      Ast.Assign ("acc", Ast.Int 0);
+      Ast.for_ "main" (Ast.Int 0) (Ast.Int r.outer_iters)
+        (segments
+        @ [
+            Ast.Assign
+              ( "acc",
+                Ast.Binop
+                  ( Trips_ir.Opcode.Add,
+                    Ast.Var "acc",
+                    Ast.Binop (Trips_ir.Opcode.And, Ast.Var (var 0), Ast.Int 1023) ) );
+          ]);
+      Ast.Return (Some (Ast.Var "acc"));
+    ]
+  in
+  Workload.make ~name:r.name
+    ~description:"synthetic SPEC-like program (Table 3 block-count workload)"
+    ~memory_words:2048
+    ~init_memory:(fun a ->
+      let rng = Rng.create (r.seed * 7) in
+      Rng.fill rng a)
+    { prog_name = r.name; params = []; body }
+
+(* ---- the 19 recipes ---------------------------------------------------- *)
+
+let lp = [ 16; 32; 64 ]  (* long, regular trips (FP loop nests) *)
+let mid = [ 4; 8; 16 ]
+let short = [ 1; 2; 3; 4 ]  (* integer-code trips *)
+
+let recipes : recipe list =
+  [
+    { name = "ammp"; seed = 101; outer_iters = 300; segments = 4;
+      branch_density = 0.3; branch_bias = 0.5; while_fraction = 0.8;
+      trip_choices = short; nest_prob = 0.7; stmts_per_block = 4 };
+    { name = "applu"; seed = 102; outer_iters = 120; segments = 3;
+      branch_density = 0.1; branch_bias = 0.8; while_fraction = 0.0;
+      trip_choices = lp; nest_prob = 0.8; stmts_per_block = 6 };
+    { name = "apsi"; seed = 103; outer_iters = 150; segments = 4;
+      branch_density = 0.2; branch_bias = 0.7; while_fraction = 0.1;
+      trip_choices = mid; nest_prob = 0.7; stmts_per_block = 5 };
+    { name = "art"; seed = 104; outer_iters = 500; segments = 3;
+      branch_density = 0.5; branch_bias = 0.5; while_fraction = 0.1;
+      trip_choices = lp; nest_prob = 0.5; stmts_per_block = 3 };
+    { name = "bzip2"; seed = 105; outer_iters = 500; segments = 4;
+      branch_density = 0.6; branch_bias = 0.7; while_fraction = 0.4;
+      trip_choices = short; nest_prob = 0.5; stmts_per_block = 3 };
+    { name = "crafty"; seed = 106; outer_iters = 400; segments = 6;
+      branch_density = 0.7; branch_bias = 0.6; while_fraction = 0.3;
+      trip_choices = short; nest_prob = 0.3; stmts_per_block = 3 };
+    { name = "equake"; seed = 107; outer_iters = 250; segments = 3;
+      branch_density = 0.3; branch_bias = 0.8; while_fraction = 0.1;
+      trip_choices = mid; nest_prob = 0.6; stmts_per_block = 5 };
+    { name = "gap"; seed = 108; outer_iters = 400; segments = 5;
+      branch_density = 0.6; branch_bias = 0.55; while_fraction = 0.4;
+      trip_choices = short; nest_prob = 0.4; stmts_per_block = 3 };
+    { name = "gzip"; seed = 109; outer_iters = 600; segments = 3;
+      branch_density = 0.5; branch_bias = 0.7; while_fraction = 0.6;
+      trip_choices = short; nest_prob = 0.5; stmts_per_block = 3 };
+    { name = "mcf"; seed = 110; outer_iters = 400; segments = 3;
+      branch_density = 0.6; branch_bias = 0.6; while_fraction = 0.5;
+      trip_choices = short; nest_prob = 0.4; stmts_per_block = 2 };
+    { name = "mesa"; seed = 111; outer_iters = 300; segments = 4;
+      branch_density = 0.4; branch_bias = 0.75; while_fraction = 0.1;
+      trip_choices = mid; nest_prob = 0.6; stmts_per_block = 5 };
+    { name = "mgrid"; seed = 112; outer_iters = 80; segments = 2;
+      branch_density = 0.05; branch_bias = 0.9; while_fraction = 0.0;
+      trip_choices = lp; nest_prob = 0.9; stmts_per_block = 7 };
+    { name = "parser"; seed = 113; outer_iters = 450; segments = 5;
+      branch_density = 0.7; branch_bias = 0.55; while_fraction = 0.5;
+      trip_choices = short; nest_prob = 0.4; stmts_per_block = 3 };
+    { name = "sixtrack"; seed = 114; outer_iters = 150; segments = 3;
+      branch_density = 0.2; branch_bias = 0.8; while_fraction = 0.0;
+      trip_choices = mid; nest_prob = 0.7; stmts_per_block = 6 };
+    { name = "swim"; seed = 115; outer_iters = 80; segments = 2;
+      branch_density = 0.05; branch_bias = 0.9; while_fraction = 0.0;
+      trip_choices = lp; nest_prob = 0.8; stmts_per_block = 7 };
+    { name = "twolf"; seed = 116; outer_iters = 400; segments = 5;
+      branch_density = 0.6; branch_bias = 0.6; while_fraction = 0.3;
+      trip_choices = short; nest_prob = 0.4; stmts_per_block = 4 };
+    { name = "vortex"; seed = 117; outer_iters = 350; segments = 5;
+      branch_density = 0.5; branch_bias = 0.75; while_fraction = 0.3;
+      trip_choices = short; nest_prob = 0.4; stmts_per_block = 4 };
+    { name = "vpr"; seed = 118; outer_iters = 400; segments = 4;
+      branch_density = 0.5; branch_bias = 0.6; while_fraction = 0.3;
+      trip_choices = mid; nest_prob = 0.5; stmts_per_block = 4 };
+    { name = "wupwise"; seed = 119; outer_iters = 120; segments = 3;
+      branch_density = 0.1; branch_bias = 0.85; while_fraction = 0.0;
+      trip_choices = lp; nest_prob = 0.8; stmts_per_block = 6 };
+  ]
+
+(** The 19 generated SPEC-like workloads of Table 3. *)
+let all : Workload.t list = List.map generate recipes
+
+let by_name name = List.find_opt (fun w -> w.Workload.name = name) all

@@ -1,0 +1,30 @@
+(** Synthetic whole-program workloads standing in for the 19 SPEC2000
+    benchmarks of the paper's Table 3.
+
+    Table 3 measures executed-block counts under a fast functional
+    simulator, so what matters is each benchmark's control-flow texture:
+    loop-nest shape, trip-count distribution, branch density and bias,
+    code-size mix.  Each {!recipe} encodes those per benchmark; a seeded
+    generator expands a recipe into a deterministic mini-language
+    program. *)
+
+type recipe = {
+  name : string;
+  seed : int;
+  outer_iters : int;  (** iterations of the top-level loop *)
+  segments : int;  (** independent statement regions in the main loop *)
+  branch_density : float;  (** probability a segment is a conditional *)
+  branch_bias : float;  (** how lopsided conditionals are (0.5 = even) *)
+  while_fraction : float;  (** inner loops that are while (vs for) *)
+  trip_choices : int list;  (** inner-loop trip counts *)
+  nest_prob : float;  (** probability an inner loop nests another level *)
+  stmts_per_block : int;  (** straight-line statements per region *)
+}
+
+val generate : recipe -> Workload.t
+
+val recipes : recipe list
+(** The 19 per-benchmark recipes. *)
+
+val all : Workload.t list
+val by_name : string -> Workload.t option

@@ -1,0 +1,27 @@
+(* A workload: a mini-language program plus its inputs.
+
+   [init_memory] must be deterministic (kernels use the shared LCG in
+   [Rng]); every run of a workload therefore produces identical results,
+   which the semantic-preservation tests rely on. *)
+
+open Trips_lang
+
+type t = {
+  name : string;
+  description : string;  (* control-flow character being modeled *)
+  program : Ast.program;
+  args : (string * int) list;  (* parameter values *)
+  memory_words : int;
+  init_memory : int array -> unit;
+  frontend_unroll : int;  (* for-loop unroll factor applied in the front end *)
+}
+
+let make ?(args = []) ?(memory_words = 4096) ?(init_memory = fun _ -> ())
+    ?(frontend_unroll = 4) ~name ~description program =
+  { name; description; program; args; memory_words; init_memory; frontend_unroll }
+
+(** Instantiate the memory image. *)
+let memory w =
+  let a = Array.make w.memory_words 0 in
+  w.init_memory a;
+  a

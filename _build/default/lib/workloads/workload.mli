@@ -1,0 +1,30 @@
+(** A workload: a mini-language program plus its inputs.
+
+    [init_memory] must be deterministic; every run of a workload
+    therefore produces identical results, which the semantic-preservation
+    tests rely on. *)
+
+open Trips_lang
+
+type t = {
+  name : string;
+  description : string;  (** control-flow character being modeled *)
+  program : Ast.program;
+  args : (string * int) list;  (** parameter values *)
+  memory_words : int;
+  init_memory : int array -> unit;
+  frontend_unroll : int;  (** for-loop unroll factor in the front end *)
+}
+
+val make :
+  ?args:(string * int) list ->
+  ?memory_words:int ->
+  ?init_memory:(int array -> unit) ->
+  ?frontend_unroll:int ->
+  name:string ->
+  description:string ->
+  Ast.program ->
+  t
+
+val memory : t -> int array
+(** Instantiate the (freshly initialized) memory image. *)

@@ -1,0 +1,1 @@
+test/generators.ml: Array Ast Block Cfg Chf Fmt Instr List Opcode Printf QCheck2 Trips_analysis Trips_harness Trips_ir Trips_lang Trips_sim Trips_workloads

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Block Cfg Dominators Generators Guard_logic Hashtbl Instr IntMap IntSet List Liveness Loops Opcode Order QCheck2 QCheck_alcotest Trips_analysis Trips_ir Trips_lang

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Chf Figure7 Fmt Generators List Micro Option Pipeline QCheck2 QCheck_alcotest Spec_like Stats Table1 Trips_harness Trips_ir Trips_sim Trips_workloads Workload

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Block Builder Cfg Instr IntSet List Opcode QCheck2 QCheck_alcotest Trips_ir Trips_sim

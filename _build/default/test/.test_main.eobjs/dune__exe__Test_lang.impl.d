@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Chf Func_sim Generators Inline List Lower Parser QCheck2 QCheck_alcotest Stdlib Trips_harness Trips_lang Trips_sim Trips_workloads Unroll_for

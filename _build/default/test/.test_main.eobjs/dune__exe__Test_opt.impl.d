@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Block Cfg Generators Instr IntSet List Opcode QCheck2 QCheck_alcotest Trips_harness Trips_ir Trips_opt Trips_sim Trips_workloads

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Block Cache Cfg Chf Cycle_sim Fmt Func_sim Instr List Machine Option Predictor Trips_harness Trips_ir Trips_profile Trips_sim Trips_workloads

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Block Cfg Cfg_loop Combine Duplicate Instr List Opcode Printf Trips_analysis Trips_ir Trips_lang Trips_sim Trips_transform

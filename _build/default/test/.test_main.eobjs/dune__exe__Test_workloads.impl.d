@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Fmt Generators List Micro Option Rng Spec_like Trips_analysis Trips_harness Trips_ir Trips_profile Trips_sim Trips_workloads Workload

@@ -1,0 +1,16 @@
+open Trips_harness
+open Trips_workloads
+
+let () =
+  let w = Option.get (Micro.by_name Sys.argv.(1)) in
+  let o = match Sys.argv.(2) with
+    | "UPIO" -> Chf.Phases.Upio | "IUPO" -> Chf.Phases.Iupo
+    | "IUP_O" -> Chf.Phases.Iup_o | "BB" -> Chf.Phases.Basic_blocks
+    | _ -> Chf.Phases.Iupo_merged in
+  let c = Pipeline.compile ~backend:true o w in
+  let memory = Workload.memory w in
+  let r = Trips_sim.Cycle_sim.run ~trace:8 ~registers:c.Pipeline.registers ~memory c.Pipeline.cfg in
+  Fmt.pr "cycles=%d blocks=%d fired=%d mispred=%d acc=%.3f@."
+    r.Trips_sim.Cycle_sim.cycles r.Trips_sim.Cycle_sim.blocks r.Trips_sim.Cycle_sim.instrs_fired
+    r.Trips_sim.Cycle_sim.mispredictions r.Trips_sim.Cycle_sim.predictor_accuracy;
+  if Array.length Sys.argv > 3 then Fmt.pr "%a@." Trips_ir.Cfg.pp c.Pipeline.cfg

@@ -1,0 +1,144 @@
+(* Shared QCheck generators and helpers for the test suites. *)
+
+open Trips_ir
+open Trips_lang
+
+(* ---- random CFGs (for dominator/liveness cross-checks) --------------- *)
+
+(* A random, connected, strict CFG: block 0 is the entry; every block has
+   one or two successors among the existing blocks (forward and backward
+   edges allowed), and blocks carry trivial instructions.  Every block is
+   reachable by construction (block k>0 receives an edge from some block
+   < k). *)
+let random_cfg_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 14 in
+    let* choices = list_repeat (3 * n) (int_bound 1000) in
+    return (n, choices))
+
+let build_random_cfg (n, choices) =
+  let cfg = Cfg.create ~name:"random" () in
+  let pick =
+    let cells = ref choices in
+    fun bound ->
+      match !cells with
+      | [] -> 0
+      | c :: rest ->
+        cells := rest;
+        c mod bound
+  in
+  (* build a spanning structure: block k branches to k+1 and a random
+     other block (possibly backward) *)
+  for _ = 0 to n - 1 do
+    ignore (Cfg.fresh_block_id cfg)
+  done;
+  for k = 0 to n - 1 do
+    let c = Cfg.fresh_reg cfg in
+    let test =
+      Cfg.instr cfg (Instr.Cmp (Opcode.Lt, c, Instr.Reg 1024, Instr.Imm 5))
+    in
+    let exits =
+      if k = n - 1 then [ { Block.eguard = None; target = Block.Ret None } ]
+      else begin
+        let other = pick n in
+        if other = k + 1 then
+          [ { Block.eguard = None; target = Block.Goto (k + 1) } ]
+        else
+          [
+            {
+              Block.eguard = Some { Instr.greg = c; sense = true };
+              target = Block.Goto (k + 1);
+            };
+            {
+              Block.eguard = Some { Instr.greg = c; sense = false };
+              target = Block.Goto other;
+            };
+          ]
+      end
+    in
+    Cfg.set_block cfg (Block.make k [ test ] exits)
+  done;
+  cfg.Cfg.entry <- 0;
+  Cfg.validate cfg;
+  cfg
+
+(* ---- random mini-language programs ------------------------------------ *)
+
+(* Reuse the SPEC-like recipe generator with randomized knobs: it already
+   produces deterministic, loop-and-branch-rich programs. *)
+let random_recipe_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 1 100_000 in
+    let* outer = int_range 3 25 in
+    let* segments = int_range 1 4 in
+    let* density10 = int_range 0 8 in
+    let* bias10 = int_range 2 9 in
+    let* while10 = int_range 0 10 in
+    let* nest10 = int_range 0 9 in
+    let* stmts = int_range 1 5 in
+    return
+      {
+        Trips_workloads.Spec_like.name = Printf.sprintf "rand%d" seed;
+        seed;
+        outer_iters = outer;
+        segments;
+        branch_density = float_of_int density10 /. 10.0;
+        branch_bias = float_of_int bias10 /. 10.0;
+        while_fraction = float_of_int while10 /. 10.0;
+        trip_choices = [ 1; 2; 3; 5 ];
+        nest_prob = float_of_int nest10 /. 10.0;
+        stmts_per_block = stmts;
+      })
+
+let random_program_gen =
+  QCheck2.Gen.map Trips_workloads.Spec_like.generate random_recipe_gen
+
+let print_workload (w : Trips_workloads.Workload.t) =
+  Fmt.str "%a" Ast.pp_program w.Trips_workloads.Workload.program
+
+(* ---- pipeline helpers -------------------------------------------------- *)
+
+(* Functional result of a workload at the basic-block level. *)
+let baseline_of (w : Trips_workloads.Workload.t) =
+  let c =
+    Trips_harness.Pipeline.compile ~backend:false Chf.Phases.Basic_blocks w
+  in
+  Trips_harness.Pipeline.run_functional c
+
+(* Build a two-block CFG: [instrs] under test in the entry block, then a
+   probe block that stores each observed register into memory and
+   returns.  Running it yields the observed register values, so a
+   block-level transformation can be checked for semantic preservation
+   with the observed registers as its live-out set. *)
+let observed_run ?(registers = []) ~observe instrs =
+  let cfg = Cfg.create ~name:"single" () in
+  let b0 = Cfg.fresh_block_id cfg in
+  let b1 = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- b0;
+  Cfg.set_block cfg
+    (Block.make b0 instrs [ { Block.eguard = None; target = Block.Goto b1 } ]);
+  let probes =
+    List.mapi
+      (fun k r -> Cfg.instr cfg (Instr.Store (Instr.Reg r, Instr.Imm k, 0)))
+      observe
+  in
+  Cfg.set_block cfg
+    (Block.make b1 probes [ { Block.eguard = None; target = Block.Ret None } ]);
+  Cfg.validate cfg;
+  let memory = Array.make (max 1 (List.length observe)) 0 in
+  ignore (Trips_sim.Func_sim.run ~registers ~memory cfg);
+  (cfg, Array.to_list memory)
+
+(* Apply a block transformation to the entry block of [observed_run]'s
+   CFG and return observations before and after. *)
+let check_block_transform ?(registers = []) ~observe instrs transform =
+  let _, before = observed_run ~registers ~observe instrs in
+  let cfg, _ = observed_run ~registers ~observe instrs in
+  let live = Trips_analysis.Liveness.compute cfg in
+  let entry = Cfg.block cfg cfg.Cfg.entry in
+  let live_out = Trips_analysis.Liveness.live_out live cfg.Cfg.entry in
+  let entry' = transform cfg entry ~live_out in
+  Cfg.set_block cfg entry';
+  let memory = Array.make (max 1 (List.length observe)) 0 in
+  ignore (Trips_sim.Func_sim.run ~registers ~memory cfg);
+  (before, Array.to_list memory)

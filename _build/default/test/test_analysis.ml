@@ -1,0 +1,308 @@
+(* Tests for the CFG analyses: orders, dominators (cross-checked against a
+   naive set-based solver on random CFGs), natural loops, refined liveness
+   and guard implication. *)
+
+open Trips_ir
+open Trips_analysis
+
+let check = Alcotest.check
+
+(* ---- a naive dominator solver for cross-checking ---------------------- *)
+
+(* dom(entry) = {entry}; dom(b) = {b} ∪ ⋂ dom(pred). *)
+let naive_dominators cfg =
+  let ids = Order.postorder cfg in
+  let all = IntSet.of_list_fold ids in
+  let dom = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      Hashtbl.replace dom id
+        (if id = cfg.Cfg.entry then IntSet.singleton id else all))
+    ids;
+  let preds = Cfg.predecessor_map cfg in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        if id <> cfg.Cfg.entry then begin
+          let ps =
+            IntSet.elements (IntMap.find_or ~default:IntSet.empty id preds)
+          in
+          let ps = List.filter (fun p -> IntSet.mem p all) ps in
+          let inter =
+            match ps with
+            | [] -> IntSet.singleton id
+            | first :: rest ->
+              List.fold_left
+                (fun acc p -> IntSet.inter acc (Hashtbl.find dom p))
+                (Hashtbl.find dom first) rest
+          in
+          let now = IntSet.add id inter in
+          if not (IntSet.equal now (Hashtbl.find dom id)) then begin
+            Hashtbl.replace dom id now;
+            changed := true
+          end
+        end)
+      ids
+  done;
+  dom
+
+let dominators_match_naive =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"CHK dominators match naive solver" ~count:150
+       Generators.random_cfg_gen (fun spec ->
+         let cfg = Generators.build_random_cfg spec in
+         let dom = Dominators.compute cfg in
+         let naive = naive_dominators cfg in
+         let ids = Order.postorder cfg in
+         List.for_all
+           (fun a ->
+             List.for_all
+               (fun b ->
+                 Dominators.dominates dom a b
+                 = IntSet.mem a (Hashtbl.find naive b))
+               ids)
+           ids))
+
+let idom_is_dominator =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"idom strictly dominates" ~count:150
+       Generators.random_cfg_gen (fun spec ->
+         let cfg = Generators.build_random_cfg spec in
+         let dom = Dominators.compute cfg in
+         List.for_all
+           (fun b ->
+             match Dominators.idom dom b with
+             | None -> b = cfg.Cfg.entry
+             | Some p -> p <> b && Dominators.dominates dom p b)
+           (Order.postorder cfg)))
+
+let tree_preorder_complete =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"dominator-tree preorder covers reachable blocks"
+       ~count:100 Generators.random_cfg_gen (fun spec ->
+         let cfg = Generators.build_random_cfg spec in
+         let dom = Dominators.compute cfg in
+         let pre = Dominators.tree_preorder dom in
+         List.sort compare pre = List.sort compare (Order.postorder cfg)))
+
+(* ---- orders ------------------------------------------------------------ *)
+
+let rpo_respects_edges =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"entry is first in reverse postorder" ~count:100
+       Generators.random_cfg_gen (fun spec ->
+         let cfg = Generators.build_random_cfg spec in
+         match Order.reverse_postorder cfg with
+         | first :: _ -> first = cfg.Cfg.entry
+         | [] -> false))
+
+let test_prune_unreachable () =
+  let cfg = Cfg.create () in
+  let a = Cfg.fresh_block_id cfg in
+  let dead = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- a;
+  let ret = [ { Block.eguard = None; target = Block.Ret None } ] in
+  Cfg.set_block cfg (Block.make a [] ret);
+  Cfg.set_block cfg (Block.make dead [] ret);
+  Order.prune_unreachable cfg;
+  check Alcotest.bool "dead block removed" false (Cfg.mem cfg dead);
+  check Alcotest.bool "entry kept" true (Cfg.mem cfg a)
+
+(* ---- loops ------------------------------------------------------------- *)
+
+let loop_program =
+  let open Trips_lang.Ast in
+  {
+    prog_name = "nest";
+    params = [];
+    body =
+      [
+        "acc" <-- i 0;
+        for_ "x" (i 0) (i 4)
+          [ for_ "y" (i 0) (i 3) [ "acc" <-- (v "acc" + v "y") ] ];
+        Return (Some (v "acc"));
+      ];
+  }
+
+let test_loop_nest () =
+  let cfg, _ = Trips_lang.Lower.lower loop_program in
+  let loops = Loops.compute cfg in
+  let all = Loops.all_loops loops in
+  check Alcotest.int "two loops" 2 (List.length all);
+  let outer = List.find (fun l -> l.Loops.depth = 1) all in
+  let inner = List.find (fun l -> l.Loops.depth = 2) all in
+  check Alcotest.bool "inner nested in outer" true
+    (IntSet.subset inner.Loops.body outer.Loops.body);
+  check Alcotest.bool "inner header inside outer body" true
+    (IntSet.mem inner.Loops.header outer.Loops.body);
+  check Alcotest.bool "back edge detected" true
+    (IntSet.exists
+       (fun l -> Loops.is_back_edge loops ~src:l ~dst:inner.Loops.header)
+       inner.Loops.latches)
+
+let headers_dominate_bodies =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"loop headers dominate their bodies" ~count:150
+       Generators.random_cfg_gen (fun spec ->
+         let cfg = Generators.build_random_cfg spec in
+         let dom = Dominators.compute cfg in
+         let loops = Loops.compute cfg in
+         List.for_all
+           (fun l ->
+             IntSet.for_all
+               (fun b -> Dominators.dominates dom l.Loops.header b)
+               l.Loops.body)
+           (Loops.all_loops loops)))
+
+let loop_exits_leave_body =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"loop exits lead outside the body" ~count:150
+       Generators.random_cfg_gen (fun spec ->
+         let cfg = Generators.build_random_cfg spec in
+         let loops = Loops.compute cfg in
+         List.for_all
+           (fun l ->
+             List.for_all
+               (fun (src, dst) ->
+                 IntSet.mem src l.Loops.body && not (IntSet.mem dst l.Loops.body))
+               l.Loops.exits)
+           (Loops.all_loops loops)))
+
+(* ---- guard logic ------------------------------------------------------- *)
+
+let test_guard_implication () =
+  let cfg = Cfg.create () in
+  let gi op = Cfg.instr cfg op in
+  let instrs =
+    [
+      gi (Instr.Cmp (Opcode.Lt, 10, Instr.Reg 1, Instr.Imm 5));
+      gi (Instr.Cmp (Opcode.Eq, 11, Instr.Reg 2, Instr.Imm 0));
+      gi (Instr.Binop (Opcode.And, 12, Instr.Reg 10, Instr.Reg 11));
+      gi (Instr.Binop (Opcode.And, 13, Instr.Reg 12, Instr.Reg 14));
+    ]
+  in
+  let defs = Guard_logic.build_defs instrs in
+  let g r = { Instr.greg = r; sense = true } in
+  check Alcotest.bool "reflexive" true (Guard_logic.implies defs (g 10) (g 10));
+  check Alcotest.bool "and implies operand" true
+    (Guard_logic.implies defs (g 12) (g 10));
+  check Alcotest.bool "nested and implies grand-operand" true
+    (Guard_logic.implies defs (g 13) (g 11));
+  check Alcotest.bool "operand does not imply and" false
+    (Guard_logic.implies defs (g 10) (g 12));
+  check Alcotest.bool "negative sense only matches exactly" false
+    (Guard_logic.implies defs { Instr.greg = 12; sense = false } (g 10))
+
+let test_guard_logic_multidef () =
+  let cfg = Cfg.create () in
+  let instrs =
+    [
+      Cfg.instr cfg (Instr.Binop (Opcode.And, 12, Instr.Reg 10, Instr.Reg 11));
+      Cfg.instr cfg (Instr.Binop (Opcode.And, 12, Instr.Reg 20, Instr.Reg 21));
+    ]
+  in
+  let defs = Guard_logic.build_defs instrs in
+  let g r = { Instr.greg = r; sense = true } in
+  check Alcotest.bool "multiply-defined guard is opaque" false
+    (Guard_logic.implies defs (g 12) (g 10))
+
+(* ---- liveness ---------------------------------------------------------- *)
+
+let test_liveness_basic () =
+  let cfg, _ = Trips_lang.Lower.lower loop_program in
+  let live = Liveness.compute cfg in
+  (* the loop header must keep the accumulator alive around the back edge *)
+  let loops = Loops.compute cfg in
+  let outer = List.find (fun l -> l.Loops.depth = 1) (Loops.all_loops loops) in
+  check Alcotest.bool "something is live around the outer loop" true
+    (not (IntSet.is_empty (Liveness.live_in live outer.Loops.header)))
+
+let test_refined_liveness_soft () =
+  (* A guarded definition of a temp whose only later use is under the
+     same guard must NOT be live-in when nothing downstream reads it. *)
+  let cfg = Cfg.create () in
+  let b0 = Cfg.fresh_block_id cfg in
+  let b1 = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- b0;
+  let g = { Instr.greg = 1; sense = true } in
+  let instrs =
+    [
+      Cfg.instr cfg (Instr.Cmp (Opcode.Lt, 1, Instr.Reg 2, Instr.Imm 5));
+      Cfg.instr ~guard:g cfg (Instr.Mov (10, Instr.Imm 7));
+      Cfg.instr ~guard:g cfg (Instr.Binop (Opcode.Add, 3, Instr.Reg 3, Instr.Reg 10));
+    ]
+  in
+  Cfg.set_block cfg
+    (Block.make b0 instrs
+       [
+         { Block.eguard = Some g; target = Block.Goto b0 };
+         { Block.eguard = Some { g with Instr.sense = false }; target = Block.Goto b1 };
+       ]);
+  Cfg.set_block cfg
+    (Block.make b1
+       [ Cfg.instr cfg (Instr.Store (Instr.Reg 3, Instr.Imm 0, 0)) ]
+       [ { Block.eguard = None; target = Block.Ret None } ]);
+  Cfg.validate cfg;
+  let live = Liveness.compute cfg in
+  check Alcotest.bool "temp r10 not live around self loop" false
+    (IntSet.mem 10 (Liveness.live_in live b0));
+  check Alcotest.bool "accumulator r3 live around self loop" true
+    (IntSet.mem 3 (Liveness.live_in live b0));
+  check Alcotest.bool "r3 is a block input" true
+    (IntSet.mem 3 (Liveness.block_inputs (Cfg.block cfg b0)
+                     ~live_out:(Liveness.live_out live b0)))
+
+let test_hard_exposure_on_weak_guard () =
+  (* A use under an unrelated guard after a guarded def exposes the
+     register: the incoming value can be observed. *)
+  let b =
+    Block.make 0
+      [
+        Instr.make ~guard:{ Instr.greg = 1; sense = true } 0 (Instr.Mov (10, Instr.Imm 7));
+        Instr.make ~guard:{ Instr.greg = 2; sense = true } 1
+          (Instr.Binop (Opcode.Add, 11, Instr.Reg 10, Instr.Imm 1));
+      ]
+      [ { Block.eguard = None; target = Block.Ret None } ]
+  in
+  let gk = Liveness.gen_kill b in
+  check Alcotest.bool "r10 hard-exposed" true (IntSet.mem 10 gk.Liveness.hard)
+
+let liveness_upper_bounded_by_classic =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"refined live-in is a subset of classic exposure closure"
+       ~count:100 Generators.random_cfg_gen (fun spec ->
+         let cfg = Generators.build_random_cfg spec in
+         let live = Liveness.compute cfg in
+         List.for_all
+           (fun id ->
+             let b = Cfg.block cfg id in
+             let classic =
+               IntSet.union
+                 (Block.upward_exposed_uses b)
+                 (Liveness.live_out live id)
+             in
+             IntSet.subset (Liveness.live_in live id) classic)
+           (Order.postorder cfg)))
+
+let suite =
+  ( "analysis",
+    [
+      dominators_match_naive;
+      idom_is_dominator;
+      tree_preorder_complete;
+      rpo_respects_edges;
+      Alcotest.test_case "prune unreachable" `Quick test_prune_unreachable;
+      Alcotest.test_case "loop nest" `Quick test_loop_nest;
+      headers_dominate_bodies;
+      loop_exits_leave_body;
+      Alcotest.test_case "guard implication" `Quick test_guard_implication;
+      Alcotest.test_case "guard logic multidef" `Quick test_guard_logic_multidef;
+      Alcotest.test_case "liveness basic" `Quick test_liveness_basic;
+      Alcotest.test_case "refined liveness drops dead temps" `Quick
+        test_refined_liveness_soft;
+      Alcotest.test_case "weak guard exposes" `Quick test_hard_exposure_on_weak_guard;
+      liveness_upper_bounded_by_classic;
+    ] )

@@ -1,0 +1,237 @@
+(* Unit and property tests for the IR substrate. *)
+
+open Trips_ir
+
+let check = Alcotest.check
+let qtest name ?(count = 200) gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)
+
+(* ---- opcodes ----------------------------------------------------------- *)
+
+let test_binop_semantics () =
+  check Alcotest.int "add" 7 (Opcode.eval_binop Opcode.Add 3 4);
+  check Alcotest.int "sub" (-1) (Opcode.eval_binop Opcode.Sub 3 4);
+  check Alcotest.int "mul" 12 (Opcode.eval_binop Opcode.Mul 3 4);
+  check Alcotest.int "div by zero is total" 0 (Opcode.eval_binop Opcode.Div 3 0);
+  check Alcotest.int "rem by zero is total" 0 (Opcode.eval_binop Opcode.Rem 3 0);
+  check Alcotest.int "shl" 12 (Opcode.eval_binop Opcode.Shl 3 2);
+  check Alcotest.int "asr negative" (-2) (Opcode.eval_binop Opcode.Asr (-8) 2)
+
+let test_cmp_semantics () =
+  List.iter
+    (fun (op, a, b, expect) ->
+      check Alcotest.int (Opcode.cmpop_to_string op) expect
+        (Opcode.eval_cmp op a b))
+    [
+      (Opcode.Eq, 3, 3, 1); (Opcode.Eq, 3, 4, 0);
+      (Opcode.Ne, 3, 4, 1); (Opcode.Lt, -1, 0, 1);
+      (Opcode.Le, 0, 0, 1); (Opcode.Gt, 1, 0, 1);
+      (Opcode.Ge, 0, 1, 0);
+    ]
+
+let all_cmps = Opcode.[ Eq; Ne; Lt; Le; Gt; Ge ]
+
+let negate_cmp_complement =
+  qtest "negate_cmp complements"
+    QCheck2.Gen.(triple (int_bound 5) (int_range (-50) 50) (int_range (-50) 50))
+    (fun (opi, a, b) ->
+      let op = List.nth all_cmps opi in
+      Opcode.eval_cmp op a b + Opcode.eval_cmp (Opcode.negate_cmp op) a b = 1)
+
+let commutative_ops_commute =
+  qtest "commutative binops commute"
+    QCheck2.Gen.(triple (int_bound 10) (int_range (-100) 100) (int_range (-100) 100))
+    (fun (opi, a, b) ->
+      let ops =
+        Opcode.[ Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr; Asr ]
+      in
+      let op = List.nth ops opi in
+      (not (Opcode.is_commutative op))
+      || Opcode.eval_binop op a b = Opcode.eval_binop op b a)
+
+(* ---- instructions ------------------------------------------------------ *)
+
+let instr op = Instr.make 0 op
+let guarded g op = Instr.make ~guard:g 0 op
+
+let test_defs_uses () =
+  let i = instr (Instr.Binop (Opcode.Add, 5, Instr.Reg 1, Instr.Reg 2)) in
+  check Alcotest.(list int) "binop defs" [ 5 ] (Instr.defs i);
+  check Alcotest.(list int) "binop uses" [ 1; 2 ] (Instr.uses i);
+  let st = instr (Instr.Store (Instr.Reg 3, Instr.Reg 4, 0)) in
+  check Alcotest.(list int) "store defs" [] (Instr.defs st);
+  check Alcotest.(list int) "store uses" [ 3; 4 ] (Instr.uses st);
+  let g = { Instr.greg = 9; sense = true } in
+  let gi = guarded g (Instr.Mov (5, Instr.Imm 1)) in
+  check Alcotest.(list int) "guard counted as use" [ 9 ] (Instr.uses gi);
+  let nw = instr (Instr.Nullw 7) in
+  check Alcotest.(list int) "nullw defs" [ 7 ] (Instr.defs nw);
+  check Alcotest.(list int) "nullw uses" [ 7 ] (Instr.uses nw)
+
+let test_map_regs () =
+  let g = { Instr.greg = 1; sense = false } in
+  let i = guarded g (Instr.Binop (Opcode.Add, 2, Instr.Reg 3, Instr.Imm 7)) in
+  let j = Instr.map_regs (fun r -> r + 100) i in
+  check Alcotest.(list int) "mapped defs" [ 102 ] (Instr.defs j);
+  check
+    Alcotest.(list int)
+    "mapped uses (guard first)" [ 101; 103 ] (Instr.uses j)
+
+(* ---- blocks ------------------------------------------------------------ *)
+
+let mk_block instrs exits = Block.make 0 instrs exits
+let ret_exit = { Block.eguard = None; target = Block.Ret None }
+
+let test_must_defs_predication () =
+  let g = { Instr.greg = 1; sense = true } in
+  let b =
+    mk_block
+      [
+        instr (Instr.Mov (10, Instr.Imm 1));
+        guarded g (Instr.Mov (11, Instr.Imm 2));
+      ]
+      [ ret_exit ]
+  in
+  check Alcotest.bool "unguarded def is a must-def" true
+    (IntSet.mem 10 (Block.must_defs b));
+  check Alcotest.bool "guarded def is not a must-def" false
+    (IntSet.mem 11 (Block.must_defs b))
+
+let test_upward_exposed () =
+  let g = { Instr.greg = 1; sense = true } in
+  let b =
+    mk_block
+      [
+        instr (Instr.Mov (10, Instr.Reg 20));
+        (* use after unguarded def: not exposed *)
+        instr (Instr.Binop (Opcode.Add, 11, Instr.Reg 10, Instr.Imm 1));
+        (* guarded def exposes its own register *)
+        guarded g (Instr.Mov (12, Instr.Imm 5));
+        instr (Instr.Binop (Opcode.Add, 13, Instr.Reg 12, Instr.Imm 1));
+      ]
+      [ ret_exit ]
+  in
+  let exposed = Block.upward_exposed_uses b in
+  check Alcotest.bool "incoming operand exposed" true (IntSet.mem 20 exposed);
+  check Alcotest.bool "defined-then-used not exposed" false (IntSet.mem 10 exposed);
+  check Alcotest.bool "guard register exposed" true (IntSet.mem 1 exposed);
+  check Alcotest.bool "conditionally-defined register exposed" true
+    (IntSet.mem 12 exposed)
+
+let test_exit_uses () =
+  let g = { Instr.greg = 3; sense = true } in
+  let b =
+    mk_block []
+      [
+        { Block.eguard = Some g; target = Block.Goto 0 };
+        {
+          Block.eguard = Some { Instr.greg = 3; sense = false };
+          target = Block.Ret (Some (Instr.Reg 4));
+        };
+      ]
+  in
+  let uses = Block.exit_uses b in
+  check Alcotest.bool "guard read" true (IntSet.mem 3 uses);
+  check Alcotest.bool "ret operand read" true (IntSet.mem 4 uses);
+  (* self-target bookkeeping *)
+  check Alcotest.(list int) "successors" [ 0 ] (Block.successors b)
+
+let test_block_counts () =
+  let b =
+    mk_block
+      [
+        instr (Instr.Load (1, Instr.Imm 0, 0));
+        instr (Instr.Store (Instr.Reg 1, Instr.Imm 1, 0));
+        instr (Instr.Mov (2, Instr.Imm 3));
+      ]
+      [ ret_exit ]
+  in
+  check Alcotest.int "size" 3 (Block.size b);
+  check Alcotest.int "loads" 1 (Block.num_loads b);
+  check Alcotest.int "stores" 1 (Block.num_stores b);
+  check Alcotest.int "load/store ids" 2 (Block.num_load_store b)
+
+(* ---- cfg --------------------------------------------------------------- *)
+
+let diamond () =
+  let cfg = Cfg.create ~name:"diamond" () in
+  let ids = List.init 4 (fun _ -> Cfg.fresh_block_id cfg) in
+  match ids with
+  | [ a; b; c; d ] ->
+    let cond = Cfg.fresh_reg cfg in
+    let test = Cfg.instr cfg (Instr.Cmp (Opcode.Lt, cond, Instr.Imm 1, Instr.Imm 2)) in
+    Cfg.set_block cfg
+      (Block.make a [ test ]
+         [
+           { Block.eguard = Some { Instr.greg = cond; sense = true }; target = Block.Goto b };
+           { Block.eguard = Some { Instr.greg = cond; sense = false }; target = Block.Goto c };
+         ]);
+    Cfg.set_block cfg
+      (Block.make b [] [ { Block.eguard = None; target = Block.Goto d } ]);
+    Cfg.set_block cfg
+      (Block.make c [] [ { Block.eguard = None; target = Block.Goto d } ]);
+    Cfg.set_block cfg (Block.make d [] [ ret_exit ]);
+    cfg.Cfg.entry <- a;
+    (cfg, a, b, c, d)
+  | _ -> assert false
+
+let test_cfg_structure () =
+  let cfg, a, b, c, d = diamond () in
+  Cfg.validate cfg;
+  check Alcotest.int "blocks" 4 (Cfg.num_blocks cfg);
+  check Alcotest.(list int) "succ of entry" [ b; c ] (List.sort compare (Cfg.successors cfg a));
+  check Alcotest.(list int) "preds of join" [ b; c ] (Cfg.predecessors cfg d);
+  let copy = Cfg.copy cfg in
+  Cfg.remove_block copy d;
+  check Alcotest.bool "copy is independent" true (Cfg.mem cfg d && not (Cfg.mem copy d))
+
+let test_validate_rejects () =
+  let cfg = Cfg.create () in
+  let a = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- a;
+  Cfg.set_block cfg
+    (Block.make a [] [ { Block.eguard = None; target = Block.Goto 99 } ]);
+  Alcotest.check_raises "dangling target"
+    (Cfg.Ill_formed "f: block b0 targets missing b99") (fun () ->
+      Cfg.validate cfg)
+
+let test_refresh_instr_ids () =
+  let cfg, a, _, _, _ = diamond () in
+  let b = Cfg.block cfg a in
+  let b' = Cfg.refresh_instr_ids cfg b in
+  let ids bl = List.map (fun i -> i.Instr.id) bl.Block.instrs in
+  check Alcotest.bool "fresh ids differ" true (ids b <> ids b');
+  check Alcotest.int "same length" (Block.size b) (Block.size b')
+
+(* ---- builder ----------------------------------------------------------- *)
+
+let test_builder () =
+  let bld = Builder.create ~name:"built" () in
+  let entry = Builder.start_block bld in
+  Builder.set_entry bld entry;
+  let r = Builder.emit_value bld (fun d -> Instr.Mov (d, Instr.Imm 42)) in
+  Builder.ret ~value:(Instr.Reg r) bld;
+  let cfg = Builder.cfg bld in
+  Cfg.validate cfg;
+  let result = Trips_sim.Func_sim.run ~memory:(Array.make 4 0) cfg in
+  check Alcotest.(option int) "returns 42" (Some 42) result.Trips_sim.Func_sim.ret
+
+let suite =
+  ( "ir",
+    [
+      Alcotest.test_case "binop semantics" `Quick test_binop_semantics;
+      Alcotest.test_case "cmp semantics" `Quick test_cmp_semantics;
+      negate_cmp_complement;
+      commutative_ops_commute;
+      Alcotest.test_case "defs and uses" `Quick test_defs_uses;
+      Alcotest.test_case "map_regs" `Quick test_map_regs;
+      Alcotest.test_case "must_defs under predication" `Quick test_must_defs_predication;
+      Alcotest.test_case "upward exposed uses" `Quick test_upward_exposed;
+      Alcotest.test_case "exit uses" `Quick test_exit_uses;
+      Alcotest.test_case "block counts" `Quick test_block_counts;
+      Alcotest.test_case "cfg structure" `Quick test_cfg_structure;
+      Alcotest.test_case "validate rejects dangling" `Quick test_validate_rejects;
+      Alcotest.test_case "refresh instr ids" `Quick test_refresh_instr_ids;
+      Alcotest.test_case "builder" `Quick test_builder;
+    ] )

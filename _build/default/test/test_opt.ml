@@ -1,0 +1,469 @@
+(* Tests for the scalar optimizer: value numbering (CSE, constant folding,
+   boolean simplification, linear chains), dead-code elimination and
+   predicate optimization — each checked both on hand-built blocks and for
+   semantic preservation via the observed-run harness. *)
+
+open Trips_ir
+
+let check = Alcotest.check
+
+(* Short-hand instruction builders sharing one id counter. *)
+let counter = ref 0
+let mk ?guard op =
+  incr counter;
+  Instr.make ?guard !counter op
+
+let g r = { Instr.greg = r; sense = true }
+let ng r = { Instr.greg = r; sense = false }
+
+let vn_pass cfg b ~live_out =
+  ignore live_out;
+  Trips_opt.Local_vn.run cfg b
+
+let dce_pass _cfg b ~live_out = Trips_opt.Dce.run b ~live_out
+let pred_pass _cfg b ~live_out = Trips_opt.Predicate_opt.run b ~live_out
+let full_pass cfg b ~live_out = Trips_opt.Optimizer.optimize_block cfg b ~live_out
+
+let size_after pass instrs ~observe =
+  let cfg = Cfg.create () in
+  let b0 = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- b0;
+  Cfg.set_block cfg
+    (Block.make b0 instrs [ { Block.eguard = None; target = Block.Ret None } ]);
+  let live_out = IntSet.of_list_fold observe in
+  let b = pass cfg (Cfg.block cfg b0) ~live_out in
+  Block.size b
+
+(* ---- value numbering --------------------------------------------------- *)
+
+let test_vn_cse () =
+  let instrs =
+    [
+      mk (Instr.Binop (Opcode.Add, 10, Instr.Reg 1, Instr.Reg 2));
+      mk (Instr.Binop (Opcode.Add, 11, Instr.Reg 1, Instr.Reg 2));
+      mk (Instr.Binop (Opcode.Add, 12, Instr.Reg 2, Instr.Reg 1));  (* commuted *)
+      mk (Instr.Store (Instr.Reg 10, Instr.Imm 0, 0));
+      mk (Instr.Store (Instr.Reg 11, Instr.Imm 1, 0));
+      mk (Instr.Store (Instr.Reg 12, Instr.Imm 2, 0));
+    ]
+  in
+  let before, after =
+    Generators.check_block_transform ~registers:[ (1, 3); (2, 4) ] ~observe:[]
+      instrs full_pass
+  in
+  check Alcotest.(list int) "same stores" before after
+
+let test_vn_constant_folding () =
+  let instrs =
+    [
+      mk (Instr.Mov (10, Instr.Imm 6));
+      mk (Instr.Binop (Opcode.Mul, 11, Instr.Reg 10, Instr.Imm 7));
+      mk (Instr.Cmp (Opcode.Eq, 12, Instr.Reg 11, Instr.Imm 42));
+    ]
+  in
+  let n = size_after vn_pass instrs ~observe:[ 12 ] in
+  (* everything folds to movs; the final value must be constant 1 *)
+  let _, after =
+    Generators.check_block_transform ~observe:[ 11; 12 ] instrs vn_pass
+  in
+  check Alcotest.(list int) "folded values" [ 42; 1 ] after;
+  check Alcotest.bool "no computation left" true (n <= 3)
+
+let test_vn_algebraic () =
+  let cases =
+    [
+      (Instr.Binop (Opcode.Add, 10, Instr.Reg 1, Instr.Imm 0), 5);
+      (Instr.Binop (Opcode.Mul, 10, Instr.Reg 1, Instr.Imm 1), 5);
+      (Instr.Binop (Opcode.Mul, 10, Instr.Reg 1, Instr.Imm 0), 0);
+      (Instr.Binop (Opcode.Sub, 10, Instr.Reg 1, Instr.Reg 1), 0);
+      (Instr.Binop (Opcode.Xor, 10, Instr.Reg 1, Instr.Reg 1), 0);
+      (Instr.Binop (Opcode.Or, 10, Instr.Reg 1, Instr.Imm 0), 5);
+    ]
+  in
+  List.iter
+    (fun (op, expect) ->
+      let _, after =
+        Generators.check_block_transform ~registers:[ (1, 5) ] ~observe:[ 10 ]
+          [ mk op ] vn_pass
+      in
+      check Alcotest.(list int) "simplified value" [ expect ] after)
+    cases
+
+let test_vn_guard_aware_reuse () =
+  (* a guarded computation may not be reused by an unguarded one *)
+  let instrs =
+    [
+      mk (Instr.Cmp (Opcode.Lt, 5, Instr.Reg 1, Instr.Imm 10));
+      mk ~guard:(g 5) (Instr.Binop (Opcode.Add, 10, Instr.Reg 2, Instr.Imm 1));
+      mk (Instr.Binop (Opcode.Add, 11, Instr.Reg 2, Instr.Imm 1));
+    ]
+  in
+  (* with r1 = 20 the guard is false: r10 keeps its old value (0) while
+     r11 must still be 8; a wrong reuse would make r11 read stale r10 *)
+  let before, after =
+    Generators.check_block_transform
+      ~registers:[ (1, 20); (2, 7) ]
+      ~observe:[ 10; 11 ] instrs vn_pass
+  in
+  check Alcotest.(list int) "guard-aware" before after;
+  check Alcotest.(list int) "values" [ 0; 8 ] after
+
+let test_vn_bool_simplification () =
+  (* or (p and c) (p and not c) collapses to p *)
+  let instrs =
+    [
+      mk (Instr.Cmp (Opcode.Lt, 5, Instr.Reg 1, Instr.Imm 10));  (* p *)
+      mk (Instr.Cmp (Opcode.Eq, 6, Instr.Reg 2, Instr.Imm 0));  (* c *)
+      mk (Instr.Binop (Opcode.And, 7, Instr.Reg 5, Instr.Reg 6));
+      mk (Instr.Binop (Opcode.Xor, 8, Instr.Reg 6, Instr.Imm 1));
+      mk (Instr.Binop (Opcode.And, 9, Instr.Reg 5, Instr.Reg 8));
+      mk (Instr.Binop (Opcode.Or, 10, Instr.Reg 7, Instr.Reg 9));
+      mk (Instr.Store (Instr.Reg 10, Instr.Imm 0, 0));
+    ]
+  in
+  let before, after =
+    Generators.check_block_transform ~registers:[ (1, 3); (2, 9) ] ~observe:[ 10 ]
+      instrs full_pass
+  in
+  check Alcotest.(list int) "collapsed to p" before after;
+  let n = size_after full_pass instrs ~observe:[ 10 ] in
+  check Alcotest.bool "or/and chain eliminated" true (n <= 3)
+
+let test_vn_double_negation () =
+  let instrs =
+    [
+      mk (Instr.Cmp (Opcode.Lt, 5, Instr.Reg 1, Instr.Imm 10));
+      mk (Instr.Binop (Opcode.Xor, 6, Instr.Reg 5, Instr.Imm 1));
+      mk (Instr.Binop (Opcode.Xor, 7, Instr.Reg 6, Instr.Imm 1));
+      mk (Instr.Store (Instr.Reg 7, Instr.Imm 0, 0));
+    ]
+  in
+  let before, after =
+    Generators.check_block_transform ~registers:[ (1, 3) ] ~observe:[ 7 ]
+      instrs full_pass
+  in
+  check Alcotest.(list int) "double negation" before after
+
+let test_vn_linear_chains () =
+  (* j+1+1+1 collapses onto the base register *)
+  let instrs =
+    [
+      mk (Instr.Binop (Opcode.Add, 10, Instr.Reg 1, Instr.Imm 1));
+      mk (Instr.Binop (Opcode.Add, 11, Instr.Reg 10, Instr.Imm 1));
+      mk (Instr.Binop (Opcode.Add, 12, Instr.Reg 11, Instr.Imm 1));
+      mk (Instr.Binop (Opcode.Sub, 13, Instr.Reg 12, Instr.Imm 2));
+    ]
+  in
+  let cfg = Cfg.create () in
+  let b0 = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- b0;
+  Cfg.set_block cfg
+    (Block.make b0 instrs [ { Block.eguard = None; target = Block.Ret None } ]);
+  let b = Trips_opt.Local_vn.run cfg (Cfg.block cfg b0) in
+  (* every add now reads the base register r1 directly *)
+  let reads_base =
+    List.for_all
+      (fun (i : Instr.t) ->
+        match i.Instr.op with
+        | Instr.Binop (_, _, Instr.Reg r, _) -> r = 1
+        | _ -> true)
+      b.Block.instrs
+  in
+  check Alcotest.bool "chains rebased" true reads_base;
+  let before, after =
+    Generators.check_block_transform ~registers:[ (1, 10) ]
+      ~observe:[ 10; 11; 12; 13 ] instrs vn_pass
+  in
+  check Alcotest.(list int) "chain values" before after;
+  check Alcotest.(list int) "expected" [ 11; 12; 13; 11 ] after
+
+let test_vn_store_load_forwarding () =
+  let instrs =
+    [
+      mk (Instr.Store (Instr.Reg 1, Instr.Reg 2, 0));
+      mk (Instr.Load (10, Instr.Reg 2, 0));
+      mk (Instr.Store (Instr.Reg 10, Instr.Imm 5, 0));
+    ]
+  in
+  let n = size_after vn_pass instrs ~observe:[] in
+  check Alcotest.int "load forwarded away (store,mov,store)" 3 n;
+  let before, after =
+    Generators.check_block_transform ~registers:[ (1, 42); (2, 3) ] ~observe:[ 10 ]
+      instrs vn_pass
+  in
+  check Alcotest.(list int) "forwarded value" before after
+
+let test_vn_load_not_forwarded_across_store () =
+  let instrs =
+    [
+      mk (Instr.Load (10, Instr.Reg 2, 0));
+      mk (Instr.Store (Instr.Reg 1, Instr.Reg 3, 0));  (* may alias *)
+      mk (Instr.Load (11, Instr.Reg 2, 0));
+      mk (Instr.Store (Instr.Reg 11, Instr.Imm 5, 0));
+    ]
+  in
+  (* r2 = r3 = same address: the second load must see the stored value *)
+  let before, after =
+    Generators.check_block_transform
+      ~registers:[ (1, 99); (2, 7); (3, 7) ]
+      ~observe:[ 10; 11 ] instrs full_pass
+  in
+  check Alcotest.(list int) "no unsound forwarding" before after;
+  check Alcotest.(list int) "second load sees store" [ 0; 99 ] after
+
+let test_vn_guard_constant_resolution () =
+  let instrs =
+    [
+      mk (Instr.Mov (5, Instr.Imm 1));
+      mk ~guard:(g 5) (Instr.Mov (10, Instr.Imm 7));   (* guard true: kept *)
+      mk ~guard:(ng 5) (Instr.Mov (11, Instr.Imm 8));  (* guard false: deleted *)
+      mk (Instr.Store (Instr.Reg 10, Instr.Imm 0, 0));
+      mk (Instr.Store (Instr.Reg 11, Instr.Imm 1, 0));
+    ]
+  in
+  let before, after =
+    Generators.check_block_transform ~observe:[] instrs vn_pass
+  in
+  check Alcotest.(list int) "constant guards resolved" before after;
+  let n = size_after vn_pass instrs ~observe:[] in
+  check Alcotest.bool "false-guarded instr deleted" true (n <= 4)
+
+(* ---- DCE ---------------------------------------------------------------- *)
+
+let test_dce_removes_dead () =
+  let instrs =
+    [
+      mk (Instr.Mov (10, Instr.Imm 1));  (* dead *)
+      mk (Instr.Mov (11, Instr.Imm 2));  (* live-out *)
+      mk (Instr.Binop (Opcode.Add, 12, Instr.Reg 11, Instr.Imm 1));  (* dead *)
+    ]
+  in
+  let n = size_after dce_pass instrs ~observe:[ 11 ] in
+  check Alcotest.int "only live-out survives" 1 n
+
+let test_dce_keeps_stores_and_guards () =
+  let instrs =
+    [
+      mk (Instr.Cmp (Opcode.Lt, 5, Instr.Reg 1, Instr.Imm 3));
+      mk ~guard:(g 5) (Instr.Store (Instr.Reg 1, Instr.Imm 0, 0));
+    ]
+  in
+  let n = size_after dce_pass instrs ~observe:[] in
+  check Alcotest.int "store and its guard kept" 2 n
+
+let test_dce_guarded_def_does_not_kill () =
+  (* r10 live-out; the guarded redefinition must keep the earlier def *)
+  let instrs =
+    [
+      mk (Instr.Mov (10, Instr.Imm 1));
+      mk ~guard:(g 5) (Instr.Mov (10, Instr.Imm 2));
+    ]
+  in
+  let n = size_after dce_pass instrs ~observe:[ 10 ] in
+  check Alcotest.int "both defs kept" 2 n
+
+(* ---- predicate optimization -------------------------------------------- *)
+
+let test_predopt_drops_chain () =
+  let instrs =
+    [
+      mk (Instr.Cmp (Opcode.Lt, 5, Instr.Reg 1, Instr.Imm 3));
+      mk ~guard:(g 5) (Instr.Binop (Opcode.Add, 10, Instr.Reg 2, Instr.Imm 1));
+      mk ~guard:(g 5) (Instr.Binop (Opcode.Mul, 11, Instr.Reg 10, Instr.Imm 2));
+      mk ~guard:(g 5) (Instr.Store (Instr.Reg 11, Instr.Imm 0, 0));
+    ]
+  in
+  let cfg = Cfg.create () in
+  let b = Block.make 0 instrs [ { Block.eguard = None; target = Block.Ret None } ] in
+  ignore cfg;
+  let b' = Trips_opt.Predicate_opt.run b ~live_out:IntSet.empty in
+  let guards =
+    List.length (List.filter (fun i -> i.Instr.guard <> None) b'.Block.instrs)
+  in
+  check Alcotest.int "only the store stays guarded" 1 guards;
+  let before, after =
+    Generators.check_block_transform ~registers:[ (1, 10); (2, 4) ] ~observe:[]
+      instrs pred_pass
+  in
+  check Alcotest.(list int) "semantics preserved (guard false)" before after
+
+let test_predopt_respects_liveout () =
+  let instrs =
+    [
+      mk (Instr.Cmp (Opcode.Lt, 5, Instr.Reg 1, Instr.Imm 3));
+      mk ~guard:(g 5) (Instr.Binop (Opcode.Add, 10, Instr.Reg 2, Instr.Imm 1));
+    ]
+  in
+  let cfg = Cfg.create () in
+  ignore cfg;
+  let b = Block.make 0 instrs [ { Block.eguard = None; target = Block.Ret None } ] in
+  let b' = Trips_opt.Predicate_opt.run b ~live_out:(IntSet.singleton 10) in
+  let guards =
+    List.length (List.filter (fun i -> i.Instr.guard <> None) b'.Block.instrs)
+  in
+  check Alcotest.int "live-out def keeps its guard" 1 guards
+
+(* ---- whole-pass property ----------------------------------------------- *)
+
+(* Random guarded straight-line blocks: the full optimizer must preserve
+   observable semantics. *)
+let random_block_gen =
+  QCheck2.Gen.(
+    let op_gen =
+      oneof
+        [
+          return Opcode.Add; return Opcode.Sub; return Opcode.Mul;
+          return Opcode.And; return Opcode.Or; return Opcode.Xor;
+        ]
+    in
+    let operand_gen =
+      oneof
+        [ map (fun r -> Instr.Reg (10 + (r mod 8))) (int_bound 100);
+          map (fun n -> Instr.Imm (n - 8)) (int_bound 16) ]
+    in
+    let instr_gen =
+      let* kind = int_bound 9 in
+      let* d = map (fun r -> 10 + (r mod 8)) (int_bound 100) in
+      let* a = operand_gen in
+      let* b = operand_gen in
+      let* op = op_gen in
+      let* guard_kind = int_bound 3 in
+      let guard =
+        (* guards read r17, which instructions may also redefine *)
+        match guard_kind with
+        | 0 -> Some { Instr.greg = 17; sense = true }
+        | 1 -> Some { Instr.greg = 17; sense = false }
+        | _ -> None
+      in
+      return
+        (match kind with
+        | 0 | 1 | 2 | 3 -> (guard, Instr.Binop (op, d, a, b))
+        | 4 | 5 -> (guard, Instr.Cmp (Opcode.Lt, d, a, b))
+        | 6 -> (guard, Instr.Mov (d, a))
+        | 7 -> (guard, Instr.Load (d, a, 0))
+        | _ -> (guard, Instr.Store (a, b, 0)))
+    in
+    list_size (int_range 1 25) instr_gen)
+
+let optimizer_preserves_random_blocks =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"optimizer preserves random guarded blocks"
+       ~count:500 random_block_gen (fun specs ->
+         counter := 1000;
+         let instrs = List.map (fun (guard, op) -> mk ?guard op) specs in
+         let observe = [ 10; 11; 12; 13; 14; 15; 16; 17 ] in
+         let registers = List.mapi (fun k r -> (r, (k * 3) + 1)) observe in
+         let before, after =
+           Generators.check_block_transform ~registers ~observe instrs full_pass
+         in
+         before = after))
+
+(* ---- global value numbering --------------------------------------------- *)
+
+let test_gvn_cross_block () =
+  (* the same expression computed in a dominator and a dominated block:
+     the second occurrence becomes a copy *)
+  let cfg = Cfg.create () in
+  let a = Cfg.fresh_block_id cfg in
+  let b = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- a;
+  let x = Cfg.fresh_reg cfg and y = Cfg.fresh_reg cfg in
+  let t1 = Cfg.fresh_reg cfg and t2 = Cfg.fresh_reg cfg in
+  Cfg.set_block cfg
+    (Block.make a
+       [
+         Cfg.instr cfg (Instr.Mov (x, Instr.Imm 6));
+         Cfg.instr cfg (Instr.Mov (y, Instr.Imm 7));
+         Cfg.instr cfg (Instr.Binop (Opcode.Mul, t1, Instr.Reg x, Instr.Reg y));
+         Cfg.instr cfg (Instr.Store (Instr.Reg t1, Instr.Imm 0, 0));
+       ]
+       [ { Block.eguard = None; target = Block.Goto b } ]);
+  Cfg.set_block cfg
+    (Block.make b
+       [
+         Cfg.instr cfg (Instr.Binop (Opcode.Mul, t2, Instr.Reg x, Instr.Reg y));
+         Cfg.instr cfg (Instr.Store (Instr.Reg t2, Instr.Imm 1, 0));
+       ]
+       [ { Block.eguard = None; target = Block.Ret None } ]);
+  Cfg.validate cfg;
+  let hits = Trips_opt.Gvn.run cfg in
+  check Alcotest.int "one reuse" 1 hits;
+  let has_mul bl =
+    List.exists
+      (fun (i : Instr.t) ->
+        match i.Instr.op with Instr.Binop (Opcode.Mul, _, _, _) -> true | _ -> false)
+      (Cfg.block cfg bl).Block.instrs
+  in
+  check Alcotest.bool "dominator keeps the mul" true (has_mul a);
+  check Alcotest.bool "dominated block reuses" false (has_mul b);
+  let memory = Array.make 4 0 in
+  ignore (Trips_sim.Func_sim.run ~memory cfg);
+  check Alcotest.(list int) "values" [ 42; 42; 0; 0 ] (Array.to_list memory)
+
+let test_gvn_respects_multidef () =
+  (* a register redefined on some path is not reused across blocks *)
+  let cfg = Cfg.create () in
+  let a = Cfg.fresh_block_id cfg in
+  let b = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- a;
+  let x = Cfg.fresh_reg cfg in
+  let t1 = Cfg.fresh_reg cfg and t2 = Cfg.fresh_reg cfg in
+  Cfg.set_block cfg
+    (Block.make a
+       [
+         Cfg.instr cfg (Instr.Mov (x, Instr.Imm 6));
+         Cfg.instr cfg (Instr.Binop (Opcode.Add, t1, Instr.Reg x, Instr.Imm 1));
+         Cfg.instr cfg (Instr.Mov (x, Instr.Imm 100));  (* x redefined! *)
+         Cfg.instr cfg (Instr.Store (Instr.Reg t1, Instr.Imm 0, 0));
+       ]
+       [ { Block.eguard = None; target = Block.Goto b } ]);
+  Cfg.set_block cfg
+    (Block.make b
+       [
+         Cfg.instr cfg (Instr.Binop (Opcode.Add, t2, Instr.Reg x, Instr.Imm 1));
+         Cfg.instr cfg (Instr.Store (Instr.Reg t2, Instr.Imm 1, 0));
+       ]
+       [ { Block.eguard = None; target = Block.Ret None } ]);
+  Cfg.validate cfg;
+  ignore (Trips_opt.Gvn.run cfg);
+  let memory = Array.make 4 0 in
+  ignore (Trips_sim.Func_sim.run ~memory cfg);
+  check Alcotest.(list int) "second add sees new x" [ 7; 101; 0; 0 ]
+    (Array.to_list memory)
+
+let gvn_preserves_random_programs =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"gvn preserves random programs" ~count:40
+       ~print:Generators.print_workload Generators.random_program_gen
+       (fun w ->
+         let baseline = Generators.baseline_of w in
+         let cfg, registers = Trips_harness.Pipeline.lower_workload w in
+         ignore (Trips_opt.Gvn.run cfg);
+         Cfg.validate cfg;
+         let memory = Trips_workloads.Workload.memory w in
+         let r = Trips_sim.Func_sim.run ~registers ~memory cfg in
+         r.Trips_sim.Func_sim.checksum = baseline.Trips_sim.Func_sim.checksum))
+
+let suite =
+  ( "opt",
+    [
+      Alcotest.test_case "gvn cross-block reuse" `Quick test_gvn_cross_block;
+      Alcotest.test_case "gvn respects redefinition" `Quick test_gvn_respects_multidef;
+      gvn_preserves_random_programs;
+      Alcotest.test_case "vn cse" `Quick test_vn_cse;
+      Alcotest.test_case "vn constant folding" `Quick test_vn_constant_folding;
+      Alcotest.test_case "vn algebraic" `Quick test_vn_algebraic;
+      Alcotest.test_case "vn guard-aware reuse" `Quick test_vn_guard_aware_reuse;
+      Alcotest.test_case "vn boolean simplification" `Quick test_vn_bool_simplification;
+      Alcotest.test_case "vn double negation" `Quick test_vn_double_negation;
+      Alcotest.test_case "vn linear chains" `Quick test_vn_linear_chains;
+      Alcotest.test_case "vn store-load forwarding" `Quick test_vn_store_load_forwarding;
+      Alcotest.test_case "vn aliasing safe" `Quick test_vn_load_not_forwarded_across_store;
+      Alcotest.test_case "vn constant guards" `Quick test_vn_guard_constant_resolution;
+      Alcotest.test_case "dce removes dead" `Quick test_dce_removes_dead;
+      Alcotest.test_case "dce keeps stores" `Quick test_dce_keeps_stores_and_guards;
+      Alcotest.test_case "dce guarded defs" `Quick test_dce_guarded_def_does_not_kill;
+      Alcotest.test_case "predopt drops chain" `Quick test_predopt_drops_chain;
+      Alcotest.test_case "predopt respects live-out" `Quick test_predopt_respects_liveout;
+      optimizer_preserves_random_blocks;
+    ] )

@@ -1,0 +1,250 @@
+(* Tests for the back end: register allocation (correctness, precoloring,
+   bank budgets), fanout insertion (target budgets, semantics) and reverse
+   if-conversion (block splitting). *)
+
+open Trips_ir
+open Trips_analysis
+open Trips_regalloc
+
+let check = Alcotest.check
+
+let compile_through_backend name ordering =
+  let w = Option.get (Trips_workloads.Micro.by_name name) in
+  let baseline = Generators.baseline_of w in
+  let c = Trips_harness.Pipeline.compile ~backend:true ordering w in
+  let r = Trips_harness.Pipeline.run_functional c in
+  (w, c, baseline, r)
+
+let test_backend_preserves_semantics () =
+  List.iter
+    (fun name ->
+      let _, _, baseline, r =
+        compile_through_backend name Chf.Phases.Iupo_merged
+      in
+      check Alcotest.int (name ^ " checksum")
+        baseline.Trips_sim.Func_sim.checksum r.Trips_sim.Func_sim.checksum)
+    [ "sieve"; "matrix_1"; "bzip2_3"; "dhry"; "gzip_2"; "twolf_3" ]
+
+let test_cross_block_values_architectural () =
+  (* after allocation, every register live across a block boundary is an
+     architectural register *)
+  List.iter
+    (fun name ->
+      let _, c, _, _ = compile_through_backend name Chf.Phases.Iupo_merged in
+      let cfg = c.Trips_harness.Pipeline.cfg in
+      let live = Liveness.compute cfg in
+      List.iter
+        (fun id ->
+          IntSet.iter
+            (fun r ->
+              check Alcotest.bool
+                (Fmt.str "%s: r%d live at b%d boundary is architectural" name r id)
+                true (Machine.is_arch r))
+            (Liveness.live_in live id))
+        (Cfg.block_ids cfg))
+    [ "sieve"; "matrix_1"; "parser_1" ]
+
+let test_bank_budgets_respected () =
+  List.iter
+    (fun name ->
+      let _, c, _, _ = compile_through_backend name Chf.Phases.Iupo_merged in
+      let viols = Reg_alloc.violations c.Trips_harness.Pipeline.cfg in
+      check Alcotest.int (name ^ " bank violations") 0 (List.length viols))
+    [ "sieve"; "matrix_1"; "dhry"; "parser_1" ]
+
+let count_consumers (b : Block.t) =
+  (* per-definition consumer counts within the block, as fanout sees them *)
+  let counts = Hashtbl.create 32 in
+  let bump r =
+    Hashtbl.replace counts r (1 + Option.value ~default:0 (Hashtbl.find_opt counts r))
+  in
+  let rec walk = function
+    | [] -> ()
+    | (i : Instr.t) :: rest ->
+      List.iter
+        (fun d ->
+          (* uses of d until its next redefinition *)
+          let rec scan = function
+            | [] -> ()
+            | (j : Instr.t) :: tail ->
+              if List.mem d (Instr.uses j) then bump d;
+              if not (List.mem d (Instr.defs j)) then scan tail
+          in
+          Hashtbl.remove counts d;
+          scan rest)
+        (Instr.defs i);
+      walk rest
+  in
+  walk b.Block.instrs;
+  counts
+
+let test_fanout_target_budget () =
+  let _, c, _, _ = compile_through_backend "matrix_1" Chf.Phases.Iupo_merged in
+  let cfg = c.Trips_harness.Pipeline.cfg in
+  Cfg.iter_blocks
+    (fun b ->
+      let counts = count_consumers b in
+      Hashtbl.iter
+        (fun r n ->
+          check Alcotest.bool
+            (Fmt.str "b%d: r%d has %d intra-block consumers" b.Block.id r n)
+            true
+            (n <= Machine.max_targets))
+        counts)
+    cfg
+
+let test_fanout_semantics_on_wide_value () =
+  (* one producer, many consumers: fanout must not change results *)
+  let cfg = Cfg.create () in
+  let b0 = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- b0;
+  let x = 1024 in
+  let producer = Cfg.instr cfg (Instr.Mov (x, Instr.Imm 3)) in
+  let consumers =
+    List.init 9 (fun k ->
+        Cfg.instr cfg
+          (Instr.Store (Instr.Reg x, Instr.Imm k, 0)))
+  in
+  Cfg.set_block cfg
+    (Block.make b0 (producer :: consumers)
+       [ { Block.eguard = None; target = Block.Ret None } ]);
+  Cfg.validate cfg;
+  let run () =
+    let memory = Array.make 16 0 in
+    ignore (Trips_sim.Func_sim.run ~memory cfg);
+    Array.to_list memory
+  in
+  let before = run () in
+  let added = Fanout.run cfg in
+  Cfg.validate cfg;
+  check Alcotest.bool "movs inserted" true (added > 0);
+  check Alcotest.(list int) "stores unchanged" before (run ())
+
+let test_split_block () =
+  let cfg = Cfg.create () in
+  let b0 = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- b0;
+  let instrs =
+    List.init 6 (fun k -> Cfg.instr cfg (Instr.Store (Instr.Imm k, Instr.Imm k, 0)))
+  in
+  Cfg.set_block cfg
+    (Block.make b0 instrs [ { Block.eguard = None; target = Block.Ret None } ]);
+  let run () =
+    let memory = Array.make 8 0 in
+    ignore (Trips_sim.Func_sim.run ~memory cfg);
+    Array.to_list memory
+  in
+  let before = run () in
+  (match Reverse_if_convert.split_block cfg b0 with
+  | Some new_id ->
+    check Alcotest.bool "new block exists" true (Cfg.mem cfg new_id);
+    check Alcotest.int "halves" 3 (Block.size (Cfg.block cfg b0));
+    check Alcotest.int "halves'" 3 (Block.size (Cfg.block cfg new_id))
+  | None -> Alcotest.fail "split refused");
+  Cfg.validate cfg;
+  check Alcotest.(list int) "semantics preserved" before (run ())
+
+let test_split_refuses_tiny () =
+  let cfg = Cfg.create () in
+  let b0 = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- b0;
+  Cfg.set_block cfg
+    (Block.make b0
+       [ Cfg.instr cfg (Instr.Mov (1024, Instr.Imm 1)) ]
+       [ { Block.eguard = None; target = Block.Ret None } ]);
+  check Alcotest.(option int) "refuses one-instruction block" None
+    (Reverse_if_convert.split_block cfg b0)
+
+let test_precolored_second_round () =
+  (* run RA, split a block, run RA again: new boundary values must avoid
+     the already-assigned architectural registers *)
+  let w = Option.get (Trips_workloads.Micro.by_name "dhry") in
+  let baseline = Generators.baseline_of w in
+  let profile, _ = Trips_harness.Pipeline.profile_workload w in
+  let cfg, registers = Trips_harness.Pipeline.lower_workload w in
+  Trips_opt.Optimizer.optimize_cfg cfg;
+  ignore (Chf.Formation.run Chf.Policy.edge_default cfg profile);
+  let res1 = Reg_alloc.run cfg in
+  (* split the biggest block to create new cross-block values *)
+  let biggest =
+    List.fold_left
+      (fun acc id ->
+        match acc with
+        | Some b when Block.size (Cfg.block cfg b) >= Block.size (Cfg.block cfg id) -> acc
+        | _ -> Some id)
+      None (Cfg.block_ids cfg)
+  in
+  (match biggest with
+  | Some id -> ignore (Reverse_if_convert.split_block cfg id)
+  | None -> ());
+  let res2 = Reg_alloc.run cfg in
+  Cfg.validate cfg;
+  let mapping r =
+    IntMap.find_or ~default:r r
+      (IntMap.union (fun _ a _ -> Some a) res2.Reg_alloc.mapping res1.Reg_alloc.mapping)
+  in
+  let registers = List.map (fun (r, v) -> (mapping (IntMap.find_or ~default:r r res1.Reg_alloc.mapping), v)) registers in
+  let memory = Trips_workloads.Workload.memory w in
+  let r = Trips_sim.Func_sim.run ~registers ~memory cfg in
+  check Alcotest.int "two-round allocation preserves semantics"
+    baseline.Trips_sim.Func_sim.checksum r.Trips_sim.Func_sim.checksum
+
+let backend_random_programs =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"full backend preserves random programs" ~count:25
+       ~print:Generators.print_workload Generators.random_program_gen
+       (fun w ->
+         let baseline = Generators.baseline_of w in
+         let c =
+           Trips_harness.Pipeline.compile ~backend:true Chf.Phases.Iupo_merged w
+         in
+         let r = Trips_harness.Pipeline.run_functional c in
+         r.Trips_sim.Func_sim.checksum = baseline.Trips_sim.Func_sim.checksum))
+
+let test_tasm_emission () =
+  let _, c, _, _ = compile_through_backend "gzip_1" Chf.Phases.Iupo_merged in
+  let asm = Tasm.to_string c.Trips_harness.Pipeline.cfg in
+  check Alcotest.bool "has block headers" true
+    (String.length asm > 200
+    && List.exists
+         (fun line -> String.length line >= 7 && String.sub line 0 7 = ".bbegin")
+         (String.split_on_char '\n' asm));
+  (* block budget annotations present *)
+  check Alcotest.bool "has budget comments" true
+    (List.exists
+       (fun line ->
+         String.length line >= 5 && String.sub line 0 5 = ".bend")
+       (String.split_on_char '\n' asm))
+
+let test_dot_export () =
+  let _, c, _, _ = compile_through_backend "sieve" Chf.Phases.Iupo_merged in
+  let dot = Trips_ir.Dot.to_string c.Trips_harness.Pipeline.cfg in
+  check Alcotest.bool "digraph wrapper" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph");
+  (* one node line per block *)
+  let blocks = Trips_ir.Cfg.num_blocks c.Trips_harness.Pipeline.cfg in
+  let node_lines =
+    List.filter
+      (fun l -> String.length l > 4 && String.sub l 0 3 = "  b"
+                && String.contains l '[')
+      (String.split_on_char '\n' dot)
+  in
+  check Alcotest.bool "node per block" true (List.length node_lines >= blocks)
+
+let suite =
+  ( "regalloc",
+    [
+      Alcotest.test_case "tasm emission" `Quick test_tasm_emission;
+      Alcotest.test_case "dot export" `Quick test_dot_export;
+      Alcotest.test_case "backend preserves semantics" `Quick
+        test_backend_preserves_semantics;
+      Alcotest.test_case "cross-block values architectural" `Quick
+        test_cross_block_values_architectural;
+      Alcotest.test_case "bank budgets" `Quick test_bank_budgets_respected;
+      Alcotest.test_case "fanout target budget" `Quick test_fanout_target_budget;
+      Alcotest.test_case "fanout semantics" `Quick test_fanout_semantics_on_wide_value;
+      Alcotest.test_case "split block" `Quick test_split_block;
+      Alcotest.test_case "split refuses tiny" `Quick test_split_refuses_tiny;
+      Alcotest.test_case "precolored second round" `Quick test_precolored_second_round;
+      backend_random_programs;
+    ] )

@@ -1,0 +1,254 @@
+(* Tests for the simulators: functional interpreter semantics and
+   invariants, the branch predictor, the cache model and the cycle-level
+   timing model's sanity properties. *)
+
+open Trips_ir
+open Trips_sim
+
+let check = Alcotest.check
+
+(* ---- functional simulator ---------------------------------------------- *)
+
+let single_block instrs exits =
+  let cfg = Cfg.create () in
+  let b0 = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- b0;
+  Cfg.set_block cfg (Block.make b0 instrs exits);
+  cfg
+
+let mkins =
+  let c = ref 0 in
+  fun ?guard op ->
+    incr c;
+    Instr.make ?guard !c op
+
+let test_guard_semantics () =
+  let g = { Instr.greg = 1024; sense = true } in
+  let cfg =
+    single_block
+      [
+        mkins (Instr.Mov (1024, Instr.Imm 0));
+        mkins ~guard:g (Instr.Mov (1025, Instr.Imm 7));  (* skipped *)
+        mkins ~guard:{ g with Instr.sense = false } (Instr.Mov (1026, Instr.Imm 9));
+      ]
+      [ { Block.eguard = None; target = Block.Ret (Some (Instr.Reg 1026)) } ]
+  in
+  let r = Func_sim.run ~memory:(Array.make 4 0) cfg in
+  check Alcotest.(option int) "false-guarded skipped, true-guarded ran" (Some 9)
+    r.Func_sim.ret;
+  check Alcotest.int "fired count excludes nullified" 2 r.Func_sim.instrs_executed;
+  check Alcotest.int "fetched counts everything" 3 r.Func_sim.instrs_fetched
+
+let test_exit_invariant_violation () =
+  (* two unguardable-true exits: strict mode must fail *)
+  let cfg =
+    single_block
+      [ mkins (Instr.Mov (1024, Instr.Imm 1)) ]
+      [
+        { Block.eguard = Some { Instr.greg = 1024; sense = true }; target = Block.Ret None };
+        { Block.eguard = Some { Instr.greg = 1024; sense = true }; target = Block.Ret None };
+      ]
+  in
+  check Alcotest.bool "strict mode raises" true
+    (try
+       ignore (Func_sim.run ~memory:(Array.make 4 0) cfg);
+       false
+     with Func_sim.Exit_invariant_violated _ -> true)
+
+let test_no_exit_fires () =
+  let cfg =
+    single_block
+      [ mkins (Instr.Mov (1024, Instr.Imm 0)) ]
+      [
+        { Block.eguard = Some { Instr.greg = 1024; sense = true }; target = Block.Ret None };
+      ]
+  in
+  check Alcotest.bool "no exit raises" true
+    (try
+       ignore (Func_sim.run ~memory:(Array.make 4 0) cfg);
+       false
+     with Func_sim.Exit_invariant_violated _ -> true)
+
+let test_fuel () =
+  let cfg = Cfg.create () in
+  let b0 = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- b0;
+  Cfg.set_block cfg
+    (Block.make b0
+       [ mkins (Instr.Mov (1024, Instr.Imm 1)) ]
+       [ { Block.eguard = None; target = Block.Goto b0 } ]);
+  check Alcotest.bool "fuel exhaustion raises" true
+    (try
+       ignore (Func_sim.run ~fuel:100 ~memory:(Array.make 4 0) cfg);
+       false
+     with Func_sim.Out_of_fuel _ -> true)
+
+let test_memory_wrapping () =
+  let cfg =
+    single_block
+      [
+        mkins (Instr.Store (Instr.Imm 42, Instr.Imm (-1), 0));
+        mkins (Instr.Load (1024, Instr.Imm 15, 0));
+      ]
+      [ { Block.eguard = None; target = Block.Ret (Some (Instr.Reg 1024)) } ]
+  in
+  let r = Func_sim.run ~memory:(Array.make 16 0) cfg in
+  check Alcotest.(option int) "negative address wraps to top" (Some 42) r.Func_sim.ret
+
+let test_profile_collection () =
+  let w = Option.get (Trips_workloads.Micro.by_name "ammp_1") in
+  let profile, result = Trips_harness.Pipeline.profile_workload w in
+  check Alcotest.bool "blocks counted" true (result.Func_sim.blocks_executed > 0);
+  (* edge probabilities from any block sum to <= 1 + epsilon *)
+  let cfg, _ = Trips_harness.Pipeline.lower_workload w in
+  Cfg.iter_blocks
+    (fun b ->
+      let succs = Block.distinct_successors b in
+      let total =
+        List.fold_left
+          (fun acc s ->
+            acc +. Trips_profile.Profile.edge_prob profile ~src:b.Block.id ~dst:s)
+          0.0 succs
+      in
+      check Alcotest.bool
+        (Fmt.str "b%d outgoing probability mass %.2f" b.Block.id total)
+        true
+        (total <= 1.0001))
+    cfg
+
+(* ---- predictor --------------------------------------------------------- *)
+
+let test_predictor_learns_loop () =
+  let p = Predictor.create () in
+  (* steady loop: block 5 -> 5 -> ... learns quickly *)
+  for _ = 1 to 50 do
+    ignore (Predictor.update p ~block:5 ~actual:5)
+  done;
+  check Alcotest.bool "high accuracy on a steady loop" true
+    (Predictor.accuracy p > 0.9);
+  (* a loop exit is a miss, but a single one *)
+  let correct = Predictor.update p ~block:5 ~actual:9 in
+  check Alcotest.bool "exit mispredicts" false correct
+
+let test_predictor_hysteresis () =
+  (* no history bits: direct-mapped table, so the entry is stable *)
+  let p = Predictor.create ~history_bits:0 () in
+  for _ = 1 to 20 do
+    ignore (Predictor.update p ~block:1 ~actual:2)
+  done;
+  (* one noise event must not flip the stored target *)
+  ignore (Predictor.update p ~block:1 ~actual:3);
+  check Alcotest.(option int) "target retained" (Some 2)
+    (Predictor.predict p ~block:1)
+
+(* ---- cache -------------------------------------------------------------- *)
+
+let test_cache_basics () =
+  let c = Cache.create ~size_words:64 ~line_words:8 () in
+  check Alcotest.bool "cold miss" false (Cache.access c ~addr:0);
+  check Alcotest.bool "same line hits" true (Cache.access c ~addr:7);
+  check Alcotest.bool "next line misses" false (Cache.access c ~addr:8);
+  (* direct-mapped conflict: addr 0 and addr 64 share a set *)
+  ignore (Cache.access c ~addr:64);
+  check Alcotest.bool "conflict evicts" false (Cache.access c ~addr:0)
+
+(* ---- cycle simulator ---------------------------------------------------- *)
+
+let cycle_of name ordering =
+  let w = Option.get (Trips_workloads.Micro.by_name name) in
+  let c = Trips_harness.Pipeline.compile ~backend:true ordering w in
+  Trips_harness.Pipeline.run_cycles c
+
+let test_cycle_matches_functional () =
+  let w = Option.get (Trips_workloads.Micro.by_name "sieve") in
+  let c = Trips_harness.Pipeline.compile ~backend:true Chf.Phases.Iupo_merged w in
+  let f = Trips_harness.Pipeline.run_functional c in
+  let t = Trips_harness.Pipeline.run_cycles c in
+  check Alcotest.int "same checksum" f.Func_sim.checksum t.Cycle_sim.checksum;
+  check Alcotest.int "same block count" f.Func_sim.blocks_executed t.Cycle_sim.blocks;
+  check Alcotest.(option int) "same return" f.Func_sim.ret t.Cycle_sim.ret
+
+let test_cycle_sanity () =
+  let r = cycle_of "sieve" Chf.Phases.Basic_blocks in
+  (* cycles must cover at least issue-width-limited execution *)
+  check Alcotest.bool "cycles >= instructions / width" true
+    (r.Cycle_sim.cycles * Machine.issue_width >= r.Cycle_sim.instrs_fired);
+  check Alcotest.bool "cycles at least commit-bound" true
+    (r.Cycle_sim.cycles >= 2 * r.Cycle_sim.blocks);
+  check Alcotest.bool "some mispredictions on a branchy kernel" true
+    (r.Cycle_sim.mispredictions > 0)
+
+let test_cycle_deterministic () =
+  let a = cycle_of "dhry" Chf.Phases.Iupo_merged in
+  let b = cycle_of "dhry" Chf.Phases.Iupo_merged in
+  check Alcotest.int "deterministic cycles" a.Cycle_sim.cycles b.Cycle_sim.cycles;
+  check Alcotest.int "deterministic mispredictions" a.Cycle_sim.mispredictions
+    b.Cycle_sim.mispredictions
+
+let test_flush_penalty_visible () =
+  (* raising the flush penalty cannot make programs faster *)
+  let w = Option.get (Trips_workloads.Micro.by_name "art_1") in
+  let c = Trips_harness.Pipeline.compile ~backend:true Chf.Phases.Basic_blocks w in
+  let base = Trips_harness.Pipeline.run_cycles c in
+  let slow =
+    Trips_harness.Pipeline.run_cycles
+      ~timing:{ Cycle_sim.default_timing with Cycle_sim.flush_penalty = 100 }
+      c
+  in
+  check Alcotest.bool "bigger flush penalty, more cycles" true
+    (slow.Cycle_sim.cycles >= base.Cycle_sim.cycles)
+
+let test_block_overhead_visible () =
+  let w = Option.get (Trips_workloads.Micro.by_name "vadd") in
+  let c = Trips_harness.Pipeline.compile ~backend:true Chf.Phases.Basic_blocks w in
+  let base = Trips_harness.Pipeline.run_cycles c in
+  let heavy =
+    Trips_harness.Pipeline.run_cycles
+      ~timing:{ Cycle_sim.default_timing with Cycle_sim.block_overhead = 30 }
+      c
+  in
+  check Alcotest.bool "per-block overhead dominates block-bound code" true
+    (heavy.Cycle_sim.cycles > base.Cycle_sim.cycles)
+
+let test_spatial_model () =
+  (* unoptimized placement (grid mode) must be no faster than the flat
+     (optimized-placement) default, and both must agree functionally *)
+  let w = Option.get (Trips_workloads.Micro.by_name "doppler_GMTI") in
+  let c = Trips_harness.Pipeline.compile ~backend:true Chf.Phases.Iupo_merged w in
+  let flat = Trips_harness.Pipeline.run_cycles c in
+  let spatial =
+    Trips_harness.Pipeline.run_cycles
+      ~timing:{ Cycle_sim.default_timing with Cycle_sim.spatial_grid = 4 }
+      c
+  in
+  check Alcotest.int "same checksum" spatial.Cycle_sim.checksum flat.Cycle_sim.checksum;
+  check Alcotest.bool "spatial routing costs at least as much" true
+    (spatial.Cycle_sim.cycles >= flat.Cycle_sim.cycles);
+  (* a pricier network slows things further *)
+  let pricey =
+    Trips_harness.Pipeline.run_cycles
+      ~timing:{ Cycle_sim.default_timing with Cycle_sim.operand_hop = 4 }
+      c
+  in
+  check Alcotest.bool "operand network visible" true
+    (pricey.Cycle_sim.cycles > spatial.Cycle_sim.cycles)
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "spatial placement model" `Quick test_spatial_model;
+      Alcotest.test_case "guard semantics" `Quick test_guard_semantics;
+      Alcotest.test_case "exit invariant violation" `Quick test_exit_invariant_violation;
+      Alcotest.test_case "no exit fires" `Quick test_no_exit_fires;
+      Alcotest.test_case "fuel" `Quick test_fuel;
+      Alcotest.test_case "memory wrapping" `Quick test_memory_wrapping;
+      Alcotest.test_case "profile collection" `Quick test_profile_collection;
+      Alcotest.test_case "predictor learns loops" `Quick test_predictor_learns_loop;
+      Alcotest.test_case "predictor hysteresis" `Quick test_predictor_hysteresis;
+      Alcotest.test_case "cache basics" `Quick test_cache_basics;
+      Alcotest.test_case "cycle matches functional" `Quick test_cycle_matches_functional;
+      Alcotest.test_case "cycle sanity" `Quick test_cycle_sanity;
+      Alcotest.test_case "cycle deterministic" `Quick test_cycle_deterministic;
+      Alcotest.test_case "flush penalty visible" `Quick test_flush_penalty_visible;
+      Alcotest.test_case "block overhead visible" `Quick test_block_overhead_visible;
+    ] )

@@ -1,0 +1,252 @@
+(* Tests for the structural transformations: the Combine merge primitive
+   (if-conversion with entry predicates, snapshots, guard conjunction),
+   duplication helpers and CFG-level loop unrolling/peeling. *)
+
+open Trips_ir
+open Trips_transform
+
+let check = Alcotest.check
+
+let run_cfg ?(registers = []) ?(memory_words = 64) cfg =
+  let memory = Array.make memory_words 0 in
+  let r = Trips_sim.Func_sim.run ~registers ~memory cfg in
+  (r, memory)
+
+(* A diamond: entry computes c = (r1 < 10); then-branch adds 100,
+   else-branch adds 200; join stores the result and returns it. *)
+let make_diamond () =
+  let cfg = Cfg.create ~name:"diamond" () in
+  let a = Cfg.fresh_block_id cfg in
+  let b = Cfg.fresh_block_id cfg in
+  let c = Cfg.fresh_block_id cfg in
+  let d = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- a;
+  let cond = Cfg.fresh_reg cfg in
+  let acc = Cfg.fresh_reg cfg in
+  Cfg.set_block cfg
+    (Block.make a
+       [
+         Cfg.instr cfg (Instr.Mov (acc, Instr.Reg 1024));
+         Cfg.instr cfg (Instr.Cmp (Opcode.Lt, cond, Instr.Reg 1024, Instr.Imm 10));
+       ]
+       [
+         { Block.eguard = Some { Instr.greg = cond; sense = true }; target = Block.Goto b };
+         { Block.eguard = Some { Instr.greg = cond; sense = false }; target = Block.Goto c };
+       ]);
+  Cfg.set_block cfg
+    (Block.make b
+       [ Cfg.instr cfg (Instr.Binop (Opcode.Add, acc, Instr.Reg acc, Instr.Imm 100)) ]
+       [ { Block.eguard = None; target = Block.Goto d } ]);
+  Cfg.set_block cfg
+    (Block.make c
+       [ Cfg.instr cfg (Instr.Binop (Opcode.Add, acc, Instr.Reg acc, Instr.Imm 200)) ]
+       [ { Block.eguard = None; target = Block.Goto d } ]);
+  Cfg.set_block cfg
+    (Block.make d
+       [ Cfg.instr cfg (Instr.Store (Instr.Reg acc, Instr.Imm 0, 0)) ]
+       [ { Block.eguard = None; target = Block.Ret (Some (Instr.Reg acc)) } ]);
+  Cfg.validate cfg;
+  (cfg, a, b, c, d, acc)
+
+let test_combine_unique_pred () =
+  (* merging B into A consumes the (cond,true) exit and guards B's add *)
+  let cfg, a, b, _, _, _ = make_diamond () in
+  let hb = Cfg.block cfg a in
+  let s = Cfg.block cfg b in
+  let merged, stats = Combine.combine cfg ~hb ~s ~s_label:b in
+  check Alcotest.int "no helper instructions needed" 0
+    stats.Combine.combine_instrs;
+  check Alcotest.int "exits: kept false-exit + B's exit" 2
+    (List.length merged.Block.exits);
+  let guarded_adds =
+    List.filter
+      (fun (i : Instr.t) ->
+        match i.Instr.op with Instr.Binop (Opcode.Add, _, _, _) -> i.Instr.guard <> None | _ -> false)
+      merged.Block.instrs
+  in
+  check Alcotest.int "B's add got the entry guard" 1 (List.length guarded_adds);
+  (* commit and check semantics on both sides of the branch *)
+  Cfg.set_block cfg merged;
+  Cfg.remove_block cfg b;
+  Cfg.validate cfg;
+  let r1, _ = run_cfg ~registers:[ (1024, 5) ] cfg in
+  let r2, _ = run_cfg ~registers:[ (1024, 50) ] cfg in
+  check Alcotest.(option int) "then side" (Some 105) r1.Trips_sim.Func_sim.ret;
+  check Alcotest.(option int) "else side" (Some 250) r2.Trips_sim.Func_sim.ret
+
+let test_combine_or_entry () =
+  (* Merge B, C, then D: D is entered through two guarded exits, so the
+     entry predicate is an OR and the merged block keeps the exactly-one-
+     exit invariant. *)
+  let cfg, a, b, c, d, _ = make_diamond () in
+  let merge s_id =
+    let hb = Cfg.block cfg a in
+    let s = Cfg.block cfg s_id in
+    let merged, _ = Combine.combine cfg ~hb ~s ~s_label:s_id in
+    Cfg.set_block cfg merged;
+    Cfg.remove_block cfg s_id
+  in
+  merge b;
+  merge c;
+  merge d;
+  Cfg.validate cfg;
+  check Alcotest.int "single block left" 1 (Cfg.num_blocks cfg);
+  (* strict interpretation checks exit exclusivity *)
+  let r1, mem1 = run_cfg ~registers:[ (1024, 5) ] cfg in
+  let r2, mem2 = run_cfg ~registers:[ (1024, 50) ] cfg in
+  check Alcotest.(option int) "then result" (Some 105) r1.Trips_sim.Func_sim.ret;
+  check Alcotest.(option int) "else result" (Some 250) r2.Trips_sim.Func_sim.ret;
+  check Alcotest.int "then store" 105 mem1.(0);
+  check Alcotest.int "else store" 250 mem2.(0)
+
+let test_combine_snapshot () =
+  (* S redefines the register a kept exit's guard reads: the kept exit
+     must observe the entry-time value via a snapshot. *)
+  let cfg = Cfg.create ~name:"snap" () in
+  let a = Cfg.fresh_block_id cfg in
+  let s = Cfg.fresh_block_id cfg in
+  let out = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- a;
+  let c = 1024 in
+  Cfg.set_block cfg
+    (Block.make a
+       [ Cfg.instr cfg (Instr.Cmp (Opcode.Lt, c, Instr.Reg 1025, Instr.Imm 10)) ]
+       [
+         { Block.eguard = Some { Instr.greg = c; sense = true }; target = Block.Goto s };
+         { Block.eguard = Some { Instr.greg = c; sense = false }; target = Block.Goto out };
+       ]);
+  (* S flips c to 1 unconditionally, then returns 7 *)
+  Cfg.set_block cfg
+    (Block.make s
+       [ Cfg.instr cfg (Instr.Mov (c, Instr.Imm 1)) ]
+       [ { Block.eguard = None; target = Block.Ret (Some (Instr.Imm 7)) } ]);
+  Cfg.set_block cfg
+    (Block.make out [] [ { Block.eguard = None; target = Block.Ret (Some (Instr.Imm 9)) } ]);
+  Cfg.validate cfg;
+  let hb = Cfg.block cfg a in
+  let sb = Cfg.block cfg s in
+  let merged, _ = Combine.combine cfg ~hb ~s:sb ~s_label:s in
+  Cfg.set_block cfg merged;
+  Cfg.remove_block cfg s;
+  Cfg.validate cfg;
+  (* without the snapshot, the false-exit guard would read the new c=1
+     and no exit (or two exits) would fire *)
+  let r1, _ = run_cfg ~registers:[ (1025, 5) ] cfg in
+  let r2, _ = run_cfg ~registers:[ (1025, 50) ] cfg in
+  check Alcotest.(option int) "into S" (Some 7) r1.Trips_sim.Func_sim.ret;
+  check Alcotest.(option int) "around S" (Some 9) r2.Trips_sim.Func_sim.ret
+
+let test_combine_rejects_missing_edge () =
+  let cfg, a, _, _, d, _ = make_diamond () in
+  let hb = Cfg.block cfg a in
+  let s = Cfg.block cfg d in
+  Alcotest.check_raises "no edge to merge"
+    (Combine.Cannot_combine "b0 has no exit to b3") (fun () ->
+      ignore (Combine.combine cfg ~hb ~s ~s_label:d))
+
+(* ---- duplication helpers ----------------------------------------------- *)
+
+let test_copy_block_exits_verbatim () =
+  (* copying a self-looping block: the copy's "self" exit targets the
+     ORIGINAL (Figure 3's B' -> B) *)
+  let cfg = Cfg.create () in
+  let b = Cfg.fresh_block_id cfg in
+  cfg.Cfg.entry <- b;
+  let c = Cfg.fresh_reg cfg in
+  Cfg.set_block cfg
+    (Block.make b
+       [ Cfg.instr cfg (Instr.Cmp (Opcode.Lt, c, Instr.Reg 1024, Instr.Imm 3)) ]
+       [
+         { Block.eguard = Some { Instr.greg = c; sense = true }; target = Block.Goto b };
+         { Block.eguard = Some { Instr.greg = c; sense = false }; target = Block.Ret None };
+       ]);
+  let copy = Duplicate.copy_block cfg (Cfg.block cfg b) in
+  check Alcotest.bool "copy has fresh id" true (copy.Block.id <> b);
+  check Alcotest.(list int) "copy still targets original" [ b ]
+    (Block.successors copy);
+  (* instruction ids must be globally unique *)
+  Cfg.validate cfg
+
+(* ---- CFG-level loop transformations ------------------------------------ *)
+
+let trip_sum_workload n =
+  let open Trips_lang.Ast in
+  {
+    prog_name = "trip_sum";
+    params = [];
+    body =
+      [
+        "acc" <-- i 0;
+        "k" <-- i 0;
+        While (v "k" < i n,
+          [ "acc" <-- (v "acc" + mem (v "k")); "k" <-- (v "k" + i 1) ]);
+        Return (Some (v "acc"));
+      ];
+  }
+
+let cfg_loop_preserves ~transform n =
+  let p = trip_sum_workload n in
+  let cfg, _ = Trips_lang.Lower.lower p in
+  let init m = Array.iteri (fun k _ -> m.(k) <- (k * 7) mod 13) m in
+  let mem0 = Array.make 64 0 in
+  init mem0;
+  let base = Trips_sim.Func_sim.run ~memory:mem0 cfg in
+  let cfg2, _ = Trips_lang.Lower.lower p in
+  let loops = Trips_analysis.Loops.compute cfg2 in
+  (match Trips_analysis.Loops.all_loops loops with
+  | [ l ] -> transform cfg2 l
+  | _ -> Alcotest.fail "expected one loop");
+  Cfg.validate cfg2;
+  let mem1 = Array.make 64 0 in
+  init mem1;
+  let r = Trips_sim.Func_sim.run ~memory:mem1 cfg2 in
+  (base.Trips_sim.Func_sim.ret, r.Trips_sim.Func_sim.ret)
+
+let test_cfg_unroll () =
+  List.iter
+    (fun (n, factor) ->
+      let a, b =
+        cfg_loop_preserves n ~transform:(fun cfg l ->
+            ignore (Cfg_loop.unroll cfg l ~factor))
+      in
+      check Alcotest.(option int)
+        (Printf.sprintf "unroll n=%d factor=%d" n factor)
+        a b)
+    [ (0, 2); (1, 2); (7, 2); (7, 3); (8, 4); (13, 5) ]
+
+let test_cfg_peel () =
+  List.iter
+    (fun (n, count) ->
+      let a, b =
+        cfg_loop_preserves n ~transform:(fun cfg l ->
+            ignore (Cfg_loop.peel cfg l ~count))
+      in
+      check Alcotest.(option int)
+        (Printf.sprintf "peel n=%d count=%d" n count)
+        a b)
+    [ (0, 1); (1, 1); (2, 3); (7, 2); (7, 8) ]
+
+let test_cfg_unroll_adds_blocks () =
+  let p = trip_sum_workload 9 in
+  let cfg, _ = Trips_lang.Lower.lower p in
+  let before = Cfg.num_blocks cfg in
+  let loops = Trips_analysis.Loops.compute cfg in
+  let l = List.hd (Trips_analysis.Loops.all_loops loops) in
+  let added = Cfg_loop.unroll cfg l ~factor:3 in
+  check Alcotest.int "copies added" added (Cfg.num_blocks cfg - before);
+  check Alcotest.bool "two body copies" true (added > 0)
+
+let suite =
+  ( "transform",
+    [
+      Alcotest.test_case "combine: unique predecessor" `Quick test_combine_unique_pred;
+      Alcotest.test_case "combine: OR entry predicate" `Quick test_combine_or_entry;
+      Alcotest.test_case "combine: exit-guard snapshot" `Quick test_combine_snapshot;
+      Alcotest.test_case "combine: rejects missing edge" `Quick
+        test_combine_rejects_missing_edge;
+      Alcotest.test_case "copy keeps original targets" `Quick
+        test_copy_block_exits_verbatim;
+      Alcotest.test_case "cfg unroll preserves semantics" `Quick test_cfg_unroll;
+      Alcotest.test_case "cfg peel preserves semantics" `Quick test_cfg_peel;
+      Alcotest.test_case "cfg unroll adds blocks" `Quick test_cfg_unroll_adds_blocks;
+    ] )

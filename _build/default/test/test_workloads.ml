@@ -1,0 +1,127 @@
+(* Tests for the workload suite: determinism, the documented control-flow
+   characters that the experiments rely on, and the SPEC-like generator. *)
+
+open Trips_workloads
+
+let check = Alcotest.check
+
+let test_micro_roster () =
+  check Alcotest.int "24 microbenchmarks" 24 (List.length Micro.all);
+  let names = List.map (fun w -> w.Workload.name) Micro.all in
+  check Alcotest.bool "unique names" true
+    (List.length (List.sort_uniq compare names) = 24);
+  List.iter
+    (fun n ->
+      check Alcotest.bool (n ^ " present") true (Micro.by_name n <> None))
+    [ "ammp_1"; "bzip2_3"; "gzip_1"; "matrix_1"; "sieve"; "vadd"; "dhry" ]
+
+let test_micro_deterministic () =
+  List.iter
+    (fun w ->
+      let a = Generators.baseline_of w in
+      let b = Generators.baseline_of w in
+      check Alcotest.int (w.Workload.name ^ " deterministic")
+        a.Trips_sim.Func_sim.checksum b.Trips_sim.Func_sim.checksum)
+    Micro.all
+
+let test_micro_terminate_reasonably () =
+  List.iter
+    (fun w ->
+      let r = Generators.baseline_of w in
+      check Alcotest.bool
+        (Fmt.str "%s runs %d instrs" w.Workload.name r.Trips_sim.Func_sim.instrs_executed)
+        true
+        (r.Trips_sim.Func_sim.instrs_executed > 500
+        && r.Trips_sim.Func_sim.instrs_executed < 3_000_000))
+    Micro.all
+
+let test_ammp_trip_counts () =
+  (* ammp_1's inner while loops must have small trip counts (the paper's
+     head-duplication case) *)
+  let w = Option.get (Micro.by_name "ammp_1") in
+  let profile, _ = Trips_harness.Pipeline.profile_workload w in
+  let cfg, _ = Trips_harness.Pipeline.lower_workload w in
+  let loops = Trips_analysis.Loops.compute cfg in
+  let small_trip_loops =
+    List.filter
+      (fun (l : Trips_analysis.Loops.loop) ->
+        match
+          Trips_profile.Profile.average_trip_count profile l.Trips_analysis.Loops.header
+        with
+        | Some avg -> avg > 0.5 && avg < 6.0
+        | None -> false)
+      (Trips_analysis.Loops.all_loops loops)
+  in
+  check Alcotest.bool "at least two small-trip while loops" true
+    (List.length small_trip_loops >= 2)
+
+let test_bzip2_3_rare_branch () =
+  (* the side block must be rare (~2%) for the Table 2 story to hold *)
+  let w = Option.get (Micro.by_name "bzip2_3") in
+  let profile, _ = Trips_harness.Pipeline.profile_workload w in
+  let cfg, _ = Trips_harness.Pipeline.lower_workload w in
+  let rare_edge_exists =
+    List.exists
+      (fun b ->
+        List.exists
+          (fun s ->
+            let p =
+              Trips_profile.Profile.edge_prob profile
+                ~src:b.Trips_ir.Block.id ~dst:s
+            in
+            p > 0.0 && p < 0.10
+            && Trips_profile.Profile.block_count profile b.Trips_ir.Block.id > 100)
+          (Trips_ir.Block.distinct_successors b))
+      (Trips_ir.Cfg.blocks cfg)
+  in
+  check Alcotest.bool "rare branch present" true rare_edge_exists
+
+let test_parser_unpredictable_branches () =
+  let w = Option.get (Micro.by_name "parser_1") in
+  let r = Generators.baseline_of w in
+  check Alcotest.bool "runs" true (r.Trips_sim.Func_sim.blocks_executed > 1000)
+
+let test_spec_roster () =
+  check Alcotest.int "19 SPEC-like programs" 19 (List.length Spec_like.all);
+  let expected =
+    [
+      "ammp"; "applu"; "apsi"; "art"; "bzip2"; "crafty"; "equake"; "gap";
+      "gzip"; "mcf"; "mesa"; "mgrid"; "parser"; "sixtrack"; "swim"; "twolf";
+      "vortex"; "vpr"; "wupwise";
+    ]
+  in
+  List.iter
+    (fun n -> check Alcotest.bool (n ^ " present") true (Spec_like.by_name n <> None))
+    expected
+
+let test_spec_deterministic_and_nontrivial () =
+  List.iter
+    (fun w ->
+      let a = Generators.baseline_of w in
+      let b = Generators.baseline_of w in
+      check Alcotest.int (w.Workload.name ^ " deterministic")
+        a.Trips_sim.Func_sim.checksum b.Trips_sim.Func_sim.checksum;
+      check Alcotest.bool (w.Workload.name ^ " nontrivial") true
+        (a.Trips_sim.Func_sim.blocks_executed > 50))
+    Spec_like.all
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  check Alcotest.(list int) "same stream" xs ys;
+  check Alcotest.bool "bounded" true (List.for_all (fun x -> x >= 0 && x < 1000) xs)
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "micro roster" `Quick test_micro_roster;
+      Alcotest.test_case "micro deterministic" `Slow test_micro_deterministic;
+      Alcotest.test_case "micro sizes" `Slow test_micro_terminate_reasonably;
+      Alcotest.test_case "ammp trip counts" `Quick test_ammp_trip_counts;
+      Alcotest.test_case "bzip2_3 rare branch" `Quick test_bzip2_3_rare_branch;
+      Alcotest.test_case "parser_1 runs" `Quick test_parser_unpredictable_branches;
+      Alcotest.test_case "spec roster" `Quick test_spec_roster;
+      Alcotest.test_case "spec deterministic" `Slow test_spec_deterministic_and_nontrivial;
+      Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    ] )

@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain dune underneath.
+
+CHAOS_SEED ?= 42
+
+.PHONY: all build test chaos check bench clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Fault-injection suite: every injected fault class must be detected.
+chaos: build
+	dune exec bin/chfc.exe -- chaos $(CHAOS_SEED) --workload sieve
+	dune exec bin/chfc.exe -- chaos $(CHAOS_SEED) --workload gzip_1 --ordering upio
+
+check: build test chaos
+
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

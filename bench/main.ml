@@ -179,6 +179,68 @@ let run_speed () =
            Fmt.pr "%-24s %10.1f us/run (%d samples)@." name (median /. 1e3)
              (List.length sorted))
 
+(* Cost of the robustness machinery: structural checking of a formed CFG
+   and the full per-phase differential verifier, against plain
+   compilation of the same kernel. *)
+let run_verify () =
+  section "Verify — cost of structural and per-phase differential checks";
+  let kernel = Option.get (Micro.by_name "sieve") in
+  let profile, _ = Pipeline.profile_workload kernel in
+  let formed =
+    let cfg, _ = Pipeline.lower_workload kernel in
+    ignore (Chf.Phases.apply Chf.Phases.Iupo_merged cfg profile);
+    cfg
+  in
+  let tests =
+    [
+      Bechamel.Test.make ~name:"structural check"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Trips_verify.Cfg_verify.check ~allow_unreachable:true formed)));
+      Bechamel.Test.make ~name:"compile plain"
+        (Bechamel.Staged.stage (fun () ->
+             let cfg, _ = Pipeline.lower_workload kernel in
+             ignore (Chf.Phases.apply Chf.Phases.Iupo_merged cfg profile)));
+      Bechamel.Test.make ~name:"compile + per-phase diff"
+        (Bechamel.Staged.stage (fun () ->
+             let cfg, registers = Pipeline.lower_workload kernel in
+             match
+               Trips_verify.Diff_check.run ~registers
+                 ~fresh_memory:(fun () -> Workload.memory kernel)
+                 Chf.Phases.Iupo_merged cfg profile
+             with
+             | Ok _ -> ()
+             | Error f ->
+               Fmt.failwith "diff check failed: %a"
+                 Trips_verify.Diff_check.pp_failure f));
+    ]
+  in
+  let test = Bechamel.Test.make_grouped ~name:"verify" tests in
+  let raw =
+    let open Bechamel in
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  Hashtbl.fold (fun name (b : Bechamel.Benchmark.t) acc ->
+      (name, b.Bechamel.Benchmark.lr) :: acc)
+    raw []
+  |> List.sort compare
+  |> List.iter (fun (name, measurements) ->
+         let times =
+           Array.to_list measurements
+           |> List.map (fun mr ->
+                  Bechamel.Measurement_raw.get ~label:"monotonic-clock" mr
+                  /. Float.max 1.0 (Bechamel.Measurement_raw.run mr))
+         in
+         match List.sort compare times with
+         | [] -> ()
+         | sorted ->
+           let median = List.nth sorted (List.length sorted / 2) in
+           Fmt.pr "%-24s %10.1f us/run (%d samples)@." name (median /. 1e3)
+             (List.length sorted))
+
 let experiments =
   [
     ("table1", run_table1);
@@ -188,6 +250,7 @@ let experiments =
     ("ablation", run_ablation);
     ("placement", run_placement);
     ("speed", run_speed);
+    ("verify", run_verify);
   ]
 
 let () =

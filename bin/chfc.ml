@@ -7,6 +7,8 @@
      chfc list
      chfc compile sieve --ordering iupo-merged --policy bf --dump
      chfc compile bzip2_3 --policy df --no-backend
+     chfc compile sieve --verify          (re-check after every phase)
+     chfc chaos 42 --workload sieve       (fault-injection suite)
      chfc table1 [--workload NAME ...]   (and table2 / table3 / figure7) *)
 
 open Cmdliner
@@ -71,11 +73,13 @@ let write_file path content =
   output_string oc content;
   close_out oc
 
-let compile_workload_report w ordering config dump backend emit_asm emit_dot =
+let compile_workload_report w ordering config dump backend verify emit_asm
+    emit_dot =
+  try
     let bb = Pipeline.compile ~config ~backend Chf.Phases.Basic_blocks w in
     let baseline = Pipeline.run_functional bb in
     let bb_cycles = Pipeline.run_cycles bb in
-    let c = Pipeline.compile ~config ~backend ordering w in
+    let c = Pipeline.compile ~config ~backend ~verify ordering w in
     let r = Pipeline.verify_against ~baseline c in
     let cycles = Pipeline.run_cycles c in
     if dump then Fmt.pr "%a@.@." Trips_ir.Cfg.pp c.Pipeline.cfg;
@@ -112,9 +116,20 @@ let compile_workload_report w ordering config dump backend emit_asm emit_dot =
       cycles.Trips_sim.Cycle_sim.mispredictions
       (100.0 *. cycles.Trips_sim.Cycle_sim.predictor_accuracy)
       (100.0 *. cycles.Trips_sim.Cycle_sim.cache_miss_rate);
-    Fmt.pr "verified        : functional checksum matches basic-block baseline@."
+    Fmt.pr "verified        : functional checksum matches basic-block baseline@.";
+    if verify then
+      Fmt.pr "per-phase       : structural + differential checks passed@."
+  with
+  | Pipeline.Verify_failed { vf_workload; vf_ordering; vf_failure } ->
+    Fmt.epr "chfc: %s/%s: phase verification failed: %a@." vf_workload
+      (Chf.Phases.name vf_ordering) Trips_verify.Diff_check.pp_failure
+      vf_failure;
+    exit 1
+  | Pipeline.Miscompiled d ->
+    Fmt.epr "chfc: miscompiled: %a@." Pipeline.pp_divergence d;
+    exit 1
 
-let compile_run name ordering policy dump backend emit_asm emit_dot =
+let compile_run name ordering policy dump backend verify emit_asm emit_dot =
   match
     (find_workload name, ordering_of_string ordering, policy_of_string policy)
   with
@@ -122,12 +137,13 @@ let compile_run name ordering policy dump backend emit_asm emit_dot =
     Fmt.epr "chfc: %s@." m;
     exit 2
   | Ok w, Ok ordering, Ok config ->
-    compile_workload_report w ordering config dump backend emit_asm emit_dot
+    compile_workload_report w ordering config dump backend verify emit_asm
+      emit_dot
 
 (* compile a kernel from a source file; parameters default to 0 unless
    given as name=value *)
-let compile_file_run path ordering policy dump backend emit_asm emit_dot args
-    memory_words unroll =
+let compile_file_run path ordering policy dump backend verify emit_asm emit_dot
+    args memory_words unroll =
   match (ordering_of_string ordering, policy_of_string policy) with
   | Error (`Msg m), _ | _, Error (`Msg m) ->
     Fmt.epr "chfc: %s@." m;
@@ -162,7 +178,17 @@ let compile_file_run path ordering policy dump backend emit_asm emit_dot args
           ~description:("kernel from " ^ path)
           ~args:parsed_args ~memory_words ~frontend_unroll:unroll program
       in
-      compile_workload_report w ordering config dump backend emit_asm emit_dot)
+      compile_workload_report w ordering config dump backend verify emit_asm
+        emit_dot)
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Re-check structural invariants and the functional checksum after \
+           every formation phase; exit non-zero naming the first phase that \
+           breaks.")
 
 let emit_asm_arg =
   Arg.(
@@ -207,7 +233,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc)
     Term.(
       const compile_run $ workload_arg $ ordering $ policy $ dump $ backend
-      $ emit_asm_arg $ emit_dot_arg)
+      $ verify_arg $ emit_asm_arg $ emit_dot_arg)
 
 let compile_file_cmd =
   let doc = "Compile a kernel source file (see `chfc syntax`)." in
@@ -247,7 +273,68 @@ let compile_file_cmd =
     (Cmd.info "compile-file" ~doc)
     Term.(
       const compile_file_run $ path_arg $ ordering $ policy $ dump $ backend
-      $ emit_asm_arg $ emit_dot_arg $ args $ memory_words $ unroll)
+      $ verify_arg $ emit_asm_arg $ emit_dot_arg $ args $ memory_words $ unroll)
+
+(* ---- chaos ------------------------------------------------------------- *)
+
+(* Compile a workload, then inject every fault class into the result and
+   check the verifier catches each one.  Exit 1 on any escape: that is a
+   verifier gap, not a compiler bug. *)
+let chaos_run seed name ordering policy =
+  match
+    (find_workload name, ordering_of_string ordering, policy_of_string policy)
+  with
+  | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
+    Fmt.epr "chfc: %s@." m;
+    exit 2
+  | Ok w, Ok ordering, Ok config ->
+    let c = Pipeline.compile ~config ~backend:false ordering w in
+    Fmt.pr "chaos suite: %s under %s, seed %d@." w.Workload.name
+      (Chf.Phases.name ordering) seed;
+    let outcomes =
+      Trips_verify.Chaos.run_suite ~seed ~registers:c.Pipeline.registers
+        ~fresh_memory:(fun () -> Workload.memory w)
+        c.Pipeline.cfg
+    in
+    List.iter
+      (fun o -> Fmt.pr "  %a@." Trips_verify.Chaos.pp_outcome o)
+      outcomes;
+    let gaps = Trips_verify.Chaos.undetected outcomes in
+    if gaps = [] then
+      Fmt.pr "all %d injected fault classes detected@." (List.length outcomes)
+    else begin
+      Fmt.epr "chfc: %d fault class(es) escaped the verifier@."
+        (List.length gaps);
+      exit 1
+    end
+
+let chaos_cmd =
+  let doc =
+    "Run the seeded fault-injection suite against a compiled workload."
+  in
+  let seed_arg =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"SEED")
+  in
+  let workload =
+    Arg.(
+      value & opt string "sieve"
+      & info [ "workload"; "w" ] ~docv:"NAME" ~doc:"Victim workload.")
+  in
+  let ordering =
+    Arg.(
+      value
+      & opt string "iupo-merged"
+      & info [ "ordering"; "o" ] ~docv:"ORDERING"
+          ~doc:"Phase ordering: bb, upio, iupo, iup-o, iupo-merged.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "bf"
+      & info [ "policy"; "p" ] ~docv:"POLICY" ~doc:"bf, df or vliw.")
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc)
+    Term.(const chaos_run $ seed_arg $ workload $ ordering $ policy)
 
 (* ---- experiment commands ---------------------------------------------- *)
 
@@ -295,6 +382,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; compile_cmd; compile_file_cmd; table1_cmd; table2_cmd;
-            table3_cmd; figure7_cmd;
+            list_cmd; compile_cmd; compile_file_cmd; chaos_cmd; table1_cmd;
+            table2_cmd; table3_cmd; figure7_cmd;
           ]))

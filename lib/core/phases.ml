@@ -31,50 +31,89 @@ let name = function
   | Iup_o -> "(IUP)O"
   | Iupo_merged -> "(IUPO)"
 
+type step = { step_name : string; step_run : unit -> unit }
+
+(* Fold the m/t/u/p statistics of one formation run into the plan's
+   accumulator (Upio/Iupo add discrete unroll/peel counts around it). *)
+let accum ~(into : Formation.stats) (s : Formation.stats) =
+  into.Formation.merges <- into.Formation.merges + s.Formation.merges;
+  into.Formation.tail_dups <- into.Formation.tail_dups + s.Formation.tail_dups;
+  into.Formation.unrolls <- into.Formation.unrolls + s.Formation.unrolls;
+  into.Formation.peels <- into.Formation.peels + s.Formation.peels;
+  into.Formation.attempts <- into.Formation.attempts + s.Formation.attempts;
+  into.Formation.size_rejections <-
+    into.Formation.size_rejections + s.Formation.size_rejections;
+  into.Formation.block_splits <-
+    into.Formation.block_splits + s.Formation.block_splits
+
+(** Decompose ordering [o] over [cfg] into named steps.  Running every
+    step in order is exactly {!apply}; the per-phase verifier interleaves
+    structural and differential checks between steps.  The returned stats
+    record is accumulated into as steps run. *)
+let plan ?(config = Policy.edge_default) o cfg (profile : Profile.t) :
+    Formation.stats * step list =
+  let stats = Formation.empty_stats () in
+  let optimize name =
+    { step_name = name;
+      step_run = (fun () -> Trips_opt.Optimizer.optimize_cfg cfg) }
+  in
+  let formation config' =
+    { step_name = "formation";
+      step_run = (fun () -> accum ~into:stats (Formation.run config' cfg profile)) }
+  in
+  let steps =
+    match o with
+    | Basic_blocks -> [ optimize "optimize" ]
+    | Upio ->
+      [
+        optimize "optimize";
+        {
+          step_name = "unroll+peel";
+          step_run =
+            (fun () ->
+              let u, p = Discrete_up.run_before_formation config cfg profile in
+              stats.Formation.unrolls <- stats.Formation.unrolls + u;
+              stats.Formation.peels <- stats.Formation.peels + p);
+        };
+        formation
+          { config with Policy.enable_head_dup = false; iterate_opt = false };
+        optimize "final-optimize";
+      ]
+    | Iupo ->
+      [
+        optimize "optimize";
+        formation
+          { config with Policy.enable_head_dup = false; iterate_opt = false };
+        {
+          step_name = "unroll+peel";
+          step_run =
+            (fun () -> Discrete_up.run_after_formation config cfg profile stats);
+        };
+        optimize "final-optimize";
+      ]
+    | Iup_o ->
+      [
+        optimize "optimize";
+        formation
+          { config with Policy.enable_head_dup = true; iterate_opt = false };
+        optimize "final-optimize";
+      ]
+    | Iupo_merged ->
+      [
+        optimize "optimize";
+        formation
+          { config with Policy.enable_head_dup = true; iterate_opt = true };
+        optimize "final-optimize";
+      ]
+  in
+  (stats, steps)
+
 (** Apply phase ordering [o] to [cfg] in place.  [config] supplies the
     block-selection policy and structural limits (Table 1 uses the greedy
     breadth-first EDGE policy throughout).  Classical scalar optimization
     runs first in every configuration, mirroring the Scale front end.
     Returns m/t/u/p statistics. *)
-let apply ?(config = Policy.edge_default) o cfg (profile : Profile.t) :
-    Formation.stats =
-  let optimize () = Trips_opt.Optimizer.optimize_cfg cfg in
-  optimize ();
-  match o with
-  | Basic_blocks -> Formation.empty_stats ()
-  | Upio ->
-    let u, p = Discrete_up.run_before_formation config cfg profile in
-    let stats =
-      Formation.run
-        { config with Policy.enable_head_dup = false; iterate_opt = false }
-        cfg profile
-    in
-    stats.Formation.unrolls <- stats.Formation.unrolls + u;
-    stats.Formation.peels <- stats.Formation.peels + p;
-    optimize ();
-    stats
-  | Iupo ->
-    let stats =
-      Formation.run
-        { config with Policy.enable_head_dup = false; iterate_opt = false }
-        cfg profile
-    in
-    Discrete_up.run_after_formation config cfg profile stats;
-    optimize ();
-    stats
-  | Iup_o ->
-    let stats =
-      Formation.run
-        { config with Policy.enable_head_dup = true; iterate_opt = false }
-        cfg profile
-    in
-    optimize ();
-    stats
-  | Iupo_merged ->
-    let stats =
-      Formation.run
-        { config with Policy.enable_head_dup = true; iterate_opt = true }
-        cfg profile
-    in
-    optimize ();
-    stats
+let apply ?config o cfg (profile : Profile.t) : Formation.stats =
+  let stats, steps = plan ?config o cfg profile in
+  List.iter (fun s -> s.step_run ()) steps;
+  stats

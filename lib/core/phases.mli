@@ -25,6 +25,21 @@ type ordering =
 val all : ordering list
 val name : ordering -> string
 
+type step = {
+  step_name : string;  (** "optimize", "unroll+peel", "formation", ... *)
+  step_run : unit -> unit;  (** mutates the CFG and the plan's stats *)
+}
+
+val plan :
+  ?config:Policy.config -> ordering -> Trips_ir.Cfg.t -> Profile.t ->
+  Formation.stats * step list
+(** Decompose the ordering into named steps over the CFG; running every
+    step in order is exactly {!apply}.  The per-phase verifier
+    ([Trips_verify.Diff_check]) interleaves structural and differential
+    checks between steps, so the first transform that breaks an invariant
+    or changes observable behavior is named.  The returned stats record
+    is accumulated into as steps run. *)
+
 val apply :
   ?config:Policy.config -> ordering -> Trips_ir.Cfg.t -> Profile.t ->
   Formation.stats

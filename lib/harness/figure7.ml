@@ -46,7 +46,8 @@ let block_ratio (rows : Table1.row list) ordering =
   in
   if cfg = 0 then 0.0 else float_of_int bb /. float_of_int cfg
 
-let render fmt (rows : Table1.row list) =
+let render fmt (outcome : Table1.outcome) =
+  let rows = outcome.Table1.rows in
   let points = points_of_table1 rows in
   let reg = regression points in
   Fmt.pf fmt

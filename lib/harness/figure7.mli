@@ -10,9 +10,12 @@ type point = {
 }
 
 val points_of_table1 : Table1.row list -> point list
+(** Failed cells are simply absent from the rows, so the scatter is
+    built from successful configurations only. *)
+
 val regression : point list -> Stats.regression
 
 val block_ratio : Table1.row list -> Chf.Phases.ordering -> float
 (** Aggregate executed-block ratio (BB / configuration). *)
 
-val render : Format.formatter -> Table1.row list -> unit
+val render : Format.formatter -> Table1.outcome -> unit

@@ -7,23 +7,67 @@
 
    Every compiled configuration is checked against the basic-block
    baseline's functional checksum, so a miscompilation can never silently
-   pollute experiment results. *)
+   pollute experiment results; with [verify], the structural invariants
+   and the functional behavior are additionally re-checked after every
+   formation phase, naming the first transform that broke.
+
+   The pipeline degrades gracefully rather than aborting a sweep: a
+   back-end rejection triggers a recompile that splits every over-budget
+   hyperblock ([Trips_transform.Split]) before retrying, and
+   [compile_checked] turns any unrecoverable error into a structured
+   per-workload failure report. *)
 
 open Trips_ir
 open Trips_sim
 open Trips_workloads
 
-exception Miscompiled of string
+type divergence = {
+  div_workload : string;
+  div_ordering : Chf.Phases.ordering;
+  div_phase : string option;  (* first diverging phase, when localized *)
+  div_got : int;
+  div_expected : int;
+}
+
+exception Miscompiled of divergence
+
+exception
+  Verify_failed of {
+    vf_workload : string;
+    vf_ordering : Chf.Phases.ordering;
+    vf_failure : Trips_verify.Diff_check.failure;
+  }
+
+type failure = {
+  fail_workload : string;
+  fail_ordering : Chf.Phases.ordering option;
+  fail_phase : string;
+  fail_reason : string;
+}
+
+let pp_divergence fmt d =
+  Fmt.pf fmt "%s under %s%a: checksum %d, baseline %d" d.div_workload
+    (Chf.Phases.name d.div_ordering)
+    Fmt.(option (fmt " (diverged in phase %s)"))
+    d.div_phase d.div_got d.div_expected
+
+let pp_failure fmt f =
+  Fmt.pf fmt "%s%a failed in %s: %s" f.fail_workload
+    Fmt.(option (using Chf.Phases.name (fmt " under %s")))
+    f.fail_ordering f.fail_phase f.fail_reason
 
 type compiled = {
   workload : Workload.t;
   ordering : Chf.Phases.ordering;
+  config : Chf.Policy.config;
   cfg : Cfg.t;
   registers : (int * int) list;  (* post-allocation parameter registers *)
   stats : Chf.Formation.stats;
   backend : Trips_regalloc.Backend.report option;
   static_blocks : int;
   static_instrs : int;
+  repair_splits : int;  (* blocks split by degradation after a back-end rejection *)
+  degraded : bool;  (* the fallback path ran (splits, or back end disabled) *)
 }
 
 (* Lower the workload (with its front-end unroll factor) and bind the
@@ -50,19 +94,87 @@ let profile_workload (w : Workload.t) =
   let result, profile = Func_sim.run_profiled ~registers ~loops ~memory cfg in
   (profile, result)
 
+(* Split every block the TRIPS budget check rejects (middle split,
+   repeatedly) until the CFG fits or no split makes progress.  Used by
+   the degradation path when the back end rejects a formed CFG. *)
+let split_over_budget ~limits cfg =
+  let splits = ref 0 in
+  let continue_ = ref true in
+  let rounds = ref 0 in
+  while !continue_ && !rounds < 16 do
+    incr rounds;
+    let offenders =
+      List.filter_map
+        (function
+          | Trips_verify.Cfg_verify.Over_budget { block; _ } -> Some block
+          | _ -> None)
+        (Trips_verify.Cfg_verify.check ~allow_unreachable:true ~limits cfg)
+    in
+    match offenders with
+    | [] -> continue_ := false
+    | blocks ->
+      let progressed =
+        List.fold_left
+          (fun acc id ->
+            match Trips_transform.Split.split_block cfg id with
+            | Some _ ->
+              incr splits;
+              true
+            | None -> acc)
+          false blocks
+      in
+      if not progressed then continue_ := false
+  done;
+  !splits
+
+(* Run the phase ordering; with [verify], interleave structural and
+   differential checks after every phase and raise [Verify_failed] naming
+   the first phase that broke an invariant or changed behavior. *)
+let form ~verify ~config ordering (w : Workload.t) cfg registers profile =
+  if not verify then Chf.Phases.apply ~config ordering cfg profile
+  else
+    match
+      Trips_verify.Diff_check.run ~config ~registers
+        ~fresh_memory:(fun () -> Workload.memory w)
+        ordering cfg profile
+    with
+    | Ok stats -> stats
+    | Error f ->
+      raise
+        (Verify_failed
+           { vf_workload = w.Workload.name; vf_ordering = ordering; vf_failure = f })
+
 (** Compile [w] under phase ordering [ordering] (and policy [config]),
-    through the back end when [backend] is set. *)
-let compile ?(config = Chf.Policy.edge_default) ?(backend = true) ordering
-    (w : Workload.t) : compiled =
+    through the back end when [backend] is set.  [verify] re-checks
+    invariants and behavior after every formation phase. *)
+let compile ?(config = Chf.Policy.edge_default) ?(backend = true)
+    ?(verify = false) ordering (w : Workload.t) : compiled =
   let profile, _ = profile_workload w in
-  let cfg, registers = lower_workload w in
-  let stats = Chf.Phases.apply ~config ordering cfg profile in
-  let backend_report =
-    if backend then begin
-      let report = Trips_regalloc.Backend.run cfg in
-      Some report
-    end
-    else None
+  let build ~presplit =
+    let cfg, registers = lower_workload w in
+    let stats = form ~verify ~config ordering w cfg registers profile in
+    let splits =
+      if presplit then split_over_budget ~limits:config.Chf.Policy.limits cfg
+      else 0
+    in
+    (cfg, registers, stats, splits)
+  in
+  let cfg, registers, stats, backend_report, repair_splits, degraded =
+    let cfg, registers, stats, _ = build ~presplit:false in
+    if not backend then (cfg, registers, stats, None, 0, false)
+    else
+      match Trips_regalloc.Backend.run cfg with
+      | report -> (cfg, registers, stats, Some report, 0, false)
+      | exception _ -> (
+        (* the back end may have partially rewritten the CFG: rebuild
+           from scratch, split every over-budget hyperblock, retry *)
+        let cfg, registers, stats, splits = build ~presplit:true in
+        match Trips_regalloc.Backend.run cfg with
+        | report -> (cfg, registers, stats, Some report, splits, true)
+        | exception _ ->
+          (* still rejected: last resort is to skip the back end *)
+          let cfg, registers, stats, _ = build ~presplit:false in
+          (cfg, registers, stats, None, 0, true))
   in
   let registers =
     match backend_report with
@@ -76,12 +188,15 @@ let compile ?(config = Chf.Policy.edge_default) ?(backend = true) ordering
   {
     workload = w;
     ordering;
+    config;
     cfg;
     registers;
     stats;
     backend = backend_report;
     static_blocks = Cfg.num_blocks cfg;
     static_instrs = Cfg.total_instrs cfg;
+    repair_splits;
+    degraded;
   }
 
 (** Run the compiled workload functionally. *)
@@ -94,14 +209,70 @@ let run_cycles ?timing (c : compiled) : Cycle_sim.result =
   let memory = Workload.memory c.workload in
   Cycle_sim.run ?timing ~registers:c.registers ~memory c.cfg
 
+(* On a checksum mismatch, re-run the formation phases with differential
+   checking on a fresh lowering to name the first phase that diverged;
+   if they all pass, the divergence came from the back end. *)
+let localize_divergence (c : compiled) =
+  match
+    let profile, _ = profile_workload c.workload in
+    let cfg, registers = lower_workload c.workload in
+    Trips_verify.Diff_check.run ~config:c.config ~registers
+      ~fresh_memory:(fun () -> Workload.memory c.workload)
+      c.ordering cfg profile
+  with
+  | Error f -> Some f.Trips_verify.Diff_check.phase
+  | Ok _ -> if c.backend <> None then Some "backend" else None
+  | exception _ -> None
+
 (** Raise [Miscompiled] unless [c] produces the same functional checksum
-    as the basic-block baseline result [baseline]. *)
+    as the basic-block baseline result [baseline]; the payload names the
+    workload, ordering and (when localizable) the diverging phase. *)
 let verify_against ~(baseline : Func_sim.result) (c : compiled) =
   let r = run_functional c in
   if r.Func_sim.checksum <> baseline.Func_sim.checksum then
     raise
       (Miscompiled
-         (Fmt.str "%s under %s: checksum %d, baseline %d" c.workload.Workload.name
-            (Chf.Phases.name c.ordering) r.Func_sim.checksum
-            baseline.Func_sim.checksum));
+         {
+           div_workload = c.workload.Workload.name;
+           div_ordering = c.ordering;
+           div_phase = localize_divergence c;
+           div_got = r.Func_sim.checksum;
+           div_expected = baseline.Func_sim.checksum;
+         });
   r
+
+(** Structured failure report for an exception escaping the pipeline. *)
+let failure_of_exn ~(workload : Workload.t) ~ordering exn =
+  let phase, reason =
+    match exn with
+    | Verify_failed { vf_failure; _ } ->
+      ( vf_failure.Trips_verify.Diff_check.phase,
+        Fmt.str "%a" Trips_verify.Diff_check.pp_failure vf_failure )
+    | Miscompiled d -> ("verify", Fmt.str "%a" pp_divergence d)
+    | Cfg.Ill_formed m -> ("formation", m)
+    | Trips_verify.Cfg_verify.Invalid (name, viols) ->
+      ( "verify",
+        Fmt.str "%s: %a" name
+          Fmt.(list ~sep:(any "; ") Trips_verify.Cfg_verify.pp_violation)
+          viols )
+    | Func_sim.Out_of_fuel m | Func_sim.Exit_invariant_violated m ->
+      ("simulate", m)
+    | Invalid_argument m -> ("lower", m)
+    | Failure m -> ("compile", m)
+    | e -> ("compile", Printexc.to_string e)
+  in
+  {
+    fail_workload = workload.Workload.name;
+    fail_ordering = ordering;
+    fail_phase = phase;
+    fail_reason = reason;
+  }
+
+(** [compile], but an unrecoverable workload becomes a structured
+    per-workload failure report instead of an exception, so experiment
+    sweeps always complete. *)
+let compile_checked ?config ?backend ?verify ordering (w : Workload.t) :
+    (compiled, failure) result =
+  match compile ?config ?backend ?verify ordering w with
+  | c -> Ok c
+  | exception e -> Error (failure_of_exn ~workload:w ~ordering:(Some ordering) e)

@@ -6,23 +6,67 @@
 
     Every compiled configuration can be checked against the basic-block
     baseline's functional checksum ({!verify_against}), so a
-    miscompilation can never silently pollute experiment results. *)
+    miscompilation can never silently pollute experiment results; with
+    [verify], structure and behavior are additionally re-checked after
+    {e every} formation phase via {!Trips_verify.Diff_check}, naming the
+    first transform that broke.
+
+    The pipeline degrades gracefully rather than aborting a sweep: a
+    back-end rejection triggers a recompile that splits every over-budget
+    hyperblock ({!Trips_transform.Split}) before retrying, and
+    {!compile_checked} turns any unrecoverable error into a structured
+    per-workload {!failure} report. *)
 
 open Trips_ir
 open Trips_sim
 open Trips_workloads
 
-exception Miscompiled of string
+type divergence = {
+  div_workload : string;
+  div_ordering : Chf.Phases.ordering;
+  div_phase : string option;
+      (** first diverging phase ("formation", "optimize", "backend", ...)
+          when localizable *)
+  div_got : int;
+  div_expected : int;
+}
+
+exception Miscompiled of divergence
+
+exception
+  Verify_failed of {
+    vf_workload : string;
+    vf_ordering : Chf.Phases.ordering;
+    vf_failure : Trips_verify.Diff_check.failure;
+  }
+(** Raised by [compile ~verify:true] when a phase breaks a structural
+    invariant or changes observable behavior. *)
+
+type failure = {
+  fail_workload : string;
+  fail_ordering : Chf.Phases.ordering option;
+  fail_phase : string;  (** "lower", "formation", "verify", "backend", ... *)
+  fail_reason : string;
+}
+(** A structured per-workload failure report; sweeps record these and
+    continue instead of aborting. *)
+
+val pp_divergence : Format.formatter -> divergence -> unit
+val pp_failure : Format.formatter -> failure -> unit
 
 type compiled = {
   workload : Workload.t;
   ordering : Chf.Phases.ordering;
+  config : Chf.Policy.config;
   cfg : Cfg.t;
   registers : (int * int) list;  (** post-allocation parameter registers *)
   stats : Chf.Formation.stats;
   backend : Trips_regalloc.Backend.report option;
   static_blocks : int;
   static_instrs : int;
+  repair_splits : int;
+      (** blocks split by the degradation path after a back-end rejection *)
+  degraded : bool;  (** the fallback path ran (splits, or back end disabled) *)
 }
 
 val lower_workload : Workload.t -> Cfg.t * (int * int) list
@@ -34,11 +78,29 @@ val profile_workload : Workload.t -> Trips_profile.Profile.t * Func_sim.result
 val compile :
   ?config:Chf.Policy.config ->
   ?backend:bool ->
+  ?verify:bool ->
   Chf.Phases.ordering ->
   Workload.t ->
   compiled
 (** Compile under a phase ordering (and policy), through the back end
-    when [backend] (default true). *)
+    when [backend] (default true).  [verify] (default false) runs the
+    per-phase differential verifier during formation.
+    @raise Verify_failed when [verify] and a phase breaks. *)
+
+val compile_checked :
+  ?config:Chf.Policy.config ->
+  ?backend:bool ->
+  ?verify:bool ->
+  Chf.Phases.ordering ->
+  Workload.t ->
+  (compiled, failure) result
+(** [compile], but an unrecoverable workload becomes a structured
+    failure report instead of an exception. *)
+
+val failure_of_exn :
+  workload:Workload.t -> ordering:Chf.Phases.ordering option -> exn -> failure
+(** Classify an exception escaping the pipeline into a {!failure} (used
+    by the sweep harnesses around {!verify_against} and the simulators). *)
 
 val run_functional : compiled -> Func_sim.result
 
@@ -46,4 +108,6 @@ val run_cycles : ?timing:Cycle_sim.timing -> compiled -> Cycle_sim.result
 
 val verify_against : baseline:Func_sim.result -> compiled -> Func_sim.result
 (** @raise Miscompiled unless the compiled workload reproduces the
-    baseline checksum. *)
+    baseline checksum; the payload names workload, ordering and — when
+    localizable by re-running the phases under {!Trips_verify.Diff_check}
+    — the first diverging phase. *)

@@ -1,6 +1,10 @@
 (* Table 1: cycle-count improvement of the four phase orderings over the
    basic-block baseline on the 24 microbenchmarks, with m/t/u/p merge
-   statistics, under the greedy breadth-first EDGE policy. *)
+   statistics, under the greedy breadth-first EDGE policy.
+
+   A workload or configuration that fails to compile (or miscompiles) is
+   recorded as a structured failure and the sweep continues; the
+   rendered table marks the missing cells and lists the failures. *)
 
 open Trips_workloads
 
@@ -16,22 +20,28 @@ type row = {
   workload : string;
   bb_cycles : int;
   bb_blocks : int;
-  cells : cell list;
+  cells : cell list;  (* successful configurations only *)
 }
+
+type outcome = { rows : row list; failures : Pipeline.failure list }
 
 let orderings =
   [ Chf.Phases.Upio; Chf.Phases.Iupo; Chf.Phases.Iup_o; Chf.Phases.Iupo_merged ]
 
-let run_row ?config (w : Workload.t) : row =
-  let bb = Pipeline.compile ?config ~backend:true Chf.Phases.Basic_blocks w in
-  let bb_cycle = Pipeline.run_cycles bb in
-  let baseline = Pipeline.run_functional bb in
-  let cells =
-    List.map
-      (fun ordering ->
-        let c = Pipeline.compile ?config ~backend:true ordering w in
-        ignore (Pipeline.verify_against ~baseline c);
-        let r = Pipeline.run_cycles c in
+(* Compile, baseline-check and cycle-simulate one configuration;
+   exceptions past compile_checked (miscompares, simulator faults) are
+   classified into failures too. *)
+let run_cell ?config ?verify ~baseline ~bb_cycle (w : Workload.t) ordering :
+    (cell, Pipeline.failure) result =
+  match Pipeline.compile_checked ?config ?verify ~backend:true ordering w with
+  | Error f -> Error f
+  | Ok c -> (
+    match
+      ignore (Pipeline.verify_against ~baseline c);
+      Pipeline.run_cycles c
+    with
+    | r ->
+      Ok
         {
           ordering;
           cycles = r.Trips_sim.Cycle_sim.cycles;
@@ -40,20 +50,48 @@ let run_row ?config (w : Workload.t) : row =
           improvement =
             Stats.percent_improvement ~base:bb_cycle.Trips_sim.Cycle_sim.cycles
               ~v:r.Trips_sim.Cycle_sim.cycles;
-        })
-      orderings
-  in
-  {
-    workload = w.Workload.name;
-    bb_cycles = bb_cycle.Trips_sim.Cycle_sim.cycles;
-    bb_blocks = bb_cycle.Trips_sim.Cycle_sim.blocks;
-    cells;
-  }
+        }
+    | exception e ->
+      Error (Pipeline.failure_of_exn ~workload:w ~ordering:(Some ordering) e))
+
+let run_row ?config ?verify (w : Workload.t) : (row, Pipeline.failure) result * Pipeline.failure list =
+  match Pipeline.compile_checked ?config ?verify ~backend:true Chf.Phases.Basic_blocks w with
+  | Error f -> (Error f, [])
+  | Ok bb -> (
+    match (Pipeline.run_cycles bb, Pipeline.run_functional bb) with
+    | exception e ->
+      (Error (Pipeline.failure_of_exn ~workload:w ~ordering:(Some Chf.Phases.Basic_blocks) e), [])
+    | bb_cycle, baseline ->
+      let cells, failures =
+        List.fold_left
+          (fun (cells, failures) ordering ->
+            match run_cell ?config ?verify ~baseline ~bb_cycle w ordering with
+            | Ok c -> (c :: cells, failures)
+            | Error f -> (cells, f :: failures))
+          ([], []) orderings
+      in
+      ( Ok
+          {
+            workload = w.Workload.name;
+            bb_cycles = bb_cycle.Trips_sim.Cycle_sim.cycles;
+            bb_blocks = bb_cycle.Trips_sim.Cycle_sim.blocks;
+            cells = List.rev cells;
+          },
+        List.rev failures ))
 
 (** Run the Table 1 experiment.  [workloads] defaults to all 24
-    microbenchmarks. *)
-let run ?config ?(workloads = Micro.all) () : row list =
-  List.map (run_row ?config) workloads
+    microbenchmarks; failures are reported, not raised, so the sweep
+    always completes. *)
+let run ?config ?verify ?(workloads = Micro.all) () : outcome =
+  let rows, failures =
+    List.fold_left
+      (fun (rows, failures) w ->
+        match run_row ?config ?verify w with
+        | Ok r, fs -> (r :: rows, List.rev_append fs failures)
+        | Error f, fs -> (rows, List.rev_append fs (f :: failures)))
+      ([], []) workloads
+  in
+  { rows = List.rev rows; failures = List.rev failures }
 
 let average rows ordering =
   Stats.mean
@@ -63,7 +101,7 @@ let average rows ordering =
          |> Option.map (fun c -> c.improvement))
        rows)
 
-let render fmt rows =
+let render fmt { rows; failures } =
   Fmt.pf fmt "Table 1: %% cycle improvement over BB and m/t/u/p statistics@.";
   Fmt.pf fmt "%-16s %10s" "benchmark" "BB cycles";
   List.iter
@@ -74,15 +112,22 @@ let render fmt rows =
     (fun r ->
       Fmt.pf fmt "%-16s %10d" r.workload r.bb_cycles;
       List.iter
-        (fun c ->
-          Fmt.pf fmt " | %-12s %6.1f"
-            (Fmt.str "%a" Chf.Formation.pp_stats c.stats)
-            c.improvement)
-        r.cells;
+        (fun o ->
+          match List.find_opt (fun c -> c.ordering = o) r.cells with
+          | Some c ->
+            Fmt.pf fmt " | %-12s %6.1f"
+              (Fmt.str "%a" Chf.Formation.pp_stats c.stats)
+              c.improvement
+          | None -> Fmt.pf fmt " | %-12s %6s" "failed" "-")
+        orderings;
       Fmt.pf fmt "@.")
     rows;
   Fmt.pf fmt "%-16s %10s" "Average" "";
   List.iter
     (fun o -> Fmt.pf fmt " | %-12s %6.1f" "" (average rows o))
     orderings;
-  Fmt.pf fmt "@."
+  Fmt.pf fmt "@.";
+  if failures <> [] then begin
+    Fmt.pf fmt "@.%d failure(s):@." (List.length failures);
+    List.iter (fun f -> Fmt.pf fmt "  %a@." Pipeline.pp_failure f) failures
+  end

@@ -1,7 +1,9 @@
 (** Table 1: cycle-count improvement of the four phase orderings over
     basic blocks on the 24 microbenchmarks, with the paper's m/t/u/p
     merge statistics, under the greedy breadth-first EDGE policy.  Every
-    configuration is checksum-verified before timing. *)
+    configuration is checksum-verified before timing; failures are
+    recorded and reported, never raised, so a bad workload cannot abort
+    the sweep. *)
 
 open Trips_workloads
 
@@ -17,11 +19,21 @@ type row = {
   workload : string;
   bb_cycles : int;
   bb_blocks : int;
-  cells : cell list;
+  cells : cell list;  (** successful configurations only *)
 }
+
+type outcome = { rows : row list; failures : Pipeline.failure list }
 
 val orderings : Chf.Phases.ordering list
 
-val run : ?config:Chf.Policy.config -> ?workloads:Workload.t list -> unit -> row list
+val run :
+  ?config:Chf.Policy.config ->
+  ?verify:bool ->
+  ?workloads:Workload.t list ->
+  unit ->
+  outcome
+(** [verify] additionally runs the per-phase differential verifier on
+    every compile. *)
+
 val average : row list -> Chf.Phases.ordering -> float
-val render : Format.formatter -> row list -> unit
+val render : Format.formatter -> outcome -> unit

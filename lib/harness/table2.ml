@@ -40,16 +40,21 @@ type cell = {
 
 type row = { workload : string; bb_cycles : int; cells : cell list }
 
-let run_row (w : Workload.t) : row =
-  let bb = Pipeline.compile ~backend:true Chf.Phases.Basic_blocks w in
-  let bb_cycle = Pipeline.run_cycles bb in
-  let baseline = Pipeline.run_functional bb in
-  let cells =
-    List.map
-      (fun col ->
-        let c = Pipeline.compile ~config:col.config ~backend:true col.ordering w in
-        ignore (Pipeline.verify_against ~baseline c);
-        let r = Pipeline.run_cycles c in
+type outcome = { rows : row list; failures : Pipeline.failure list }
+
+let run_cell ~baseline ~bb_cycle (w : Workload.t) col :
+    (cell, Pipeline.failure) result =
+  match
+    Pipeline.compile_checked ~config:col.config ~backend:true col.ordering w
+  with
+  | Error f -> Error f
+  | Ok c -> (
+    match
+      ignore (Pipeline.verify_against ~baseline c);
+      Pipeline.run_cycles c
+    with
+    | r ->
+      Ok
         {
           label = col.label;
           cycles = r.Trips_sim.Cycle_sim.cycles;
@@ -58,12 +63,47 @@ let run_row (w : Workload.t) : row =
               ~v:r.Trips_sim.Cycle_sim.cycles;
           mispredictions = r.Trips_sim.Cycle_sim.mispredictions;
           stats = c.Pipeline.stats;
-        })
-      columns
-  in
-  { workload = w.Workload.name; bb_cycles = bb_cycle.Trips_sim.Cycle_sim.cycles; cells }
+        }
+    | exception e ->
+      Error (Pipeline.failure_of_exn ~workload:w ~ordering:(Some col.ordering) e))
 
-let run ?(workloads = Micro.all) () : row list = List.map run_row workloads
+let run_row (w : Workload.t) : (row, Pipeline.failure) result * Pipeline.failure list =
+  match Pipeline.compile_checked ~backend:true Chf.Phases.Basic_blocks w with
+  | Error f -> (Error f, [])
+  | Ok bb -> (
+    match (Pipeline.run_cycles bb, Pipeline.run_functional bb) with
+    | exception e ->
+      ( Error
+          (Pipeline.failure_of_exn ~workload:w
+             ~ordering:(Some Chf.Phases.Basic_blocks) e),
+        [] )
+    | bb_cycle, baseline ->
+      let cells, failures =
+        List.fold_left
+          (fun (cells, failures) col ->
+            match run_cell ~baseline ~bb_cycle w col with
+            | Ok c -> (c :: cells, failures)
+            | Error f -> (cells, f :: failures))
+          ([], []) columns
+      in
+      ( Ok
+          {
+            workload = w.Workload.name;
+            bb_cycles = bb_cycle.Trips_sim.Cycle_sim.cycles;
+            cells = List.rev cells;
+          },
+        List.rev failures ))
+
+let run ?(workloads = Micro.all) () : outcome =
+  let rows, failures =
+    List.fold_left
+      (fun (rows, failures) w ->
+        match run_row w with
+        | Ok r, fs -> (r :: rows, List.rev_append fs failures)
+        | Error f, fs -> (rows, List.rev_append fs (f :: failures)))
+      ([], []) workloads
+  in
+  { rows = List.rev rows; failures = List.rev failures }
 
 let average rows label =
   Stats.mean
@@ -73,7 +113,7 @@ let average rows label =
          |> Option.map (fun c -> c.improvement))
        rows)
 
-let render fmt rows =
+let render fmt { rows; failures } =
   Fmt.pf fmt
     "Table 2: %% cycle improvement over BB by block-selection heuristic@.";
   Fmt.pf fmt "%-16s %10s" "benchmark" "BB cycles";
@@ -82,11 +122,20 @@ let render fmt rows =
   List.iter
     (fun r ->
       Fmt.pf fmt "%-16s %10d" r.workload r.bb_cycles;
-      List.iter (fun c -> Fmt.pf fmt " | %8.1f" c.improvement) r.cells;
+      List.iter
+        (fun (col : column) ->
+          match List.find_opt (fun c -> c.label = col.label) r.cells with
+          | Some c -> Fmt.pf fmt " | %8.1f" c.improvement
+          | None -> Fmt.pf fmt " | %8s" "failed")
+        columns;
       Fmt.pf fmt "@.")
     rows;
   Fmt.pf fmt "%-16s %10s" "Average" "";
   List.iter
     (fun (col : column) -> Fmt.pf fmt " | %8.1f" (average rows col.label))
     columns;
-  Fmt.pf fmt "@."
+  Fmt.pf fmt "@.";
+  if failures <> [] then begin
+    Fmt.pf fmt "@.%d failure(s):@." (List.length failures);
+    List.iter (fun f -> Fmt.pf fmt "  %a@." Pipeline.pp_failure f) failures
+  end

@@ -21,7 +21,12 @@ type cell = {
 }
 
 type row = { workload : string; bb_cycles : int; cells : cell list }
+(** [cells] holds successful configurations only. *)
 
-val run : ?workloads:Workload.t list -> unit -> row list
+type outcome = { rows : row list; failures : Pipeline.failure list }
+
+val run : ?workloads:Workload.t list -> unit -> outcome
+(** Failures are recorded, not raised, so the sweep always completes. *)
+
 val average : row list -> string -> float
-val render : Format.formatter -> row list -> unit
+val render : Format.formatter -> outcome -> unit

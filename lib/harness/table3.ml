@@ -13,34 +13,68 @@ type cell = {
 
 type row = { workload : string; bb_blocks : int; cells : cell list }
 
+type outcome = { rows : row list; failures : Pipeline.failure list }
+
 let orderings =
   [ Chf.Phases.Upio; Chf.Phases.Iupo; Chf.Phases.Iup_o; Chf.Phases.Iupo_merged ]
 
-let run_row (w : Workload.t) : row =
+let run_cell ~baseline (w : Workload.t) ordering :
+    (cell, Pipeline.failure) result =
   (* no back end: Table 3 uses the functional simulator only *)
-  let bb = Pipeline.compile ~backend:false Chf.Phases.Basic_blocks w in
-  let baseline = Pipeline.run_functional bb in
-  let cells =
-    List.map
-      (fun ordering ->
-        let c = Pipeline.compile ~backend:false ordering w in
-        let r = Pipeline.verify_against ~baseline c in
+  match Pipeline.compile_checked ~backend:false ordering w with
+  | Error f -> Error f
+  | Ok c -> (
+    match Pipeline.verify_against ~baseline c with
+    | r ->
+      Ok
         {
           ordering;
           dyn_blocks = r.Trips_sim.Func_sim.blocks_executed;
           improvement =
-            Stats.percent_improvement ~base:baseline.Trips_sim.Func_sim.blocks_executed
+            Stats.percent_improvement
+              ~base:baseline.Trips_sim.Func_sim.blocks_executed
               ~v:r.Trips_sim.Func_sim.blocks_executed;
-        })
-      orderings
-  in
-  {
-    workload = w.Workload.name;
-    bb_blocks = baseline.Trips_sim.Func_sim.blocks_executed;
-    cells;
-  }
+        }
+    | exception e ->
+      Error (Pipeline.failure_of_exn ~workload:w ~ordering:(Some ordering) e))
 
-let run ?(workloads = Spec_like.all) () : row list = List.map run_row workloads
+let run_row (w : Workload.t) : (row, Pipeline.failure) result * Pipeline.failure list =
+  match Pipeline.compile_checked ~backend:false Chf.Phases.Basic_blocks w with
+  | Error f -> (Error f, [])
+  | Ok bb -> (
+    match Pipeline.run_functional bb with
+    | exception e ->
+      ( Error
+          (Pipeline.failure_of_exn ~workload:w
+             ~ordering:(Some Chf.Phases.Basic_blocks) e),
+        [] )
+    | baseline ->
+      let cells, failures =
+        List.fold_left
+          (fun (cells, failures) ordering ->
+            match run_cell ~baseline w ordering with
+            | Ok c -> (c :: cells, failures)
+            | Error f -> (cells, f :: failures))
+          ([], []) orderings
+      in
+      ( Ok
+          {
+            workload = w.Workload.name;
+            bb_blocks = baseline.Trips_sim.Func_sim.blocks_executed;
+            cells = List.rev cells;
+          },
+        List.rev failures ))
+
+let run ?(workloads = Spec_like.all) () : outcome =
+  let rows, failures =
+    List.fold_left
+      (fun (rows, failures) w ->
+        match run_row w with
+        | Ok r, fs -> (r :: rows, List.rev_append fs failures)
+        | Error f, fs -> (rows, List.rev_append fs (f :: failures)))
+      ([], []) workloads
+  in
+  { rows = List.rev rows; failures = List.rev failures }
 
 let average rows ordering =
   Stats.mean
@@ -50,7 +84,7 @@ let average rows ordering =
          |> Option.map (fun c -> c.improvement))
        rows)
 
-let render fmt rows =
+let render fmt { rows; failures } =
   Fmt.pf fmt "Table 3: %% improvement in executed blocks over BB (SPEC-like)@.";
   Fmt.pf fmt "%-10s %12s" "benchmark" "BB blocks";
   List.iter (fun o -> Fmt.pf fmt " | %7s" (Chf.Phases.name o)) orderings;
@@ -58,9 +92,18 @@ let render fmt rows =
   List.iter
     (fun r ->
       Fmt.pf fmt "%-10s %12d" r.workload r.bb_blocks;
-      List.iter (fun c -> Fmt.pf fmt " | %7.1f" c.improvement) r.cells;
+      List.iter
+        (fun o ->
+          match List.find_opt (fun c -> c.ordering = o) r.cells with
+          | Some c -> Fmt.pf fmt " | %7.1f" c.improvement
+          | None -> Fmt.pf fmt " | %7s" "failed")
+        orderings;
       Fmt.pf fmt "@.")
     rows;
   Fmt.pf fmt "%-10s %12s" "Average" "";
   List.iter (fun o -> Fmt.pf fmt " | %7.1f" (average rows o)) orderings;
-  Fmt.pf fmt "@."
+  Fmt.pf fmt "@.";
+  if failures <> [] then begin
+    Fmt.pf fmt "@.%d failure(s):@." (List.length failures);
+    List.iter (fun f -> Fmt.pf fmt "  %a@." Pipeline.pp_failure f) failures
+  end

@@ -11,8 +11,14 @@ type cell = {
 }
 
 type row = { workload : string; bb_blocks : int; cells : cell list }
+(** [cells] holds successful configurations only. *)
+
+type outcome = { rows : row list; failures : Pipeline.failure list }
 
 val orderings : Chf.Phases.ordering list
-val run : ?workloads:Workload.t list -> unit -> row list
+
+val run : ?workloads:Workload.t list -> unit -> outcome
+(** Failures are recorded, not raised, so the sweep always completes. *)
+
 val average : row list -> Chf.Phases.ordering -> float
-val render : Format.formatter -> row list -> unit
+val render : Format.formatter -> outcome -> unit

@@ -26,14 +26,18 @@ let edge_label (e : Block.exit_) =
   | None -> ""
   | Some g -> Fmt.str "%a" Instr.pp_guard g
 
-(** Render the CFG in Graphviz dot syntax. *)
-let emit fmt (cfg : Cfg.t) =
+(** Render the CFG in Graphviz dot syntax.  [highlight] blocks (e.g. the
+    loci of verifier violations) are filled red. *)
+let emit ?(highlight = []) fmt (cfg : Cfg.t) =
   Fmt.pf fmt "digraph %S {@." cfg.Cfg.name;
   Fmt.pf fmt "  node [shape=box, fontname=\"monospace\", fontsize=9];@.";
   Cfg.iter_blocks
     (fun b ->
       let style =
-        if b.Block.id = cfg.Cfg.entry then ", style=bold, color=blue" else ""
+        if List.mem b.Block.id highlight then
+          ", style=filled, fillcolor=\"#ffcccc\", color=red"
+        else if b.Block.id = cfg.Cfg.entry then ", style=bold, color=blue"
+        else ""
       in
       Fmt.pf fmt "  b%d [label=\"%s\"%s];@." b.Block.id (node_label b) style;
       List.iter
@@ -51,4 +55,4 @@ let emit fmt (cfg : Cfg.t) =
     cfg;
   Fmt.pf fmt "}@."
 
-let to_string cfg = Fmt.str "%a" emit cfg
+let to_string ?highlight cfg = Fmt.str "%a" (emit ?highlight) cfg

@@ -2,5 +2,8 @@
     ([dot -Tsvg out.dot]).  Nodes show instruction counts and a short
     listing; edge labels show exit guards; the entry is highlighted. *)
 
-val emit : Format.formatter -> Cfg.t -> unit
-val to_string : Cfg.t -> string
+val emit : ?highlight:int list -> Format.formatter -> Cfg.t -> unit
+(** [highlight] blocks — e.g. the loci of verifier violations — are
+    filled red. *)
+
+val to_string : ?highlight:int list -> Cfg.t -> string

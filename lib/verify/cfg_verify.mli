@@ -1,0 +1,82 @@
+(** Structural invariant checker for CFGs and formed hyperblocks.
+
+    The paper's argument rests on hyperblocks staying structurally legal
+    across an aggressive sequence of transforms: single entry, every edge
+    landing on a real block, at most one unguarded exit per block, unique
+    instruction ids, definitions reaching every use, and — after
+    formation — the TRIPS resource budgets of {!Chf.Constraints}.  This
+    module checks those invariants directly and reports a {e typed}
+    violation with a block/instruction locus, so a transform that
+    corrupts the graph is caught at the phase that broke it rather than
+    surfacing later as an opaque checksum mismatch or crash. *)
+
+open Trips_ir
+
+type violation =
+  | Missing_entry of { entry : int }
+      (** the designated entry block does not exist *)
+  | No_exit of { block : int }
+  | Multiple_unguarded_exits of { block : int; count : int }
+  | Dangling_edge of { block : int; target : int }
+      (** an exit targets a block id with no block *)
+  | Unreachable_block of { block : int }
+      (** not reachable from the entry (reported unless
+          [allow_unreachable]) *)
+  | Duplicate_instr_id of { block : int; instr : int }
+  | Undefined_use of { block : int; instr : int option; reg : int; in_guard : bool }
+      (** a (virtual) register read on some path with no prior
+          definition; [instr = None] when the use is an exit guard or
+          return operand *)
+  | Over_budget of {
+      block : int;
+      estimate : Chf.Constraints.estimate;
+      limits : Chf.Constraints.limits;
+    }  (** TRIPS structural-constraint violation (post-formation check) *)
+
+type locus = { at_block : int option; at_instr : int option; at_reg : int option }
+
+val locus : violation -> locus
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  ?allow_unreachable:bool ->
+  ?params:IntSet.t ->
+  ?limits:Chf.Constraints.limits ->
+  Cfg.t -> violation list
+(** Check every invariant and return all violations found (empty = the
+    CFG is well formed).
+
+    - [allow_unreachable] (default [false]) suppresses
+      {!Unreachable_block} reports;
+    - [params] are registers legitimately live into the entry (workload
+      parameters); architectural registers are always permitted;
+    - [limits], when given, additionally checks every block against the
+      TRIPS budgets via {!Chf.Constraints.estimate}.
+
+    Definition-before-use is a forward must-be-defined dataflow over all
+    definitions ({e including} predicated ones — a guarded definition
+    counts, since flow-through on a false guard is legal if-conversion
+    structure), so well-formed if-converted code is never flagged.
+
+    Dataflow-dependent checks (undefined uses, budgets) are skipped when
+    the graph itself is broken (missing entry, dangling edge, exitless
+    block): those violations are returned alone. *)
+
+val undefined_regs : Cfg.t -> IntSet.t
+(** Registers flagged by the def-before-use analysis on this CFG, for
+    building a tolerated baseline: callers verifying a {e transform}
+    pass these as extra [params] so only newly-introduced undefined uses
+    are reported. *)
+
+exception Invalid of string * violation list
+
+val check_exn :
+  ?allow_unreachable:bool ->
+  ?params:IntSet.t ->
+  ?limits:Chf.Constraints.limits ->
+  Cfg.t -> unit
+(** @raise Invalid with the CFG name when {!check} finds violations. *)
+
+val dot_dump : Cfg.t -> violation list -> string
+(** Graphviz rendering of the CFG with every violation locus highlighted
+    (via {!Trips_ir.Dot}), for offline diagnosis. *)

@@ -1,0 +1,261 @@
+(* Seeded fault injection.  Each injector perturbs a deep copy of the
+   victim CFG the way a buggy transform would; the suite then asserts
+   that Cfg_verify or the differential functional check notices. *)
+
+open Trips_ir
+open Trips_sim
+
+type fault =
+  | Drop_entry
+  | Dangle_edge
+  | Strip_exits
+  | Double_unguarded
+  | Clone_instr_id
+  | Undefined_use
+  | Corrupt_predicate
+  | Oversubscribe_loads
+  | Orphan_block
+  | Corrupt_arithmetic
+
+let all_faults =
+  [
+    Drop_entry; Dangle_edge; Strip_exits; Double_unguarded; Clone_instr_id;
+    Undefined_use; Corrupt_predicate; Oversubscribe_loads; Orphan_block;
+    Corrupt_arithmetic;
+  ]
+
+let fault_name = function
+  | Drop_entry -> "drop-entry"
+  | Dangle_edge -> "dangle-edge"
+  | Strip_exits -> "strip-exits"
+  | Double_unguarded -> "double-unguarded"
+  | Clone_instr_id -> "clone-instr-id"
+  | Undefined_use -> "undefined-use"
+  | Corrupt_predicate -> "corrupt-predicate"
+  | Oversubscribe_loads -> "oversubscribe-loads"
+  | Orphan_block -> "orphan-block"
+  | Corrupt_arithmetic -> "corrupt-arithmetic"
+
+type injection = { fault : fault; cfg : Cfg.t; note : string }
+
+let pick rng = function
+  | [] -> None
+  | xs -> Some (List.nth xs (Random.State.int rng (List.length xs)))
+
+(* Bump the first immediate operand of an op, if it has one. *)
+let bump_imm op =
+  let open Instr in
+  let bumped = ref false in
+  let f = function
+    | Imm k when not !bumped ->
+      bumped := true;
+      Imm (k + 1)
+    | o -> o
+  in
+  let op' =
+    match op with
+    | Binop (b, d, x, y) -> Binop (b, d, f x, f y)
+    | Cmp (c, d, x, y) -> Cmp (c, d, f x, f y)
+    | Mov (d, x) -> Mov (d, f x)
+    | Load (d, a, o) -> Load (d, f a, o)
+    | Store (v, a, o) -> Store (f v, f a, o)
+    | Nullw _ as o -> o
+  in
+  if !bumped then Some op' else None
+
+let inject rng fault victim =
+  let cfg = Cfg.copy victim in
+  let blocks = Cfg.blocks cfg in
+  let install note = Some { fault; cfg; note } in
+  match fault with
+  | Drop_entry ->
+    cfg.Cfg.entry <- Cfg.fresh_block_id cfg;
+    Some { fault; cfg; note = Fmt.str "entry set to missing b%d" cfg.Cfg.entry }
+  | Dangle_edge -> (
+    let gotos =
+      List.concat_map
+        (fun (b : Block.t) ->
+          List.filter_map
+            (function { Block.target = Block.Goto d; _ } -> Some (b, d) | _ -> None)
+            b.Block.exits)
+        blocks
+    in
+    match pick rng gotos with
+    | None -> None
+    | Some (b, d) ->
+      let ghost = Cfg.fresh_block_id cfg in
+      let exits =
+        List.map
+          (fun (e : Block.exit_) ->
+            match e.Block.target with
+            | Block.Goto d' when d' = d -> { e with Block.target = Block.Goto ghost }
+            | _ -> e)
+          b.Block.exits
+      in
+      Cfg.set_block cfg { b with Block.exits };
+      install (Fmt.str "b%d exit retargeted b%d -> missing b%d" b.Block.id d ghost))
+  | Strip_exits -> (
+    match pick rng blocks with
+    | None -> None
+    | Some b ->
+      Cfg.set_block cfg { b with Block.exits = [] };
+      install (Fmt.str "b%d exits deleted" b.Block.id))
+  | Double_unguarded -> (
+    let candidates =
+      List.filter
+        (fun (b : Block.t) ->
+          List.exists (fun e -> e.Block.eguard = None) b.Block.exits)
+        blocks
+    in
+    match pick rng candidates with
+    | None -> None
+    | Some b ->
+      let extra = { Block.eguard = None; target = Block.Goto cfg.Cfg.entry } in
+      Cfg.set_block cfg { b with Block.exits = b.Block.exits @ [ extra ] };
+      install (Fmt.str "b%d given a second unguarded exit" b.Block.id))
+  | Clone_instr_id -> (
+    let candidates = List.filter (fun b -> b.Block.instrs <> []) blocks in
+    match pick rng candidates with
+    | None -> None
+    | Some b -> (
+      match pick rng b.Block.instrs with
+      | None -> None
+      | Some i ->
+        Cfg.set_block cfg { b with Block.instrs = b.Block.instrs @ [ i ] };
+        install (Fmt.str "i%d cloned into b%d with its id" i.Instr.id b.Block.id)))
+  | Undefined_use -> (
+    match pick rng blocks with
+    | None -> None
+    | Some b ->
+      let ghost = Cfg.fresh_reg cfg in
+      let dst = Cfg.fresh_reg cfg in
+      let i = Cfg.instr cfg (Instr.Binop (Opcode.Add, dst, Instr.Reg ghost, Instr.Imm 1)) in
+      Cfg.set_block cfg { b with Block.instrs = b.Block.instrs @ [ i ] };
+      install (Fmt.str "b%d reads never-defined r%d" b.Block.id ghost))
+  | Corrupt_predicate -> (
+    let candidates =
+      List.concat_map
+        (fun (b : Block.t) ->
+          List.filter_map
+            (fun (e : Block.exit_) ->
+              match e.Block.eguard with Some g -> Some (b, e, g) | None -> None)
+            b.Block.exits)
+        blocks
+    in
+    match pick rng candidates with
+    | None -> None
+    | Some (b, e, g) ->
+      let flipped = { g with Instr.sense = not g.Instr.sense } in
+      let exits =
+        List.map
+          (fun (e' : Block.exit_) ->
+            if e' == e then { e' with Block.eguard = Some flipped } else e')
+          b.Block.exits
+      in
+      Cfg.set_block cfg { b with Block.exits };
+      install
+        (Fmt.str "b%d exit guard r%d sense flipped to %b" b.Block.id
+           g.Instr.greg flipped.Instr.sense))
+  | Oversubscribe_loads -> (
+    match pick rng blocks with
+    | None -> None
+    | Some b ->
+      let n = Machine.max_load_store + 1 in
+      let loads =
+        List.init n (fun k ->
+            Cfg.instr cfg (Instr.Load (Cfg.fresh_reg cfg, Instr.Imm k, 0)))
+      in
+      Cfg.set_block cfg { b with Block.instrs = b.Block.instrs @ loads };
+      install (Fmt.str "b%d given %d extra loads (LSID budget %d)" b.Block.id n
+                   Machine.max_load_store))
+  | Orphan_block ->
+    let id = Cfg.fresh_block_id cfg in
+    let i = Cfg.instr cfg (Instr.Mov (Cfg.fresh_reg cfg, Instr.Imm 0)) in
+    Cfg.set_block cfg
+      (Block.make id [ i ] [ { Block.eguard = None; target = Block.Ret None } ]);
+    Some { fault; cfg; note = Fmt.str "orphan b%d added" id }
+  | Corrupt_arithmetic -> (
+    let sites =
+      List.concat_map
+        (fun (b : Block.t) ->
+          List.filter_map
+            (fun (i : Instr.t) ->
+              Option.map (fun op' -> (b, i, op')) (bump_imm i.Instr.op))
+            b.Block.instrs)
+        blocks
+    in
+    (* prefer stores: their values feed the memory checksum directly *)
+    let stores = List.filter (fun (_, i, _) -> Instr.is_store i) sites in
+    match pick rng (if stores <> [] then stores else sites) with
+    | None -> None
+    | Some (b, i, op') ->
+      let instrs =
+        List.map
+          (fun (j : Instr.t) -> if j.Instr.id = i.Instr.id then { j with Instr.op = op' } else j)
+          b.Block.instrs
+      in
+      Cfg.set_block cfg { b with Block.instrs };
+      install (Fmt.str "i%d in b%d immediate bumped" i.Instr.id b.Block.id))
+
+type detection =
+  | Structural of Cfg_verify.violation
+  | Behavioral of { got : int; expected : int }
+  | Crashed of string
+
+type outcome = { o_fault : fault; o_note : string; o_detection : detection option }
+
+let pp_outcome fmt o =
+  match o.o_detection with
+  | Some (Structural v) ->
+    Fmt.pf fmt "%-20s DETECTED structurally: %a  [%s]" (fault_name o.o_fault)
+      Cfg_verify.pp_violation v o.o_note
+  | Some (Behavioral { got; expected }) ->
+    Fmt.pf fmt "%-20s DETECTED behaviorally: checksum %d != %d  [%s]"
+      (fault_name o.o_fault) got expected o.o_note
+  | Some (Crashed msg) ->
+    Fmt.pf fmt "%-20s DETECTED by simulator: %s  [%s]" (fault_name o.o_fault)
+      msg o.o_note
+  | None ->
+    Fmt.pf fmt "%-20s UNDETECTED  [%s]" (fault_name o.o_fault) o.o_note
+
+let detect ~limits ~fuel ~registers ~params ~fresh_memory ~expected (inj : injection) =
+  match Cfg_verify.check ~allow_unreachable:false ~params ~limits inj.cfg with
+  | v :: _ -> Some (Structural v)
+  | [] -> (
+    match Func_sim.run ~fuel ~registers ~memory:(fresh_memory ()) inj.cfg with
+    | exception e -> Some (Crashed (Printexc.to_string e))
+    | r ->
+      if r.Func_sim.checksum <> expected then
+        Some (Behavioral { got = r.Func_sim.checksum; expected })
+      else None)
+
+let run_suite ?(faults = all_faults) ?(limits = Chf.Constraints.trips_limits)
+    ?(attempts = 8) ?(fuel = 10_000_000) ~seed ~registers ~fresh_memory victim =
+  let rng = Random.State.make [| seed |] in
+  let expected =
+    (Func_sim.run ~fuel ~registers ~memory:(fresh_memory ()) victim).Func_sim.checksum
+  in
+  let params =
+    IntSet.union
+      (IntSet.of_list (List.map fst registers))
+      (Cfg_verify.undefined_regs victim)
+  in
+  List.filter_map
+    (fun fault ->
+      let rec try_inject k last =
+        if k = 0 then last
+        else
+          match inject rng fault victim with
+          | None -> last  (* no applicable site in this CFG *)
+          | Some inj -> (
+            match detect ~limits ~fuel ~registers ~params ~fresh_memory ~expected inj with
+            | Some d ->
+              Some { o_fault = fault; o_note = inj.note; o_detection = Some d }
+            | None ->
+              try_inject (k - 1)
+                (Some { o_fault = fault; o_note = inj.note; o_detection = None }))
+      in
+      try_inject attempts None)
+    faults
+
+let undetected outcomes = List.filter (fun o -> o.o_detection = None) outcomes

@@ -1,0 +1,63 @@
+(** Seeded fault injection: prove the verifier catches what it claims to.
+
+    Each fault class perturbs a (copy of a) compiled CFG the way a buggy
+    transform would — dropping an edge, stripping exits, duplicating an
+    instruction id, reading an undefined register, flipping a predicate
+    sense, oversubscribing the load/store budget, orphaning a block,
+    corrupting arithmetic — and the suite asserts that {!Cfg_verify}
+    or the differential functional check detects it.  Injection is
+    deterministic per seed, so failures replay. *)
+
+open Trips_ir
+
+type fault =
+  | Drop_entry  (** point the CFG entry at a nonexistent block *)
+  | Dangle_edge  (** retarget one exit at a nonexistent block *)
+  | Strip_exits  (** delete every exit of one block *)
+  | Double_unguarded  (** add a second unguarded exit to a block *)
+  | Clone_instr_id  (** duplicate an instruction, keeping its id *)
+  | Undefined_use  (** insert a read of a never-defined register *)
+  | Corrupt_predicate  (** flip the sense of an exit guard *)
+  | Oversubscribe_loads  (** blow the 32-LSID budget of one block *)
+  | Orphan_block  (** add a block unreachable from the entry *)
+  | Corrupt_arithmetic  (** perturb an immediate operand *)
+
+val all_faults : fault list
+val fault_name : fault -> string
+
+type injection = { fault : fault; cfg : Cfg.t; note : string }
+(** A perturbed deep copy; the victim CFG is never mutated. *)
+
+val inject : Random.State.t -> fault -> Cfg.t -> injection option
+(** [None] when the CFG offers no site for this fault class (e.g. no
+    guarded exits to corrupt). *)
+
+type detection =
+  | Structural of Cfg_verify.violation  (** caught by {!Cfg_verify} *)
+  | Behavioral of { got : int; expected : int }  (** functional divergence *)
+  | Crashed of string  (** the simulator rejected it (e.g. exit invariant) *)
+
+type outcome = { o_fault : fault; o_note : string; o_detection : detection option }
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run_suite :
+  ?faults:fault list ->
+  ?limits:Chf.Constraints.limits ->
+  ?attempts:int ->
+  ?fuel:int ->
+  seed:int ->
+  registers:(int * int) list ->
+  fresh_memory:(unit -> int array) ->
+  Cfg.t ->
+  outcome list
+(** For each fault class: inject at up to [attempts] (default 8)
+    randomly-drawn sites and report the first detected injection — or,
+    if every site escapes both the structural checker and the
+    differential functional check, an outcome with [o_detection = None]
+    (a verifier gap).  [limits] defaults to {!Chf.Constraints.trips_limits};
+    [fuel] (default 10M) bounds each simulation, so a fault that turns
+    the CFG into an infinite loop is detected as a crash rather than a
+    hang. *)
+
+val undetected : outcome list -> outcome list

@@ -1,0 +1,59 @@
+(* Differential per-phase checking: interleave Cfg_verify and functional
+   re-simulation between the steps of a phase ordering, so the first
+   transform that breaks structure or behavior is named. *)
+
+open Trips_ir
+open Trips_sim
+
+type fail_kind =
+  | Structural of Cfg_verify.violation list
+  | Diverged of { got : int; expected : int }
+  | Crashed of string
+
+type failure = { phase : string; phase_index : int; kind : fail_kind }
+
+let pp_failure fmt f =
+  match f.kind with
+  | Structural viols ->
+    Fmt.pf fmt "@[<v>phase %s (step %d) broke structural invariants:@,%a@]"
+      f.phase f.phase_index
+      (Fmt.list ~sep:Fmt.cut Cfg_verify.pp_violation)
+      viols
+  | Diverged { got; expected } ->
+    Fmt.pf fmt "phase %s (step %d) changed behavior: checksum %d, expected %d"
+      f.phase f.phase_index got expected
+  | Crashed msg ->
+    Fmt.pf fmt "phase %s (step %d) crashed: %s" f.phase f.phase_index msg
+
+let checksum ?fuel ~registers ~fresh_memory cfg =
+  let memory = fresh_memory () in
+  (Func_sim.run ?fuel ~registers ~memory cfg).Func_sim.checksum
+
+let run ?config ?limits ?fuel ~registers ~fresh_memory ordering cfg profile =
+  let expected = checksum ?fuel ~registers ~fresh_memory cfg in
+  (* parameters plus any undefined uses already present: only report
+     regressions introduced by a step *)
+  let params =
+    IntSet.union
+      (IntSet.of_list (List.map fst registers))
+      (Cfg_verify.undefined_regs cfg)
+  in
+  let stats, steps = Chf.Phases.plan ?config ordering cfg profile in
+  let rec go index = function
+    | [] -> Ok stats
+    | (s : Chf.Phases.step) :: rest -> (
+      let fail kind = Error { phase = s.Chf.Phases.step_name; phase_index = index; kind } in
+      match s.Chf.Phases.step_run () with
+      | exception e -> fail (Crashed (Printexc.to_string e))
+      | () -> (
+        match
+          Cfg_verify.check ~allow_unreachable:true ~params ?limits cfg
+        with
+        | _ :: _ as viols -> fail (Structural viols)
+        | [] -> (
+          match checksum ?fuel ~registers ~fresh_memory cfg with
+          | exception e -> fail (Crashed (Printexc.to_string e))
+          | got when got <> expected -> fail (Diverged { got; expected })
+          | _ -> go (index + 1) rest)))
+  in
+  go 0 steps

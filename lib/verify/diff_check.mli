@@ -1,0 +1,43 @@
+(** Differential per-phase checking of a phase ordering.
+
+    [Pipeline.verify_against] compares functional checksums only once,
+    end-to-end, so a miscompiling transform surfaces as an opaque
+    mismatch with no locus.  This module runs the same
+    {!Chf.Phases.plan}, but after {e each} step re-checks the structural
+    invariants ({!Cfg_verify}) and re-runs the functional simulator
+    against the pre-formation behavior — the first step that breaks an
+    invariant or changes observable behavior is named. *)
+
+open Trips_ir
+
+type fail_kind =
+  | Structural of Cfg_verify.violation list
+  | Diverged of { got : int; expected : int }  (** functional checksums *)
+  | Crashed of string  (** the step, or the simulator on its output, raised *)
+
+type failure = {
+  phase : string;  (** the {!Chf.Phases.step} that broke *)
+  phase_index : int;  (** 0-based position in the plan *)
+  kind : fail_kind;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val run :
+  ?config:Chf.Policy.config ->
+  ?limits:Chf.Constraints.limits ->
+  ?fuel:int ->
+  registers:(int * int) list ->
+  fresh_memory:(unit -> int array) ->
+  Chf.Phases.ordering ->
+  Cfg.t ->
+  Trips_profile.Profile.t ->
+  (Chf.Formation.stats, failure) result
+(** Apply [ordering] to the CFG in place, checking after every step.
+    [registers] preloads workload parameters and [fresh_memory] must
+    build an identical, freshly-initialized memory image per call (the
+    simulator mutates it).  The expected checksum is taken from the
+    input CFG before any step runs; undefined-use violations already
+    present in the input are tolerated throughout, so only regressions
+    are reported.  On [Error], the CFG is left as the failing step
+    produced it, for dumping. *)

@@ -97,8 +97,9 @@ let random_full_pipeline =
 (* experiment harness plumbing *)
 let test_table1_row_consistency () =
   let w = Option.get (Micro.by_name "gzip_1") in
-  let rows = Table1.run ~workloads:[ w ] () in
-  match rows with
+  let outcome = Table1.run ~workloads:[ w ] () in
+  check Alcotest.int "no failures" 0 (List.length outcome.Table1.failures);
+  match outcome.Table1.rows with
   | [ row ] ->
     check Alcotest.int "four cells" 4 (List.length row.Table1.cells);
     check Alcotest.bool "baseline positive" true (row.Table1.bb_cycles > 0);
@@ -113,12 +114,12 @@ let test_table1_row_consistency () =
   | _ -> Alcotest.fail "expected one row"
 
 let test_figure7_regression_positive () =
-  let rows =
+  let outcome =
     Table1.run
       ~workloads:(List.filter_map Micro.by_name [ "gzip_1"; "sieve"; "vadd"; "art_1" ])
       ()
   in
-  let points = Figure7.points_of_table1 rows in
+  let points = Figure7.points_of_table1 outcome.Table1.rows in
   check Alcotest.int "4 workloads x 4 configs" 16 (List.length points);
   let reg = Figure7.regression points in
   check Alcotest.bool "positive correlation" true (reg.Stats.slope > 0.0)

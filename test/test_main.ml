@@ -14,5 +14,6 @@ let () =
       Test_regalloc.suite;
       Test_sim.suite;
       Test_workloads.suite;
+      Test_verify.suite;
       Test_integration.suite;
     ]

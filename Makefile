@@ -2,7 +2,7 @@
 
 CHAOS_SEED ?= 42
 
-.PHONY: all build test chaos check bench clean
+.PHONY: all build test chaos check bench bench-all clean
 
 all: build
 
@@ -19,7 +19,12 @@ chaos: build
 
 check: build test chaos
 
+# Full-sweep benchmark of the staged engine (writes BENCH_sweep.json).
 bench: build
+	dune exec bench/main.exe -- sweep
+
+# Every experiment: tables, figure, ablations, Bechamel micro-benchmarks.
+bench-all: build
 	dune exec bench/main.exe
 
 clean:

@@ -241,6 +241,89 @@ let run_verify () =
            Fmt.pr "%-24s %10.1f us/run (%d samples)@." name (median /. 1e3)
              (List.length sorted))
 
+(* Full-sweep benchmark of the staged engine itself: every table and
+   figure under three configurations — sequential with every cache off,
+   sequential with caches on, and the domain pool with caches on.  The
+   rendered outputs must agree byte-for-byte (determinism is part of the
+   contract); wall clocks, per-stage timings and cache counters go to
+   BENCH_sweep.json. *)
+let run_sweep () =
+  section "Sweep — staged engine: caching and domain-pool scaling";
+  let render_all ~cache ~jobs =
+    let buf = Buffer.create 4096 in
+    let fmt = Format.formatter_of_buffer buf in
+    let t1 = Table1.run ~cache ~jobs () in
+    Table1.render fmt t1;
+    Figure7.render fmt t1;
+    Table2.render fmt (Table2.run ~cache ~jobs ());
+    Table3.render fmt (Table3.run ~cache ~jobs ());
+    Format.pp_print_flush fmt ();
+    Buffer.contents buf
+  in
+  let measure ~name ~jobs ~cached ~memo =
+    (* the gen/kill memo is process-global (formation reads the
+       environment), so toggle it around the run *)
+    Unix.putenv "TRIPS_NO_LIVENESS_MEMO" (if memo then "" else "1");
+    let cache = if cached then Stage.create () else Stage.disabled () in
+    Stage.reset_timings ();
+    let t0 = Unix.gettimeofday () in
+    let output = render_all ~cache ~jobs in
+    let wall = Unix.gettimeofday () -. t0 in
+    Unix.putenv "TRIPS_NO_LIVENESS_MEMO" "";
+    let stats = Stage.stats cache in
+    Fmt.pr "%-28s %6.1fs  (%a; cache %d/%d hits)@." name wall Stage.pp_timings
+      (Stage.timings ()) stats.Stage.cache_hits
+      (stats.Stage.cache_hits + stats.Stage.cache_misses);
+    (name, jobs, cached, wall, Stage.timings (), stats, output)
+  in
+  let cores = Engine.default_jobs () in
+  Fmt.pr "cores: %d@." cores;
+  let baseline = measure ~name:"sequential, caches off" ~jobs:1 ~cached:false ~memo:false in
+  let seq = measure ~name:"sequential, caches on" ~jobs:1 ~cached:true ~memo:true in
+  let par =
+    measure
+      ~name:(Fmt.str "parallel -j%d, caches on" cores)
+      ~jobs:cores ~cached:true ~memo:true
+  in
+  let output_of (_, _, _, _, _, _, o) = o in
+  let wall_of (_, _, _, w, _, _, _) = w in
+  let identical =
+    output_of baseline = output_of seq && output_of seq = output_of par
+  in
+  if not identical then
+    Fmt.epr "bench: WARNING: sweep outputs differ across configurations@.";
+  Fmt.pr "identical outputs: %b@." identical;
+  Fmt.pr "speedup (caching): %.2fx, (caching + domains): %.2fx@."
+    (wall_of baseline /. wall_of seq)
+    (wall_of baseline /. wall_of par);
+  let json =
+    let config (name, jobs, cached, wall, (t : Stage.timings), (s : Stage.cache_stats), _) =
+      Fmt.str
+        "    { \"name\": %S, \"jobs\": %d, \"caches\": %b, \"wall_s\": %.3f,@\n\
+        \      \"stages_s\": { \"lower\": %.3f, \"profile\": %.3f, \
+         \"formation\": %.3f, \"backend\": %.3f, \"sim\": %.3f },@\n\
+        \      \"cache_hits\": %d, \"cache_misses\": %d, \"hit_rate\": %.3f }"
+        name jobs cached wall t.Stage.lower_s t.Stage.profile_s
+        t.Stage.formation_s t.Stage.backend_s t.Stage.sim_s s.Stage.cache_hits
+        s.Stage.cache_misses (Stage.hit_rate s)
+    in
+    Fmt.str
+      "{@\n\
+      \  \"cores\": %d,@\n\
+      \  \"identical_outputs\": %b,@\n\
+      \  \"speedup_caching\": %.3f,@\n\
+      \  \"speedup_total\": %.3f,@\n\
+      \  \"configs\": [@\n%s@\n  ]@\n}@\n"
+      cores identical
+      (wall_of baseline /. wall_of seq)
+      (wall_of baseline /. wall_of par)
+      (String.concat ",\n" (List.map config [ baseline; seq; par ]))
+  in
+  let oc = open_out "BENCH_sweep.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_sweep.json@."
+
 let experiments =
   [
     ("table1", run_table1);
@@ -251,6 +334,7 @@ let experiments =
     ("placement", run_placement);
     ("speed", run_speed);
     ("verify", run_verify);
+    ("sweep", run_sweep);
   ]
 
 let () =

@@ -343,6 +343,49 @@ let workloads_arg =
     value & opt_all string []
     & info [ "workload"; "w" ] ~docv:"NAME" ~doc:"Restrict to these workloads.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Compile sweep rows on $(docv) domains (0 = one per core). The \
+           rendered tables are independent of $(docv); $(b,--jobs 1) is the \
+           sequential default.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the staged-compilation prefix cache: re-lower and \
+           re-profile every cell instead of sharing the per-workload prefix \
+           across configurations. Output is identical either way.")
+
+let cache_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "cache-stats" ]
+        ~doc:
+          "After the sweep, print prefix-cache hit/miss counters and \
+           cumulative per-stage wall-clock.")
+
+(* every experiment shares the jobs/cache plumbing: resolve the flags to
+   an engine width and a cache, and optionally report the cache verdict *)
+let sweep_env jobs no_cache =
+  let jobs = if jobs <= 0 then Engine.default_jobs () else jobs in
+  let cache = if no_cache then Stage.disabled () else Stage.create () in
+  Stage.reset_timings ();
+  (jobs, cache)
+
+let report_cache cache cache_stats =
+  if cache_stats then begin
+    let s = Stage.stats cache in
+    Fmt.pr "@.prefix cache : %d hit(s), %d miss(es), %.0f%% hit rate@."
+      s.Stage.cache_hits s.Stage.cache_misses
+      (100.0 *. Stage.hit_rate s);
+    Fmt.pr "stage timings: %a@." Stage.pp_timings (Stage.timings ())
+  end
+
 let micro_selection names =
   match names with
   | [] -> Micro.all
@@ -350,30 +393,51 @@ let micro_selection names =
 
 let table1_cmd =
   let doc = "Reproduce Table 1 (phase orderings, cycle counts)." in
-  let run names = Table1.render Fmt.stdout (Table1.run ~workloads:(micro_selection names) ()) in
-  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ workloads_arg)
+  let run names jobs no_cache cache_stats =
+    let jobs, cache = sweep_env jobs no_cache in
+    Table1.render Fmt.stdout
+      (Table1.run ~cache ~jobs ~workloads:(micro_selection names) ());
+    report_cache cache cache_stats
+  in
+  Cmd.v (Cmd.info "table1" ~doc)
+    Term.(const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg)
 
 let table2_cmd =
   let doc = "Reproduce Table 2 (block-selection heuristics)." in
-  let run names = Table2.render Fmt.stdout (Table2.run ~workloads:(micro_selection names) ()) in
-  Cmd.v (Cmd.info "table2" ~doc) Term.(const run $ workloads_arg)
+  let run names jobs no_cache cache_stats =
+    let jobs, cache = sweep_env jobs no_cache in
+    Table2.render Fmt.stdout
+      (Table2.run ~cache ~jobs ~workloads:(micro_selection names) ());
+    report_cache cache cache_stats
+  in
+  Cmd.v (Cmd.info "table2" ~doc)
+    Term.(const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg)
 
 let table3_cmd =
   let doc = "Reproduce Table 3 (SPEC-like block counts)." in
-  let run names =
+  let run names jobs no_cache cache_stats =
     let workloads =
       match names with
       | [] -> Spec_like.all
       | names -> List.filter_map Spec_like.by_name names
     in
-    Table3.render Fmt.stdout (Table3.run ~workloads ())
+    let jobs, cache = sweep_env jobs no_cache in
+    Table3.render Fmt.stdout (Table3.run ~cache ~jobs ~workloads ());
+    report_cache cache cache_stats
   in
-  Cmd.v (Cmd.info "table3" ~doc) Term.(const run $ workloads_arg)
+  Cmd.v (Cmd.info "table3" ~doc)
+    Term.(const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg)
 
 let figure7_cmd =
   let doc = "Reproduce Figure 7 (cycle vs block count reduction)." in
-  let run names = Figure7.render Fmt.stdout (Table1.run ~workloads:(micro_selection names) ()) in
-  Cmd.v (Cmd.info "figure7" ~doc) Term.(const run $ workloads_arg)
+  let run names jobs no_cache cache_stats =
+    let jobs, cache = sweep_env jobs no_cache in
+    Figure7.render Fmt.stdout
+      (Table1.run ~cache ~jobs ~workloads:(micro_selection names) ());
+    report_cache cache cache_stats
+  in
+  Cmd.v (Cmd.info "figure7" ~doc)
+    Term.(const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg)
 
 let () =
   let doc = "convergent hyperblock formation for TRIPS (MICRO 2006 reproduction)" in

@@ -98,11 +98,40 @@ type t = {
   gk : gen_kill IntMap.t;
 }
 
-let compute cfg =
+(* Blocks are immutable records replaced wholesale (see [Cfg]), so a
+   block's gen/kill sets can be memoized under physical equality: a
+   cached entry is valid exactly as long as the block record it was
+   computed from is still installed.  Callers that recompute liveness
+   after single-block edits (formation re-checks constraints after every
+   merge attempt) pass a persistent cache so only the edited block pays
+   for gen/kill again; the fixpoint below is the unique least solution,
+   so cached and uncached runs are indistinguishable. *)
+type gk_cache = (int, Block.t * gen_kill) Hashtbl.t
+
+let gk_cache () : gk_cache = Hashtbl.create 64
+
+let gen_kill_memo cache (b : Block.t) =
+  match cache with
+  | None -> gen_kill b
+  | Some tbl -> (
+    match Hashtbl.find_opt tbl b.Block.id with
+    | Some (b', gk) when b' == b -> gk
+    | Some _ | None ->
+      let gk = gen_kill b in
+      Hashtbl.replace tbl b.Block.id (b, gk);
+      gk)
+
+let compute ?cache cfg =
   let ids = Order.postorder cfg in
   let gk =
     List.fold_left
-      (fun acc id -> IntMap.add id (gen_kill (Cfg.block cfg id)) acc)
+      (fun acc id -> IntMap.add id (gen_kill_memo cache (Cfg.block cfg id)) acc)
+      IntMap.empty ids
+  in
+  (* successor lists are loop-invariant across fixpoint rounds *)
+  let succs =
+    List.fold_left
+      (fun acc id -> IntMap.add id (Cfg.successors cfg id) acc)
       IntMap.empty ids
   in
   let live_in = Hashtbl.create 64 and live_out = Hashtbl.create 64 in
@@ -121,7 +150,8 @@ let compute cfg =
             (fun acc s ->
               IntSet.union acc
                 (Option.value ~default:IntSet.empty (Hashtbl.find_opt live_in s)))
-            IntSet.empty (Cfg.successors cfg id)
+            IntSet.empty
+            (IntMap.find_or ~default:[] id succs)
         in
         let g = IntMap.find id gk in
         let inn =

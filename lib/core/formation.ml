@@ -72,6 +72,7 @@ type state = {
   mutable version : int;  (* bumped on every CFG change *)
   mutable loops_cache : (int * Loops.t) option;
   mutable live_cache : (int * Liveness.t) option;
+  live_gk : Liveness.gk_cache option;  (* gen/kill memo across recomputations *)
 }
 
 let make config cfg profile =
@@ -87,6 +88,12 @@ let make config cfg profile =
     version = 0;
     loops_cache = None;
     live_cache = None;
+    (* escape hatch for bisecting memo-related issues, and for benchmarks
+       that want to price the memo itself (see bench sweep) *)
+    live_gk =
+      (match Sys.getenv_opt "TRIPS_NO_LIVENESS_MEMO" with
+      | Some s when s <> "" -> None
+      | Some _ | None -> Some (Liveness.gk_cache ()));
   }
 
 let touch st =
@@ -104,7 +111,7 @@ let liveness st =
   match st.live_cache with
   | Some (v, l) when v = st.version -> l
   | _ ->
-    let l = Liveness.compute st.cfg in
+    let l = Liveness.compute ?cache:st.live_gk st.cfg in
     st.live_cache <- Some (st.version, l);
     l
 

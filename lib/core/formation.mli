@@ -49,6 +49,9 @@ type state = {
   mutable version : int;
   mutable loops_cache : (int * Trips_analysis.Loops.t) option;
   mutable live_cache : (int * Trips_analysis.Liveness.t) option;
+  live_gk : Trips_analysis.Liveness.gk_cache option;
+      (** gen/kill memo reused across liveness recomputations; [None] when
+          disabled via the [TRIPS_NO_LIVENESS_MEMO] environment variable *)
 }
 
 val make : Policy.config -> Cfg.t -> Profile.t -> state

@@ -24,6 +24,11 @@ type ordering =
 
 let all = [ Basic_blocks; Upio; Iupo; Iup_o; Iupo_merged ]
 
+(* The four formed configurations every experiment sweeps against the
+   basic-block baseline (Tables 1 and 3, Figure 7): adding an ordering
+   here updates every table. *)
+let table_orderings = [ Upio; Iupo; Iup_o; Iupo_merged ]
+
 let name = function
   | Basic_blocks -> "BB"
   | Upio -> "UPIO"

@@ -23,6 +23,12 @@ type ordering =
   | Iupo_merged  (** (IUPO) *)
 
 val all : ordering list
+
+val table_orderings : ordering list
+(** The four formed configurations the experiments sweep against the
+    basic-block baseline (Tables 1 and 3, Figure 7) — the single source
+    of truth for every table's column set. *)
+
 val name : ordering -> string
 
 type step = {

@@ -1,0 +1,46 @@
+(* Domain-pool executor for experiment sweeps.
+
+   Independent sweep cells are pure with respect to each other (every
+   compile works on its own CFG copy; cached prefixes are read-only
+   after construction), so they can run on separate domains.  Work is
+   distributed by an atomic index counter and every result is written
+   into its input's slot, so the merge order is deterministic: the
+   output list always lines up with the input list regardless of which
+   domain ran which cell, and [~jobs:1] executes sequentially on the
+   calling domain — bit-identical to the pre-engine sweep loops.
+
+   A cell that raises becomes [Error exn] in its own slot and never
+   disturbs its siblings, preserving the graceful-degradation contract
+   of the harnesses (failures are collected, sweeps never abort). *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let run_one f x = match f x with y -> Ok y | exception e -> Error e
+
+let map ?jobs (f : 'a -> 'b) (xs : 'a list) : ('b, exn) result list =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if jobs = 1 || n <= 1 then List.map (run_one f) xs
+  else begin
+    let out = Array.make n (Error Not_found) in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- run_one f arr.(i);
+          go ()
+        end
+      in
+      go ()
+    in
+    let helpers =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list out
+  end

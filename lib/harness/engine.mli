@@ -1,0 +1,19 @@
+(** Domain-pool executor for experiment sweeps.
+
+    Runs independent cells on up to [jobs] domains with a deterministic
+    merge order: the result list always lines up with the input list,
+    whatever the execution interleaving, and [~jobs:1] runs sequentially
+    on the calling domain — bit-identical to a plain [List.map].
+
+    Cells must be independent (each sweep cell compiles its own CFG
+    copy; shared cached prefixes are read-only), but need not be total:
+    a cell that raises becomes [Error exn] in its own slot and never
+    disturbs its siblings. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count], floored at 1 — the [-j] default. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [map ~jobs f xs] applies [f] to every element of [xs] on a pool of
+    [min jobs (length xs)] domains (default {!default_jobs}; values < 1
+    are clamped to 1) and returns the results in input order. *)

@@ -71,28 +71,16 @@ type compiled = {
 }
 
 (* Lower the workload (with its front-end unroll factor) and bind the
-   parameter registers. *)
+   parameter registers.  Thin wrapper over the [Stage] front end. *)
 let lower_workload (w : Workload.t) =
-  let program = Trips_lang.Unroll_for.apply ~factor:w.Workload.frontend_unroll w.Workload.program in
-  let cfg, params = Trips_lang.Lower.lower program in
-  let registers =
-    List.map
-      (fun (name, value) ->
-        match List.assoc_opt name params with
-        | Some r -> (r, value)
-        | None -> Fmt.invalid_arg "workload %s: unknown parameter %s" w.Workload.name name)
-      w.Workload.args
-  in
-  (cfg, registers)
+  let l = Stage.lower w in
+  (l.Stage.low_cfg, l.Stage.low_registers)
 
 (** Profile the workload at the basic-block level (edge counts, block
     counts, trip-count histograms). *)
 let profile_workload (w : Workload.t) =
-  let cfg, registers = lower_workload w in
-  let loops = Trips_analysis.Loops.compute cfg in
-  let memory = Workload.memory w in
-  let result, profile = Func_sim.run_profiled ~registers ~loops ~memory cfg in
-  (profile, result)
+  let p = Stage.profile w (Stage.lower w) in
+  (p.Stage.prof_profile, p.Stage.prof_result)
 
 (* Split every block the TRIPS budget check rejects (middle split,
    repeatedly) until the CFG fits or no split makes progress.  Used by
@@ -131,27 +119,37 @@ let split_over_budget ~limits cfg =
    differential checks after every phase and raise [Verify_failed] naming
    the first phase that broke an invariant or changed behavior. *)
 let form ~verify ~config ordering (w : Workload.t) cfg registers profile =
-  if not verify then Chf.Phases.apply ~config ordering cfg profile
-  else
-    match
-      Trips_verify.Diff_check.run ~config ~registers
-        ~fresh_memory:(fun () -> Workload.memory w)
-        ordering cfg profile
-    with
-    | Ok stats -> stats
-    | Error f ->
-      raise
-        (Verify_failed
-           { vf_workload = w.Workload.name; vf_ordering = ordering; vf_failure = f })
+  Stage.time Stage.Formation (fun () ->
+      if not verify then Chf.Phases.apply ~config ordering cfg profile
+      else
+        match
+          Trips_verify.Diff_check.run ~config ~registers
+            ~fresh_memory:(fun () -> Workload.memory w)
+            ordering cfg profile
+        with
+        | Ok stats -> stats
+        | Error f ->
+          raise
+            (Verify_failed
+               { vf_workload = w.Workload.name; vf_ordering = ordering; vf_failure = f }))
+
+let run_backend cfg = Stage.time Stage.Backend (fun () -> Trips_regalloc.Backend.run cfg)
 
 (** Compile [w] under phase ordering [ordering] (and policy [config]),
     through the back end when [backend] is set.  [verify] re-checks
-    invariants and behavior after every formation phase. *)
-let compile ?(config = Chf.Policy.edge_default) ?(backend = true)
+    invariants and behavior after every formation phase.  [cache]
+    memoizes the workload-invariant lower+profile prefix across
+    compiles (any ordering/policy of the same content shares it). *)
+let compile ?cache ?(config = Chf.Policy.edge_default) ?(backend = true)
     ?(verify = false) ordering (w : Workload.t) : compiled =
-  let profile, _ = profile_workload w in
+  let prefix = Stage.prefix ?cache w in
+  let profile = prefix.Stage.pre_profiled.Stage.prof_profile in
+  (* every build mutates its own deep copy of the cached master lowering;
+     lowering is deterministic, so the copy matches a fresh lowering *)
   let build ~presplit =
-    let cfg, registers = lower_workload w in
+    let { Stage.low_cfg = cfg; low_registers = registers } =
+      Stage.instantiate prefix
+    in
     let stats = form ~verify ~config ordering w cfg registers profile in
     let splits =
       if presplit then split_over_budget ~limits:config.Chf.Policy.limits cfg
@@ -163,13 +161,13 @@ let compile ?(config = Chf.Policy.edge_default) ?(backend = true)
     let cfg, registers, stats, _ = build ~presplit:false in
     if not backend then (cfg, registers, stats, None, 0, false)
     else
-      match Trips_regalloc.Backend.run cfg with
+      match run_backend cfg with
       | report -> (cfg, registers, stats, Some report, 0, false)
       | exception _ -> (
         (* the back end may have partially rewritten the CFG: rebuild
            from scratch, split every over-budget hyperblock, retry *)
         let cfg, registers, stats, splits = build ~presplit:true in
-        match Trips_regalloc.Backend.run cfg with
+        match run_backend cfg with
         | report -> (cfg, registers, stats, Some report, splits, true)
         | exception _ ->
           (* still rejected: last resort is to skip the back end *)
@@ -201,13 +199,15 @@ let compile ?(config = Chf.Policy.edge_default) ?(backend = true)
 
 (** Run the compiled workload functionally. *)
 let run_functional (c : compiled) : Func_sim.result =
-  let memory = Workload.memory c.workload in
-  Func_sim.run ~registers:c.registers ~memory c.cfg
+  Stage.time Stage.Sim (fun () ->
+      let memory = Workload.memory c.workload in
+      Func_sim.run ~registers:c.registers ~memory c.cfg)
 
 (** Run the compiled workload under the cycle-level timing model. *)
 let run_cycles ?timing (c : compiled) : Cycle_sim.result =
-  let memory = Workload.memory c.workload in
-  Cycle_sim.run ?timing ~registers:c.registers ~memory c.cfg
+  Stage.time Stage.Sim (fun () ->
+      let memory = Workload.memory c.workload in
+      Cycle_sim.run ?timing ~registers:c.registers ~memory c.cfg)
 
 (* On a checksum mismatch, re-run the formation phases with differential
    checking on a fresh lowering to name the first phase that diverged;
@@ -271,8 +271,8 @@ let failure_of_exn ~(workload : Workload.t) ~ordering exn =
 (** [compile], but an unrecoverable workload becomes a structured
     per-workload failure report instead of an exception, so experiment
     sweeps always complete. *)
-let compile_checked ?config ?backend ?verify ordering (w : Workload.t) :
+let compile_checked ?cache ?config ?backend ?verify ordering (w : Workload.t) :
     (compiled, failure) result =
-  match compile ?config ?backend ?verify ordering w with
+  match compile ?cache ?config ?backend ?verify ordering w with
   | c -> Ok c
   | exception e -> Error (failure_of_exn ~workload:w ~ordering:(Some ordering) e)

@@ -70,12 +70,14 @@ type compiled = {
 }
 
 val lower_workload : Workload.t -> Cfg.t * (int * int) list
-(** Front-end unroll + lowering; returns parameter register bindings. *)
+(** Front-end unroll + lowering; returns parameter register bindings.
+    Thin wrapper over {!Stage.lower}. *)
 
 val profile_workload : Workload.t -> Trips_profile.Profile.t * Func_sim.result
 (** Profile at the basic-block level (edges, blocks, trip counts). *)
 
 val compile :
+  ?cache:Stage.cache ->
   ?config:Chf.Policy.config ->
   ?backend:bool ->
   ?verify:bool ->
@@ -84,10 +86,13 @@ val compile :
   compiled
 (** Compile under a phase ordering (and policy), through the back end
     when [backend] (default true).  [verify] (default false) runs the
-    per-phase differential verifier during formation.
+    per-phase differential verifier during formation.  [cache] memoizes
+    the workload-invariant lower+profile prefix ({!Stage.prefix}), which
+    every ordering and policy of the same workload content shares.
     @raise Verify_failed when [verify] and a phase breaks. *)
 
 val compile_checked :
+  ?cache:Stage.cache ->
   ?config:Chf.Policy.config ->
   ?backend:bool ->
   ?verify:bool ->

@@ -1,0 +1,95 @@
+(** Staged compilation with content-keyed prefix caching.
+
+    The pipeline of Figure 6 decomposes into five stages —
+
+    {[ lower -> profile -> formation -> backend -> sim ]}
+
+    — with a typed artifact per stage.  The lower+profile prefix depends
+    only on the workload's content and is identical across every phase
+    ordering and policy of a sweep, so {!prefix} memoizes it under a
+    {!content_key}.  Cached artifacts are immutable: consumers that
+    transform the graph take a deep copy via {!instantiate}.  Lowering
+    is deterministic, so a cached sweep is byte-identical to an uncached
+    one.
+
+    The cache and the per-stage timers are domain-safe and shared
+    freely across the {!Engine} pool. *)
+
+open Trips_ir
+open Trips_sim
+open Trips_workloads
+
+(** {1 Per-stage wall-clock accounting} *)
+
+type stage = Lower | Profile | Formation | Backend | Sim
+
+type timings = {
+  lower_s : float;
+  profile_s : float;
+  formation_s : float;
+  backend_s : float;
+  sim_s : float;
+}
+
+val time : stage -> (unit -> 'a) -> 'a
+(** Run a thunk, attributing its wall-clock to the stage (cumulative
+    across domains; exceptions still account their time). *)
+
+val reset_timings : unit -> unit
+val timings : unit -> timings
+val pp_timings : Format.formatter -> timings -> unit
+
+(** {1 Typed per-stage artifacts} *)
+
+type lowered = {
+  low_cfg : Cfg.t;
+  low_registers : (int * int) list;  (** parameter register bindings *)
+}
+
+type profiled = {
+  prof_profile : Trips_profile.Profile.t;
+  prof_result : Func_sim.result;  (** the profiling run's result *)
+}
+
+type prefix = {
+  pre_workload : Workload.t;
+  pre_key : string;  (** {!content_key} of the workload *)
+  pre_master : lowered;  (** never mutated; use {!instantiate} *)
+  pre_profiled : profiled;
+}
+
+val content_key : Workload.t -> string
+(** Digest of the program AST, arguments, memory image and unroll
+    factor — everything the lower+profile prefix depends on.  Name and
+    description are excluded: identical content shares a prefix. *)
+
+val lower : Workload.t -> lowered
+(** Front-end unroll + lowering (timed as {!Lower}).
+    @raise Invalid_argument on an unknown parameter binding. *)
+
+val profile : Workload.t -> lowered -> profiled
+(** Basic-block profiling run over the lowered CFG (timed as
+    {!Profile}); does not mutate the CFG. *)
+
+val instantiate : prefix -> lowered
+(** A fresh deep copy of the master lowering, safe to mutate. *)
+
+(** {1 Content-keyed memo cache} *)
+
+type cache
+
+type cache_stats = { cache_hits : int; cache_misses : int }
+
+val create : unit -> cache
+
+val disabled : unit -> cache
+(** A cache that never stores: every lookup recomputes and counts as a
+    miss.  Lets cache-on and cache-off sweeps share one code path. *)
+
+val stats : cache -> cache_stats
+val hit_rate : cache_stats -> float
+
+val prefix : ?cache:cache -> Workload.t -> prefix
+(** The lower+profile prefix for [w], memoized on {!content_key} when a
+    cache is supplied.  Domain-safe; concurrent misses on one key both
+    compute (deterministically, so the race is benign). *)

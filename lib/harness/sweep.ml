@@ -1,0 +1,109 @@
+(* Declarative experiment sweeps over the shared engine.
+
+   Every table/figure of the evaluation is a cross-product of workloads
+   (rows) and configurations (columns): compile the basic-block baseline
+   for the row, then compile, checksum-verify and measure one cell per
+   column.  This module owns that skeleton once — the per-experiment
+   modules supply axes, a cell function and a renderer — so the sweep
+   machinery (prefix caching, domain-pool parallelism, graceful failure
+   collection, deterministic merge order) is written in exactly one
+   place.
+
+   Rows are the unit of parallelism: each row's baseline and cells run
+   sequentially on one domain, rows are distributed over the Engine
+   pool, and results merge in workload order.  A row or cell that fails
+   becomes a structured [Pipeline.failure] in sweep order — identical to
+   the historical sequential loops — and never disturbs its siblings. *)
+
+open Trips_sim
+open Trips_workloads
+
+type baseline = {
+  base_compiled : Pipeline.compiled;
+  base_functional : Func_sim.result;
+  base_cycles : Cycle_sim.result option;
+      (* present when the spec asked for a cycle-simulated baseline *)
+}
+
+type ('col, 'cell) spec = {
+  columns : 'col list;
+  baseline_backend : bool;  (* compile the BB baseline through the back end *)
+  baseline_cycles : bool;  (* cycle-simulate the BB baseline *)
+  cell :
+    cache:Stage.cache option ->
+    baseline ->
+    Workload.t ->
+    'col ->
+    ('cell, Pipeline.failure) result;
+}
+
+type 'cell row = {
+  row_workload : string;
+  row_baseline : baseline;
+  row_cells : 'cell list;  (* successful columns only, in column order *)
+}
+
+type 'cell outcome = {
+  rows : 'cell row list;
+  failures : Pipeline.failure list;
+}
+
+(* One row: BB baseline, then every column against it.  Total — any
+   escape is classified into a failure by the caller via Engine. *)
+let run_row ~cache spec (w : Workload.t) :
+    ('cell row, Pipeline.failure) result * Pipeline.failure list =
+  match
+    Pipeline.compile_checked ?cache ~backend:spec.baseline_backend
+      Chf.Phases.Basic_blocks w
+  with
+  | Error f -> (Error f, [])
+  | Ok bb -> (
+    match
+      let functional = Pipeline.run_functional bb in
+      let cycles =
+        if spec.baseline_cycles then Some (Pipeline.run_cycles bb) else None
+      in
+      (functional, cycles)
+    with
+    | exception e ->
+      ( Error
+          (Pipeline.failure_of_exn ~workload:w
+             ~ordering:(Some Chf.Phases.Basic_blocks) e),
+        [] )
+    | functional, cycles ->
+      let baseline =
+        { base_compiled = bb; base_functional = functional;
+          base_cycles = cycles }
+      in
+      let cells, failures =
+        List.fold_left
+          (fun (cells, failures) col ->
+            match spec.cell ~cache baseline w col with
+            | Ok c -> (c :: cells, failures)
+            | Error f -> (cells, f :: failures))
+          ([], []) spec.columns
+      in
+      ( Ok
+          {
+            row_workload = w.Workload.name;
+            row_baseline = baseline;
+            row_cells = List.rev cells;
+          },
+        List.rev failures ))
+
+let run ?cache ?jobs (spec : ('col, 'cell) spec)
+    (workloads : Workload.t list) : 'cell outcome =
+  let results = Engine.map ?jobs (run_row ~cache spec) workloads in
+  let rows, failures =
+    List.fold_left2
+      (fun (rows, failures) w result ->
+        match result with
+        | Ok (Ok r, fs) -> (r :: rows, List.rev_append fs failures)
+        | Ok (Error f, fs) -> (rows, List.rev_append fs (f :: failures))
+        | Error e ->
+          (* a cell let an exception escape [compile_checked]'s net (or
+             the engine itself failed); classify it, keep sweeping *)
+          (rows, Pipeline.failure_of_exn ~workload:w ~ordering:None e :: failures))
+      ([], []) workloads results
+  in
+  { rows = List.rev rows; failures = List.rev failures }

@@ -2,9 +2,12 @@
    basic-block baseline on the 24 microbenchmarks, with m/t/u/p merge
    statistics, under the greedy breadth-first EDGE policy.
 
-   A workload or configuration that fails to compile (or miscompiles) is
-   recorded as a structured failure and the sweep continues; the
-   rendered table marks the missing cells and lists the failures. *)
+   Expressed as a declarative sweep spec (axes + cell function +
+   renderer) over the shared engine: Sweep owns baseline handling,
+   prefix caching, parallelism and failure collection.  A workload or
+   configuration that fails to compile (or miscompiles) is recorded as a
+   structured failure and the sweep continues; the rendered table marks
+   the missing cells and lists the failures. *)
 
 open Trips_workloads
 
@@ -25,73 +28,69 @@ type row = {
 
 type outcome = { rows : row list; failures : Pipeline.failure list }
 
-let orderings =
-  [ Chf.Phases.Upio; Chf.Phases.Iupo; Chf.Phases.Iup_o; Chf.Phases.Iupo_merged ]
+let orderings = Chf.Phases.table_orderings
 
 (* Compile, baseline-check and cycle-simulate one configuration;
    exceptions past compile_checked (miscompares, simulator faults) are
    classified into failures too. *)
-let run_cell ?config ?verify ~baseline ~bb_cycle (w : Workload.t) ordering :
-    (cell, Pipeline.failure) result =
-  match Pipeline.compile_checked ?config ?verify ~backend:true ordering w with
-  | Error f -> Error f
-  | Ok c -> (
-    match
-      ignore (Pipeline.verify_against ~baseline c);
-      Pipeline.run_cycles c
-    with
-    | r ->
-      Ok
-        {
-          ordering;
-          cycles = r.Trips_sim.Cycle_sim.cycles;
-          dyn_blocks = r.Trips_sim.Cycle_sim.blocks;
-          stats = c.Pipeline.stats;
-          improvement =
-            Stats.percent_improvement ~base:bb_cycle.Trips_sim.Cycle_sim.cycles
-              ~v:r.Trips_sim.Cycle_sim.cycles;
-        }
-    | exception e ->
-      Error (Pipeline.failure_of_exn ~workload:w ~ordering:(Some ordering) e))
-
-let run_row ?config ?verify (w : Workload.t) : (row, Pipeline.failure) result * Pipeline.failure list =
-  match Pipeline.compile_checked ?config ?verify ~backend:true Chf.Phases.Basic_blocks w with
-  | Error f -> (Error f, [])
-  | Ok bb -> (
-    match (Pipeline.run_cycles bb, Pipeline.run_functional bb) with
-    | exception e ->
-      (Error (Pipeline.failure_of_exn ~workload:w ~ordering:(Some Chf.Phases.Basic_blocks) e), [])
-    | bb_cycle, baseline ->
-      let cells, failures =
-        List.fold_left
-          (fun (cells, failures) ordering ->
-            match run_cell ?config ?verify ~baseline ~bb_cycle w ordering with
-            | Ok c -> (c :: cells, failures)
-            | Error f -> (cells, f :: failures))
-          ([], []) orderings
-      in
-      ( Ok
-          {
-            workload = w.Workload.name;
-            bb_cycles = bb_cycle.Trips_sim.Cycle_sim.cycles;
-            bb_blocks = bb_cycle.Trips_sim.Cycle_sim.blocks;
-            cells = List.rev cells;
-          },
-        List.rev failures ))
+let spec ?config ?verify () : (Chf.Phases.ordering, cell) Sweep.spec =
+  {
+    Sweep.columns = orderings;
+    baseline_backend = true;
+    baseline_cycles = true;
+    cell =
+      (fun ~cache baseline w ordering ->
+        match
+          Pipeline.compile_checked ?cache ?config ?verify ~backend:true
+            ordering w
+        with
+        | Error f -> Error f
+        | Ok c -> (
+          match
+            ignore
+              (Pipeline.verify_against
+                 ~baseline:baseline.Sweep.base_functional c);
+            Pipeline.run_cycles c
+          with
+          | r ->
+            let bb_cycle = Option.get baseline.Sweep.base_cycles in
+            Ok
+              {
+                ordering;
+                cycles = r.Trips_sim.Cycle_sim.cycles;
+                dyn_blocks = r.Trips_sim.Cycle_sim.blocks;
+                stats = c.Pipeline.stats;
+                improvement =
+                  Stats.percent_improvement
+                    ~base:bb_cycle.Trips_sim.Cycle_sim.cycles
+                    ~v:r.Trips_sim.Cycle_sim.cycles;
+              }
+          | exception e ->
+            Error (Pipeline.failure_of_exn ~workload:w ~ordering:(Some ordering) e)));
+  }
 
 (** Run the Table 1 experiment.  [workloads] defaults to all 24
     microbenchmarks; failures are reported, not raised, so the sweep
-    always completes. *)
-let run ?config ?verify ?(workloads = Micro.all) () : outcome =
-  let rows, failures =
-    List.fold_left
-      (fun (rows, failures) w ->
-        match run_row ?config ?verify w with
-        | Ok r, fs -> (r :: rows, List.rev_append fs failures)
-        | Error f, fs -> (rows, List.rev_append fs (f :: failures)))
-      ([], []) workloads
-  in
-  { rows = List.rev rows; failures = List.rev failures }
+    always completes.  [jobs] parallelizes rows over the engine's domain
+    pool; [cache] (fresh per run by default) shares the lower+profile
+    prefix across the five compiles of every workload. *)
+let run ?config ?verify ?(cache = Stage.create ()) ?jobs
+    ?(workloads = Micro.all) () : outcome =
+  let o = Sweep.run ~cache ?jobs (spec ?config ?verify ()) workloads in
+  {
+    rows =
+      List.map
+        (fun (r : cell Sweep.row) ->
+          let bb = Option.get r.Sweep.row_baseline.Sweep.base_cycles in
+          {
+            workload = r.Sweep.row_workload;
+            bb_cycles = bb.Trips_sim.Cycle_sim.cycles;
+            bb_blocks = bb.Trips_sim.Cycle_sim.blocks;
+            cells = r.Sweep.row_cells;
+          })
+        o.Sweep.rows;
+    failures = o.Sweep.failures;
+  }
 
 let average rows ordering =
   Stats.mean

@@ -1,6 +1,7 @@
 (* Table 2: VLIW, convergent-VLIW, depth-first and breadth-first block
    selection heuristics, all inside convergent hyperblock formation, on
-   the 24 microbenchmarks. *)
+   the 24 microbenchmarks — a sweep spec whose columns carry a policy as
+   well as an ordering. *)
 
 open Trips_workloads
 
@@ -42,68 +43,58 @@ type row = { workload : string; bb_cycles : int; cells : cell list }
 
 type outcome = { rows : row list; failures : Pipeline.failure list }
 
-let run_cell ~baseline ~bb_cycle (w : Workload.t) col :
-    (cell, Pipeline.failure) result =
-  match
-    Pipeline.compile_checked ~config:col.config ~backend:true col.ordering w
-  with
-  | Error f -> Error f
-  | Ok c -> (
-    match
-      ignore (Pipeline.verify_against ~baseline c);
-      Pipeline.run_cycles c
-    with
-    | r ->
-      Ok
-        {
-          label = col.label;
-          cycles = r.Trips_sim.Cycle_sim.cycles;
-          improvement =
-            Stats.percent_improvement ~base:bb_cycle.Trips_sim.Cycle_sim.cycles
-              ~v:r.Trips_sim.Cycle_sim.cycles;
-          mispredictions = r.Trips_sim.Cycle_sim.mispredictions;
-          stats = c.Pipeline.stats;
-        }
-    | exception e ->
-      Error (Pipeline.failure_of_exn ~workload:w ~ordering:(Some col.ordering) e))
+let spec : (column, cell) Sweep.spec =
+  {
+    Sweep.columns;
+    baseline_backend = true;
+    baseline_cycles = true;
+    cell =
+      (fun ~cache baseline w col ->
+        match
+          Pipeline.compile_checked ?cache ~config:col.config ~backend:true
+            col.ordering w
+        with
+        | Error f -> Error f
+        | Ok c -> (
+          match
+            ignore
+              (Pipeline.verify_against
+                 ~baseline:baseline.Sweep.base_functional c);
+            Pipeline.run_cycles c
+          with
+          | r ->
+            let bb_cycle = Option.get baseline.Sweep.base_cycles in
+            Ok
+              {
+                label = col.label;
+                cycles = r.Trips_sim.Cycle_sim.cycles;
+                improvement =
+                  Stats.percent_improvement
+                    ~base:bb_cycle.Trips_sim.Cycle_sim.cycles
+                    ~v:r.Trips_sim.Cycle_sim.cycles;
+                mispredictions = r.Trips_sim.Cycle_sim.mispredictions;
+                stats = c.Pipeline.stats;
+              }
+          | exception e ->
+            Error
+              (Pipeline.failure_of_exn ~workload:w ~ordering:(Some col.ordering) e)));
+  }
 
-let run_row (w : Workload.t) : (row, Pipeline.failure) result * Pipeline.failure list =
-  match Pipeline.compile_checked ~backend:true Chf.Phases.Basic_blocks w with
-  | Error f -> (Error f, [])
-  | Ok bb -> (
-    match (Pipeline.run_cycles bb, Pipeline.run_functional bb) with
-    | exception e ->
-      ( Error
-          (Pipeline.failure_of_exn ~workload:w
-             ~ordering:(Some Chf.Phases.Basic_blocks) e),
-        [] )
-    | bb_cycle, baseline ->
-      let cells, failures =
-        List.fold_left
-          (fun (cells, failures) col ->
-            match run_cell ~baseline ~bb_cycle w col with
-            | Ok c -> (c :: cells, failures)
-            | Error f -> (cells, f :: failures))
-          ([], []) columns
-      in
-      ( Ok
+let run ?(cache = Stage.create ()) ?jobs ?(workloads = Micro.all) () : outcome =
+  let o = Sweep.run ~cache ?jobs spec workloads in
+  {
+    rows =
+      List.map
+        (fun (r : cell Sweep.row) ->
+          let bb = Option.get r.Sweep.row_baseline.Sweep.base_cycles in
           {
-            workload = w.Workload.name;
-            bb_cycles = bb_cycle.Trips_sim.Cycle_sim.cycles;
-            cells = List.rev cells;
-          },
-        List.rev failures ))
-
-let run ?(workloads = Micro.all) () : outcome =
-  let rows, failures =
-    List.fold_left
-      (fun (rows, failures) w ->
-        match run_row w with
-        | Ok r, fs -> (r :: rows, List.rev_append fs failures)
-        | Error f, fs -> (rows, List.rev_append fs (f :: failures)))
-      ([], []) workloads
-  in
-  { rows = List.rev rows; failures = List.rev failures }
+            workload = r.Sweep.row_workload;
+            bb_cycles = bb.Trips_sim.Cycle_sim.cycles;
+            cells = r.Sweep.row_cells;
+          })
+        o.Sweep.rows;
+    failures = o.Sweep.failures;
+  }
 
 let average rows label =
   Stats.mean

@@ -25,8 +25,18 @@ type row = { workload : string; bb_cycles : int; cells : cell list }
 
 type outcome = { rows : row list; failures : Pipeline.failure list }
 
-val run : ?workloads:Workload.t list -> unit -> outcome
-(** Failures are recorded, not raised, so the sweep always completes. *)
+val spec : (column, cell) Sweep.spec
+(** The declarative sweep spec (axes + cell function) behind {!run}. *)
+
+val run :
+  ?cache:Stage.cache ->
+  ?jobs:int ->
+  ?workloads:Workload.t list ->
+  unit ->
+  outcome
+(** Failures are recorded, not raised, so the sweep always completes.
+    [jobs] parallelizes rows (output independent of [jobs]); [cache]
+    shares lower+profile prefixes, also across experiments. *)
 
 val average : row list -> string -> float
 val render : Format.formatter -> outcome -> unit

@@ -1,7 +1,10 @@
 (* Table 3: percent improvement in executed-block counts over basic
    blocks on the 19 SPEC-like workloads, under the fast functional
    simulator (the paper's argument: block counts correlate with cycles,
-   and full programs are too slow for cycle-level simulation). *)
+   and full programs are too slow for cycle-level simulation).
+
+   A sweep spec with no back end and no cycle-level baseline: the cell
+   measurement is the checksum-verification run itself. *)
 
 open Trips_workloads
 
@@ -15,66 +18,55 @@ type row = { workload : string; bb_blocks : int; cells : cell list }
 
 type outcome = { rows : row list; failures : Pipeline.failure list }
 
-let orderings =
-  [ Chf.Phases.Upio; Chf.Phases.Iupo; Chf.Phases.Iup_o; Chf.Phases.Iupo_merged ]
+let orderings = Chf.Phases.table_orderings
 
-let run_cell ~baseline (w : Workload.t) ordering :
-    (cell, Pipeline.failure) result =
-  (* no back end: Table 3 uses the functional simulator only *)
-  match Pipeline.compile_checked ~backend:false ordering w with
-  | Error f -> Error f
-  | Ok c -> (
-    match Pipeline.verify_against ~baseline c with
-    | r ->
-      Ok
-        {
-          ordering;
-          dyn_blocks = r.Trips_sim.Func_sim.blocks_executed;
-          improvement =
-            Stats.percent_improvement
-              ~base:baseline.Trips_sim.Func_sim.blocks_executed
-              ~v:r.Trips_sim.Func_sim.blocks_executed;
-        }
-    | exception e ->
-      Error (Pipeline.failure_of_exn ~workload:w ~ordering:(Some ordering) e))
+let spec : (Chf.Phases.ordering, cell) Sweep.spec =
+  {
+    Sweep.columns = orderings;
+    (* no back end: Table 3 uses the functional simulator only *)
+    baseline_backend = false;
+    baseline_cycles = false;
+    cell =
+      (fun ~cache baseline w ordering ->
+        match Pipeline.compile_checked ?cache ~backend:false ordering w with
+        | Error f -> Error f
+        | Ok c -> (
+          match
+            Pipeline.verify_against ~baseline:baseline.Sweep.base_functional c
+          with
+          | r ->
+            Ok
+              {
+                ordering;
+                dyn_blocks = r.Trips_sim.Func_sim.blocks_executed;
+                improvement =
+                  Stats.percent_improvement
+                    ~base:
+                      baseline.Sweep.base_functional
+                        .Trips_sim.Func_sim.blocks_executed
+                    ~v:r.Trips_sim.Func_sim.blocks_executed;
+              }
+          | exception e ->
+            Error (Pipeline.failure_of_exn ~workload:w ~ordering:(Some ordering) e)));
+  }
 
-let run_row (w : Workload.t) : (row, Pipeline.failure) result * Pipeline.failure list =
-  match Pipeline.compile_checked ~backend:false Chf.Phases.Basic_blocks w with
-  | Error f -> (Error f, [])
-  | Ok bb -> (
-    match Pipeline.run_functional bb with
-    | exception e ->
-      ( Error
-          (Pipeline.failure_of_exn ~workload:w
-             ~ordering:(Some Chf.Phases.Basic_blocks) e),
-        [] )
-    | baseline ->
-      let cells, failures =
-        List.fold_left
-          (fun (cells, failures) ordering ->
-            match run_cell ~baseline w ordering with
-            | Ok c -> (c :: cells, failures)
-            | Error f -> (cells, f :: failures))
-          ([], []) orderings
-      in
-      ( Ok
+let run ?(cache = Stage.create ()) ?jobs ?(workloads = Spec_like.all) () :
+    outcome =
+  let o = Sweep.run ~cache ?jobs spec workloads in
+  {
+    rows =
+      List.map
+        (fun (r : cell Sweep.row) ->
           {
-            workload = w.Workload.name;
-            bb_blocks = baseline.Trips_sim.Func_sim.blocks_executed;
-            cells = List.rev cells;
-          },
-        List.rev failures ))
-
-let run ?(workloads = Spec_like.all) () : outcome =
-  let rows, failures =
-    List.fold_left
-      (fun (rows, failures) w ->
-        match run_row w with
-        | Ok r, fs -> (r :: rows, List.rev_append fs failures)
-        | Error f, fs -> (rows, List.rev_append fs (f :: failures)))
-      ([], []) workloads
-  in
-  { rows = List.rev rows; failures = List.rev failures }
+            workload = r.Sweep.row_workload;
+            bb_blocks =
+              r.Sweep.row_baseline.Sweep.base_functional
+                .Trips_sim.Func_sim.blocks_executed;
+            cells = r.Sweep.row_cells;
+          })
+        o.Sweep.rows;
+    failures = o.Sweep.failures;
+  }
 
 let average rows ordering =
   Stats.mean

@@ -16,9 +16,20 @@ type row = { workload : string; bb_blocks : int; cells : cell list }
 type outcome = { rows : row list; failures : Pipeline.failure list }
 
 val orderings : Chf.Phases.ordering list
+(** = {!Chf.Phases.table_orderings}. *)
 
-val run : ?workloads:Workload.t list -> unit -> outcome
-(** Failures are recorded, not raised, so the sweep always completes. *)
+val spec : (Chf.Phases.ordering, cell) Sweep.spec
+(** The declarative sweep spec (axes + cell function) behind {!run}. *)
+
+val run :
+  ?cache:Stage.cache ->
+  ?jobs:int ->
+  ?workloads:Workload.t list ->
+  unit ->
+  outcome
+(** Failures are recorded, not raised, so the sweep always completes.
+    [jobs] parallelizes rows (output independent of [jobs]); [cache]
+    shares lower+profile prefixes, also across experiments. *)
 
 val average : row list -> Chf.Phases.ordering -> float
 val render : Format.formatter -> outcome -> unit

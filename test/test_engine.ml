@@ -1,0 +1,202 @@
+(* The staged sweep engine: domain-pool determinism (jobs-invariant
+   output), prefix-cache transparency (cache-on ≡ cache-off), exception
+   isolation per slot, and fault containment — a chaos-corrupted cell in
+   a parallel sweep must produce one structured failure without
+   disturbing its sibling rows. *)
+
+open Trips_workloads
+open Trips_harness
+
+let check = Alcotest.check
+
+(* ---- Engine.map -------------------------------------------------------- *)
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected cell error: %s" (Printexc.to_string e)
+
+let test_map_order () =
+  let xs = List.init 37 Fun.id in
+  let expect = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun jobs ->
+      let got = List.map ok_or_fail (Engine.map ~jobs (fun x -> x * x) xs) in
+      check Alcotest.(list int) (Fmt.str "jobs=%d preserves order" jobs) expect
+        got)
+    [ 1; 2; 4; 64 (* more domains than items *) ]
+
+let test_map_exception_isolation () =
+  let f x = if x mod 3 = 1 then failwith (string_of_int x) else x * 2 in
+  let results = Engine.map ~jobs:4 f (List.init 10 Fun.id) in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v ->
+        check Alcotest.bool "slot not poisoned" true (i mod 3 <> 1);
+        check Alcotest.int "slot value" (i * 2) v
+      | Error (Failure m) ->
+        check Alcotest.bool "failing slot" true (i mod 3 = 1);
+        check Alcotest.string "slot's own exception" (string_of_int i) m
+      | Error e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+    results
+
+let test_map_empty_and_defaults () =
+  check Alcotest.int "empty input" 0 (List.length (Engine.map ~jobs:8 Fun.id []));
+  check Alcotest.bool "default_jobs >= 1" true (Engine.default_jobs () >= 1)
+
+(* ---- sweep determinism ------------------------------------------------- *)
+
+(* cheap microbenchmarks only: these properties re-run full table sweeps *)
+let pool = [ "sieve"; "vadd"; "gzip_1"; "matrix_1"; "bzip2_3"; "ammp_1" ]
+
+let workloads_of names = List.filter_map Micro.by_name names
+
+let render_table1 outcome = Fmt.str "%a" Table1.render outcome
+
+let prop_jobs_invariant =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"table1 rows are byte-identical across -j"
+       ~count:4
+       QCheck2.Gen.(
+         pair
+           (map
+              (fun bits ->
+                match
+                  List.filteri (fun i _ -> List.nth bits (i mod List.length bits))
+                    pool
+                with
+                | [] -> [ "sieve" ]
+                | names -> names)
+              (list_size (return 6) bool))
+           (int_range 2 4))
+       (fun (names, jobs) ->
+         let ws = workloads_of names in
+         let seq = render_table1 (Table1.run ~jobs:1 ~workloads:ws ()) in
+         let par = render_table1 (Table1.run ~jobs ~workloads:ws ()) in
+         if seq <> par then
+           QCheck2.Test.fail_reportf "-j%d diverged on {%s}" jobs
+             (String.concat ", " names);
+         true))
+
+let prop_cache_transparent =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"prefix cache never changes table1 output"
+       ~count:3
+       QCheck2.Gen.(
+         map
+           (fun k -> List.filteri (fun i _ -> i <= k) pool)
+           (int_range 1 (List.length pool - 1)))
+       (fun names ->
+         let ws = workloads_of names in
+         let cached = Stage.create () in
+         let hot = render_table1 (Table1.run ~cache:cached ~workloads:ws ()) in
+         let cold =
+           render_table1 (Table1.run ~cache:(Stage.disabled ()) ~workloads:ws ())
+         in
+         let s = Stage.stats cached in
+         if s.Stage.cache_hits = 0 then
+           QCheck2.Test.fail_reportf "expected cache hits on {%s}"
+             (String.concat ", " names);
+         if hot <> cold then
+           QCheck2.Test.fail_reportf "cache changed output on {%s}"
+             (String.concat ", " names);
+         true))
+
+(* ---- fault containment in a parallel sweep ----------------------------- *)
+
+(* A sweep whose cell corrupts its own compiled CFG (via the chaos
+   injector) for exactly one victim workload, then checksum-verifies: the
+   corruption must surface as one structured failure in the victim's
+   slot, with every sibling row complete — under both -j 1 and -j 4. *)
+let chaos_spec victim : (string, int) Sweep.spec =
+  {
+    Sweep.columns = [ "clean"; "chaos" ];
+    baseline_backend = false;
+    baseline_cycles = false;
+    cell =
+      (fun ~cache baseline w col ->
+        match Pipeline.compile_checked ?cache ~backend:false Chf.Phases.Iupo_merged w with
+        | Error f -> Error f
+        | Ok c -> (
+          let verify c =
+            match
+              Pipeline.verify_against ~baseline:baseline.Sweep.base_functional c
+            with
+            | r -> Ok r.Trips_sim.Func_sim.blocks_executed
+            | exception e ->
+              Error
+                (Pipeline.failure_of_exn ~workload:w
+                   ~ordering:(Some Chf.Phases.Iupo_merged) e)
+          in
+          if col = "chaos" && w.Workload.name = victim then begin
+            (* draw injection sites like Chaos.run_suite until one is
+               actually observable (a dead stripped block would pass) *)
+            let rng = Random.State.make [| 1234 |] in
+            let rec attempt k =
+              if k = 0 then Alcotest.fail "no chaos injection diverged"
+              else
+                match
+                  Trips_verify.Chaos.inject rng Trips_verify.Chaos.Strip_exits
+                    c.Pipeline.cfg
+                with
+                | None -> Alcotest.fail "chaos injector found no site"
+                | Some inj -> (
+                  match verify { c with Pipeline.cfg = inj.Trips_verify.Chaos.cfg } with
+                  | Ok _ -> attempt (k - 1)
+                  | Error f -> Error f)
+            in
+            attempt 8
+          end
+          else verify c));
+  }
+
+let test_parallel_chaos_containment () =
+  let victim = "vadd" in
+  let ws = workloads_of [ "sieve"; victim; "gzip_1" ] in
+  let outcomes =
+    List.map
+      (fun jobs -> Sweep.run ~cache:(Stage.create ()) ~jobs (chaos_spec victim) ws)
+      [ 1; 4 ]
+  in
+  List.iter
+    (fun (o : int Sweep.outcome) ->
+      check Alcotest.int "every row survives" (List.length ws)
+        (List.length o.Sweep.rows);
+      check Alcotest.int "exactly one structured failure" 1
+        (List.length o.Sweep.failures);
+      let f = List.hd o.Sweep.failures in
+      check Alcotest.string "failure names the victim" victim
+        f.Pipeline.fail_workload;
+      List.iter
+        (fun (r : int Sweep.row) ->
+          let expected_cells =
+            if r.Sweep.row_workload = victim then 1 else 2
+          in
+          check Alcotest.int
+            (Fmt.str "cells of %s intact" r.Sweep.row_workload)
+            expected_cells
+            (List.length r.Sweep.row_cells))
+        o.Sweep.rows)
+    outcomes;
+  let project (o : int Sweep.outcome) =
+    ( List.map (fun r -> (r.Sweep.row_workload, r.Sweep.row_cells)) o.Sweep.rows,
+      List.map (Fmt.str "%a" Pipeline.pp_failure) o.Sweep.failures )
+  in
+  match outcomes with
+  | [ seq; par ] ->
+    check Alcotest.bool "parallel outcome equals sequential" true
+      (project seq = project par)
+  | _ -> assert false
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "map preserves input order" `Quick test_map_order;
+      Alcotest.test_case "map isolates exceptions per slot" `Quick
+        test_map_exception_isolation;
+      Alcotest.test_case "map edge cases" `Quick test_map_empty_and_defaults;
+      prop_jobs_invariant;
+      prop_cache_transparent;
+      Alcotest.test_case "parallel sweep contains a chaos-corrupted cell"
+        `Quick test_parallel_chaos_containment;
+    ] )

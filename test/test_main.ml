@@ -15,5 +15,6 @@ let () =
       Test_sim.suite;
       Test_workloads.suite;
       Test_verify.suite;
+      Test_engine.suite;
       Test_integration.suite;
     ]

@@ -2,7 +2,7 @@
 
 CHAOS_SEED ?= 42
 
-.PHONY: all build test chaos check bench bench-all clean
+.PHONY: all build test chaos trace-check check bench bench-all clean
 
 all: build
 
@@ -17,7 +17,17 @@ chaos: build
 	dune exec bin/chfc.exe -- chaos $(CHAOS_SEED) --workload sieve
 	dune exec bin/chfc.exe -- chaos $(CHAOS_SEED) --workload gzip_1 --ordering upio
 
-check: build test chaos
+# Trace determinism: the formation decision log of a table-1 cell must be
+# identical under -j 1 and -j 4 (two workloads, so -j 4 actually runs the
+# parallel engine path).  Events are (cell, seq)-sorted on write, so a
+# plain byte comparison is the determinism check.
+trace-check: build
+	dune exec bin/chfc.exe -- table1 -w sieve -w vadd -j 1 --trace _build/trace-j1.jsonl > /dev/null
+	dune exec bin/chfc.exe -- table1 -w sieve -w vadd -j 4 --trace _build/trace-j4.jsonl > /dev/null
+	cmp _build/trace-j1.jsonl _build/trace-j4.jsonl
+	@echo "trace-check: event streams identical across -j 1 / -j 4"
+
+check: build test chaos trace-check
 
 # Full-sweep benchmark of the staged engine (writes BENCH_sweep.json).
 bench: build

@@ -52,6 +52,72 @@ let policy_of_string = function
       }
   | s -> Error (`Msg (Fmt.str "unknown policy %S (bf|df|vliw)" s))
 
+(* ---- observability plumbing ------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record one JSON object per formation/optimizer decision into \
+           $(docv) (JSON Lines, stable field order).  Events are sorted by \
+           their (cell, seq) coordinate, so the stream is identical for \
+           every $(b,--jobs) setting.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "After the run, print the metrics registry (formation, optimizer, \
+           cache, simulator counters) as a table.")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry to $(docv) as sorted JSON.")
+
+let write_text_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+(* Wrap a command body in trace/metrics capture.  Tracing is off unless
+   [--trace] was given, so untraced runs pay one atomic load per
+   would-be event. *)
+let with_obs trace metrics metrics_json f =
+  Trips_obs.Metrics.reset ();
+  if trace <> None then Trips_obs.Trace.start ();
+  let finish_trace () =
+    match trace with
+    | None -> ()
+    | Some path ->
+      let evs = Trips_obs.Trace.stop () in
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun ev ->
+          Buffer.add_string buf (Trips_obs.Trace.to_json ev);
+          Buffer.add_char buf '\n')
+        evs;
+      write_text_file path (Buffer.contents buf);
+      Fmt.pr "trace: %d event(s) written to %s@." (List.length evs) path
+  in
+  match f () with
+  | v ->
+    finish_trace ();
+    let snap = Trips_obs.Metrics.snapshot () in
+    if metrics then Fmt.pr "%a@." Trips_obs.Metrics.render snap;
+    (match metrics_json with
+    | Some path -> write_text_file path (Trips_obs.Metrics.to_json snap ^ "\n")
+    | None -> ());
+    v
+  | exception e ->
+    if trace <> None then ignore (Trips_obs.Trace.stop ());
+    raise e
+
 (* ---- list ------------------------------------------------------------- *)
 
 let list_cmd =
@@ -129,7 +195,8 @@ let compile_workload_report w ordering config dump backend verify emit_asm
     Fmt.epr "chfc: miscompiled: %a@." Pipeline.pp_divergence d;
     exit 1
 
-let compile_run name ordering policy dump backend verify emit_asm emit_dot =
+let compile_run name ordering policy dump backend verify emit_asm emit_dot
+    trace metrics metrics_json =
   match
     (find_workload name, ordering_of_string ordering, policy_of_string policy)
   with
@@ -137,13 +204,14 @@ let compile_run name ordering policy dump backend verify emit_asm emit_dot =
     Fmt.epr "chfc: %s@." m;
     exit 2
   | Ok w, Ok ordering, Ok config ->
-    compile_workload_report w ordering config dump backend verify emit_asm
-      emit_dot
+    with_obs trace metrics metrics_json (fun () ->
+        compile_workload_report w ordering config dump backend verify emit_asm
+          emit_dot)
 
 (* compile a kernel from a source file; parameters default to 0 unless
    given as name=value *)
 let compile_file_run path ordering policy dump backend verify emit_asm emit_dot
-    args memory_words unroll =
+    args memory_words unroll trace metrics metrics_json =
   match (ordering_of_string ordering, policy_of_string policy) with
   | Error (`Msg m), _ | _, Error (`Msg m) ->
     Fmt.epr "chfc: %s@." m;
@@ -178,8 +246,9 @@ let compile_file_run path ordering policy dump backend verify emit_asm emit_dot
           ~description:("kernel from " ^ path)
           ~args:parsed_args ~memory_words ~frontend_unroll:unroll program
       in
-      compile_workload_report w ordering config dump backend verify emit_asm
-        emit_dot)
+      with_obs trace metrics metrics_json (fun () ->
+          compile_workload_report w ordering config dump backend verify
+            emit_asm emit_dot))
 
 let verify_arg =
   Arg.(
@@ -233,7 +302,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc)
     Term.(
       const compile_run $ workload_arg $ ordering $ policy $ dump $ backend
-      $ verify_arg $ emit_asm_arg $ emit_dot_arg)
+      $ verify_arg $ emit_asm_arg $ emit_dot_arg $ trace_arg $ metrics_arg
+      $ metrics_json_arg)
 
 let compile_file_cmd =
   let doc = "Compile a kernel source file (see `chfc syntax`)." in
@@ -273,7 +343,8 @@ let compile_file_cmd =
     (Cmd.info "compile-file" ~doc)
     Term.(
       const compile_file_run $ path_arg $ ordering $ policy $ dump $ backend
-      $ verify_arg $ emit_asm_arg $ emit_dot_arg $ args $ memory_words $ unroll)
+      $ verify_arg $ emit_asm_arg $ emit_dot_arg $ args $ memory_words $ unroll
+      $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 (* ---- chaos ------------------------------------------------------------- *)
 
@@ -393,51 +464,63 @@ let micro_selection names =
 
 let table1_cmd =
   let doc = "Reproduce Table 1 (phase orderings, cycle counts)." in
-  let run names jobs no_cache cache_stats =
-    let jobs, cache = sweep_env jobs no_cache in
-    Table1.render Fmt.stdout
-      (Table1.run ~cache ~jobs ~workloads:(micro_selection names) ());
-    report_cache cache cache_stats
+  let run names jobs no_cache cache_stats trace metrics metrics_json =
+    with_obs trace metrics metrics_json (fun () ->
+        let jobs, cache = sweep_env jobs no_cache in
+        Table1.render Fmt.stdout
+          (Table1.run ~cache ~jobs ~workloads:(micro_selection names) ());
+        report_cache cache cache_stats)
   in
   Cmd.v (Cmd.info "table1" ~doc)
-    Term.(const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg)
+    Term.(
+      const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
+      $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 let table2_cmd =
   let doc = "Reproduce Table 2 (block-selection heuristics)." in
-  let run names jobs no_cache cache_stats =
-    let jobs, cache = sweep_env jobs no_cache in
-    Table2.render Fmt.stdout
-      (Table2.run ~cache ~jobs ~workloads:(micro_selection names) ());
-    report_cache cache cache_stats
+  let run names jobs no_cache cache_stats trace metrics metrics_json =
+    with_obs trace metrics metrics_json (fun () ->
+        let jobs, cache = sweep_env jobs no_cache in
+        Table2.render Fmt.stdout
+          (Table2.run ~cache ~jobs ~workloads:(micro_selection names) ());
+        report_cache cache cache_stats)
   in
   Cmd.v (Cmd.info "table2" ~doc)
-    Term.(const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg)
+    Term.(
+      const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
+      $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 let table3_cmd =
   let doc = "Reproduce Table 3 (SPEC-like block counts)." in
-  let run names jobs no_cache cache_stats =
+  let run names jobs no_cache cache_stats trace metrics metrics_json =
     let workloads =
       match names with
       | [] -> Spec_like.all
       | names -> List.filter_map Spec_like.by_name names
     in
-    let jobs, cache = sweep_env jobs no_cache in
-    Table3.render Fmt.stdout (Table3.run ~cache ~jobs ~workloads ());
-    report_cache cache cache_stats
+    with_obs trace metrics metrics_json (fun () ->
+        let jobs, cache = sweep_env jobs no_cache in
+        Table3.render Fmt.stdout (Table3.run ~cache ~jobs ~workloads ());
+        report_cache cache cache_stats)
   in
   Cmd.v (Cmd.info "table3" ~doc)
-    Term.(const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg)
+    Term.(
+      const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
+      $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 let figure7_cmd =
   let doc = "Reproduce Figure 7 (cycle vs block count reduction)." in
-  let run names jobs no_cache cache_stats =
-    let jobs, cache = sweep_env jobs no_cache in
-    Figure7.render Fmt.stdout
-      (Table1.run ~cache ~jobs ~workloads:(micro_selection names) ());
-    report_cache cache cache_stats
+  let run names jobs no_cache cache_stats trace metrics metrics_json =
+    with_obs trace metrics metrics_json (fun () ->
+        let jobs, cache = sweep_env jobs no_cache in
+        Figure7.render Fmt.stdout
+          (Table1.run ~cache ~jobs ~workloads:(micro_selection names) ());
+        report_cache cache cache_stats)
   in
   Cmd.v (Cmd.info "figure7" ~doc)
-    Term.(const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg)
+    Term.(
+      const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
+      $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 let () =
   let doc = "convergent hyperblock formation for TRIPS (MICRO 2006 reproduction)" in

@@ -133,8 +133,9 @@ let run_after_formation (config : Policy.config) cfg profile
                   Formation.merge_blocks st ~hb_id:pred ~s_id:loop_id
                     ~kind:Formation.Peel
                 with
-                | Formation.Success -> peel_iter (k + 1)
-                | Formation.Failure -> ()
+                | Formation.Success _ -> peel_iter (k + 1)
+                | Formation.Structural_failure _ | Formation.Size_rejected _ ->
+                  ()
             in
             peel_iter 0)
           outside;
@@ -158,8 +159,9 @@ let run_after_formation (config : Policy.config) cfg profile
                 Formation.merge_blocks st ~hb_id:loop_id ~s_id:loop_id
                   ~kind:Formation.Unroll
               with
-              | Formation.Success -> unroll_iter (k + 1)
-              | Formation.Failure -> ()
+              | Formation.Success _ -> unroll_iter (k + 1)
+              | Formation.Structural_failure _ | Formation.Size_rejected _ ->
+                ()
           in
           unroll_iter 0
         end
@@ -171,4 +173,5 @@ let run_after_formation (config : Policy.config) cfg profile
   stats.Formation.merges <- stats.Formation.merges + s.Formation.merges;
   stats.Formation.tail_dups <- stats.Formation.tail_dups + s.Formation.tail_dups;
   stats.Formation.unrolls <- stats.Formation.unrolls + s.Formation.unrolls;
-  stats.Formation.peels <- stats.Formation.peels + s.Formation.peels
+  stats.Formation.peels <- stats.Formation.peels + s.Formation.peels;
+  Formation.publish_metrics s

@@ -41,6 +41,7 @@ type stats = {
   mutable peels : int;  (* p *)
   mutable attempts : int;
   mutable size_rejections : int;
+  mutable combine_failures : int;  (* structural Cannot_combine rejections *)
   mutable block_splits : int;  (* Section 9 extension, when enabled *)
 }
 
@@ -52,13 +53,31 @@ let empty_stats () =
     peels = 0;
     attempts = 0;
     size_rejections = 0;
+    combine_failures = 0;
     block_splits = 0;
   }
 
 let pp_stats fmt s =
   Fmt.pf fmt "%d/%d/%d/%d" s.merges s.tail_dups s.unrolls s.peels
 
+let publish_metrics (s : stats) =
+  let open Trips_obs in
+  Metrics.incr ~by:s.merges "formation.merges";
+  Metrics.incr ~by:s.tail_dups "formation.tail_dups";
+  Metrics.incr ~by:s.unrolls "formation.unrolls";
+  Metrics.incr ~by:s.peels "formation.peels";
+  Metrics.incr ~by:s.attempts "formation.attempts";
+  Metrics.incr ~by:s.size_rejections "formation.reject.size";
+  Metrics.incr ~by:s.combine_failures "formation.reject.structural";
+  Metrics.incr ~by:s.block_splits "formation.block_splits"
+
 type merge_kind = Simple | Unroll | Peel | Tail_dup
+
+let kind_name = function
+  | Simple -> "simple"
+  | Unroll -> "unroll"
+  | Peel -> "peel"
+  | Tail_dup -> "tail_dup"
 
 type state = {
   cfg : Cfg.t;
@@ -184,13 +203,77 @@ let body_for_unroll st hb_id =
     Hashtbl.replace st.saved_bodies hb_id current;
     current
 
-type merge_outcome = Success | Failure
+type merge_outcome =
+  | Success of Constraints.estimate
+  | Structural_failure of string
+  | Size_rejected of Constraints.estimate
 
-let merge_blocks st ~hb_id ~s_id ~kind : merge_outcome =
+(* Test-only fault injection: when set, a combine for which the function
+   returns [true] fails as if [Combine.Cannot_combine] had been raised.
+   Lets the chaos/property tests exercise the structural-failure paths
+   (rollback, retry-pool exclusion) on demand. *)
+let chaos_combine_failure :
+    (hb_id:int -> s_id:int -> kind:merge_kind -> bool) option ref =
+  ref None
+
+let zero_estimate =
+  { Constraints.instrs = 0; loads_stores = 0; reads = 0; writes = 0 }
+
+(* One trace event per merge attempt — the replayable decision log the
+   convergence argument needs.  [outcome] is "success" or the reject
+   reason ("structural" | "size" | "policy" | "budget"). *)
+let emit_attempt st ~hb_id ~s_id ~depth ~prob ~classify ~outcome ~est ~msg =
+  if Trips_obs.Trace.is_enabled () then begin
+    let open Trips_obs.Trace in
+    let l = st.config.Policy.limits in
+    record "merge-attempt"
+      [
+        ("seed", Int hb_id);
+        ("cand", Int s_id);
+        ("depth", Int depth);
+        ("prob", Float prob);
+        ("classify", Str classify);
+        ("outcome", Str outcome);
+        ("est_instrs", Int est.Constraints.instrs);
+        ("est_loads_stores", Int est.Constraints.loads_stores);
+        ("est_reads", Int est.Constraints.reads);
+        ("est_writes", Int est.Constraints.writes);
+        ("max_instrs", Int l.Constraints.max_instrs);
+        ("max_loads_stores", Int l.Constraints.max_load_store);
+        ("max_reads", Int l.Constraints.max_reads);
+        ("max_writes", Int l.Constraints.max_writes);
+        ("slack", Int st.config.Policy.slack);
+        ("msg", Str msg);
+      ]
+  end
+
+let merge_blocks ?(depth = 0) ?(prob = 1.0) st ~hb_id ~s_id ~kind :
+    merge_outcome =
   let cfg = st.cfg in
   let config = st.config in
   st.stats.attempts <- st.stats.attempts + 1;
   let hb = Cfg.block cfg hb_id in
+  (* Snapshot everything a failed attempt must not leak: the saved unroll
+     body (body_for_unroll may re-save it below) and the fresh-id
+     counters (the trial allocates instruction/register/block ids that
+     die with the rollback; restoring the counters keeps a failed
+     attempt bit-for-bit invisible to later merges). *)
+  let saved_body_before =
+    if kind = Unroll then Hashtbl.find_opt st.saved_bodies hb_id else None
+  in
+  let next_block0 = cfg.Cfg.next_block
+  and next_instr0 = cfg.Cfg.next_instr
+  and next_reg0 = cfg.Cfg.next_reg in
+  let rollback_hidden_state () =
+    if kind = Unroll then
+      (match saved_body_before with
+      | Some b -> Hashtbl.replace st.saved_bodies hb_id b
+      | None -> Hashtbl.remove st.saved_bodies hb_id);
+    cfg.Cfg.next_block <- next_block0;
+    cfg.Cfg.next_instr <- next_instr0;
+    cfg.Cfg.next_reg <- next_reg0
+  in
+  let emit = emit_attempt st ~hb_id ~s_id ~depth ~prob ~classify:(kind_name kind) in
   let s_for_merge, s_label =
     match kind with
     | Simple -> (Cfg.block cfg s_id, s_id)
@@ -198,9 +281,27 @@ let merge_blocks st ~hb_id ~s_id ~kind : merge_outcome =
       (Cfg.refresh_instr_ids cfg (Cfg.block cfg s_id), s_id)
     | Unroll -> (Cfg.refresh_instr_ids cfg (body_for_unroll st hb_id), hb_id)
   in
-  match Combine.combine cfg ~hb ~s:s_for_merge ~s_label with
-  | exception Combine.Cannot_combine _ -> Failure
-  | combined, _ ->
+  let combined_result =
+    let injected =
+      match !chaos_combine_failure with
+      | Some f -> f ~hb_id ~s_id ~kind
+      | None -> false
+    in
+    if injected then Error "chaos-injected Cannot_combine"
+    else
+      match Combine.combine cfg ~hb ~s:s_for_merge ~s_label with
+      | combined, _ -> Ok combined
+      | exception Combine.Cannot_combine msg -> Error msg
+  in
+  match combined_result with
+  | Error msg ->
+    (* structural failure: nothing was installed, but the id counters
+       (and possibly the saved body) already moved — restore them *)
+    st.stats.combine_failures <- st.stats.combine_failures + 1;
+    rollback_hidden_state ();
+    emit ~outcome:"structural" ~est:zero_estimate ~msg;
+    Structural_failure msg
+  | Ok combined ->
     (* install tentatively; saved state allows rollback *)
     let old_s = if kind = Simple then Cfg.block_opt cfg s_id else None in
     Cfg.set_block cfg combined;
@@ -232,15 +333,18 @@ let merge_blocks st ~hb_id ~s_id ~kind : merge_outcome =
       | Peel ->
         st.stats.peels <- st.stats.peels + 1;
         bump_counter st.peels_done s_id);
-      Success
+      emit ~outcome:"success" ~est ~msg:"";
+      Success est
     end
     else begin
       (* rollback *)
       st.stats.size_rejections <- st.stats.size_rejections + 1;
       Cfg.set_block cfg hb;
       (match old_s with Some b -> Cfg.set_block cfg b | None -> ());
+      rollback_hidden_state ();
       touch st;
-      Failure
+      emit ~outcome:"size" ~est ~msg:"";
+      Size_rejected est
     end
 
 (* ---- ExpandBlock ------------------------------------------------------- *)
@@ -277,8 +381,16 @@ let expand_block st seed =
   if Cfg.mem st.cfg seed then begin
     let selector = Policy.make_selector st.config st.cfg st.profile ~seed in
     let merge_budget = ref (4 * Cfg.num_blocks st.cfg + 64) in
-    (* candidates that failed only on size, retried after later shrinks *)
+    (* candidates rejected *only on size*, retried after later shrinks;
+       structural (Cannot_combine) failures never enter this pool — a
+       merge the combiner cannot express will not become expressible
+       because the block shrank, and retrying it would melt the budget *)
     let retry = ref [] in
+    let emit_reject c ~classify ~outcome =
+      emit_attempt st ~hb_id:seed ~s_id:c.Policy.block_id
+        ~depth:c.Policy.depth ~prob:c.Policy.prob ~classify ~outcome
+        ~est:zero_estimate ~msg:""
+    in
     let rec drain pool ~progress =
       let choice, pool = selector.Policy.select pool in
       match choice with
@@ -291,26 +403,35 @@ let expand_block st seed =
           drain pool ~progress:false
         end
       | Some c ->
-        if !merge_budget <= 0 then ()
+        if !merge_budget <= 0 then
+          emit_reject c ~classify:"none" ~outcome:"budget"
         else begin
           decr merge_budget;
           let s_id = c.Policy.block_id in
           match classify st ~hb_id:seed ~s_id with
-          | None -> drain pool ~progress
+          | None ->
+            emit_reject c ~classify:"none" ~outcome:"policy";
+            drain pool ~progress
           | Some kind -> (
             (* snapshot the merged-in block's own successors before the
                merge folds them into the seed's exit list *)
             let merged_succs =
               Block.distinct_successors (Cfg.block st.cfg s_id)
             in
-            match merge_blocks st ~hb_id:seed ~s_id ~kind with
-            | Success ->
+            match
+              merge_blocks ~depth:c.Policy.depth ~prob:c.Policy.prob st
+                ~hb_id:seed ~s_id ~kind
+            with
+            | Success _ ->
               let new_cands =
                 make_candidates st ~src:s_id ~targets:merged_succs
                   ~depth:(c.Policy.depth + 1) ~prob:c.Policy.prob
               in
               drain (add_candidates pool new_cands) ~progress:true
-            | Failure ->
+            | Structural_failure _ ->
+              (* dropped: not retried, not split *)
+              drain pool ~progress
+            | Size_rejected _ ->
               (* Section 9 extension: a unique-predecessor candidate that
                  only failed on size can be split so its first half still
                  merges; the second half becomes a later candidate *)
@@ -377,4 +498,5 @@ let run config cfg profile : stats =
   loop ();
   Order.prune_unreachable cfg;
   Cfg.validate cfg;
+  publish_metrics st.stats;
   st.stats

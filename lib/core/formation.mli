@@ -27,6 +27,8 @@ type stats = {
   mutable peels : int;  (** p *)
   mutable attempts : int;
   mutable size_rejections : int;
+  mutable combine_failures : int;
+      (** structural [Cannot_combine] rejections — never retried *)
   mutable block_splits : int;  (** Section 9 extension, when enabled *)
 }
 
@@ -35,7 +37,15 @@ val empty_stats : unit -> stats
 val pp_stats : Format.formatter -> stats -> unit
 (** Prints the paper's [m/t/u/p] quadruple. *)
 
+val publish_metrics : stats -> unit
+(** Export the counters into {!Trips_obs.Metrics} under
+    [formation.*] names.  Called by {!run}; exposed for drivers that
+    invoke {!merge_blocks} directly. *)
+
 type merge_kind = Simple | Unroll | Peel | Tail_dup
+
+val kind_name : merge_kind -> string
+(** Lower-case stable name used in trace events. *)
 
 type state = {
   cfg : Cfg.t;
@@ -59,12 +69,35 @@ val make : Policy.config -> Cfg.t -> Profile.t -> state
 val classify : state -> hb_id:int -> s_id:int -> merge_kind option
 (** [LegalMerge] plus the Figure 5 case split; [None] rejects the merge. *)
 
-type merge_outcome = Success | Failure
+type merge_outcome =
+  | Success of Constraints.estimate
+  | Structural_failure of string
+      (** the combiner raised [Cannot_combine]: the merge can never be
+          expressed, so the candidate must not be retried *)
+  | Size_rejected of Constraints.estimate
+      (** merged block exceeded the TRIPS limits; retryable once later
+          merges/optimizations shrink the block *)
+
+val chaos_combine_failure :
+  (hb_id:int -> s_id:int -> kind:merge_kind -> bool) option ref
+(** Test-only fault injection: when set, a merge for which the hook
+    returns [true] fails as if [Combine] raised [Cannot_combine],
+    exercising the structural-failure rollback paths.  Reset to [None]
+    after use. *)
 
 val merge_blocks :
-  state -> hb_id:int -> s_id:int -> kind:merge_kind -> merge_outcome
+  ?depth:int ->
+  ?prob:float ->
+  state ->
+  hb_id:int ->
+  s_id:int ->
+  kind:merge_kind ->
+  merge_outcome
 (** [MergeBlocks]: trial-merge, optionally optimize, constraint-check;
-    commits on success and rolls back on failure. *)
+    commits on success and rolls back on failure — including the saved
+    one-iteration body and the CFG's fresh-id counters, so a failed
+    attempt leaves no hidden state behind.  [depth]/[prob] only annotate
+    the trace event. *)
 
 val expand_block : state -> int -> unit
 (** [ExpandBlock]: grow the hyperblock seeded at a block until no

@@ -48,6 +48,8 @@ let accum ~(into : Formation.stats) (s : Formation.stats) =
   into.Formation.attempts <- into.Formation.attempts + s.Formation.attempts;
   into.Formation.size_rejections <-
     into.Formation.size_rejections + s.Formation.size_rejections;
+  into.Formation.combine_failures <-
+    into.Formation.combine_failures + s.Formation.combine_failures;
   into.Formation.block_splits <-
     into.Formation.block_splits + s.Formation.block_splits
 

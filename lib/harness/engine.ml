@@ -11,11 +11,24 @@
 
    A cell that raises becomes [Error exn] in its own slot and never
    disturbs its siblings, preserving the graceful-degradation contract
-   of the harnesses (failures are collected, sweeps never abort). *)
+   of the harnesses (failures are collected, sweeps never abort).
+
+   Every slot runs inside [Trips_obs.Trace.with_cell i], so trace events recorded
+   while computing cell [i] carry the coordinate [(i, seq)] no matter
+   which domain — or how many domains — executed it.  Sorting a trace by
+   that coordinate therefore yields the same stream for every [~jobs]
+   setting. *)
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
+(* Test-only: make the [k+1]-th Domain.spawn of a [map] call raise, to
+   exercise the degradation path.  [None] in production. *)
+let spawn_limit_for_tests : int option ref = ref None
+
 let run_one f x = match f x with y -> Ok y | exception e -> Error e
+
+let run_slot f arr out i =
+  Trips_obs.Trace.with_cell i (fun () -> out.(i) <- run_one f arr.(i))
 
 let map ?jobs (f : 'a -> 'b) (xs : 'a list) : ('b, exn) result list =
   let jobs =
@@ -23,7 +36,10 @@ let map ?jobs (f : 'a -> 'b) (xs : 'a list) : ('b, exn) result list =
   in
   let arr = Array.of_list xs in
   let n = Array.length arr in
-  if jobs = 1 || n <= 1 then List.map (run_one f) xs
+  if jobs = 1 || n <= 1 then
+    List.mapi
+      (fun i x -> Trips_obs.Trace.with_cell i (fun () -> run_one f x))
+      xs
   else begin
     let out = Array.make n (Error Not_found) in
     let next = Atomic.make 0 in
@@ -31,16 +47,33 @@ let map ?jobs (f : 'a -> 'b) (xs : 'a list) : ('b, exn) result list =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          out.(i) <- run_one f arr.(i);
+          run_slot f arr out i;
           go ()
         end
       in
       go ()
     in
-    let helpers =
-      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join helpers;
+    (* Helper domains are spawned one at a time and joined in a
+       [Fun.protect] finalizer: if a later [Domain.spawn] raises
+       (resource exhaustion), the already-running helpers are still
+       joined — never leaked — and the sweep completes on the domains
+       that did start, because the atomic counter hands the remaining
+       slots to whoever is left. *)
+    let spawned = ref [] in
+    Fun.protect
+      ~finally:(fun () -> List.iter Domain.join !spawned)
+      (fun () ->
+        (try
+           for k = 1 to min jobs n - 1 do
+             (match !spawn_limit_for_tests with
+             | Some limit when k > limit -> failwith "engine: spawn limit"
+             | _ -> ());
+             let d = Domain.spawn worker in
+             spawned := d :: !spawned
+           done
+         with _ ->
+           (* degrade: keep going with the domains we have *)
+           Trips_obs.Metrics.incr "engine.spawn_failures");
+        worker ());
     Array.to_list out
   end

@@ -13,7 +13,21 @@
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count], floored at 1 — the [-j] default. *)
 
+val spawn_limit_for_tests : int option ref
+(** Test-only fault injection: when [Some k], the [k+1]-th
+    [Domain.spawn] of a {!map} call raises, exercising the degradation
+    path (already-spawned helpers are joined, the sweep completes on the
+    domains that did start).  [None] in production. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** [map ~jobs f xs] applies [f] to every element of [xs] on a pool of
     [min jobs (length xs)] domains (default {!default_jobs}; values < 1
-    are clamped to 1) and returns the results in input order. *)
+    are clamped to 1) and returns the results in input order.
+
+    Every slot [i] runs inside {!Trips_obs.Trace.with_cell}[ i], so
+    trace streams partition deterministically across [jobs] settings.
+
+    If a [Domain.spawn] fails mid-pool, the already-spawned helpers are
+    joined (never leaked), an [engine.spawn_failures] metric is bumped,
+    and the sweep still completes on the calling domain plus whatever
+    helpers did start. *)

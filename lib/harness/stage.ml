@@ -47,6 +47,13 @@ let slot = function
   | Backend -> 3
   | Sim -> 4
 
+let stage_name = function
+  | Lower -> "lower"
+  | Profile -> "profile"
+  | Formation -> "formation"
+  | Backend -> "backend"
+  | Sim -> "sim"
+
 let reset_timings () =
   Mutex.protect timing_mutex (fun () -> Array.fill acc 0 5 0.0)
 
@@ -65,7 +72,8 @@ let time stage f =
   let finish () =
     let dt = Unix.gettimeofday () -. t0 in
     Mutex.protect timing_mutex (fun () ->
-        acc.(slot stage) <- acc.(slot stage) +. dt)
+        acc.(slot stage) <- acc.(slot stage) +. dt);
+    Trips_obs.Metrics.observe ("stage.time." ^ stage_name stage) dt
   in
   match f () with
   | v ->
@@ -196,8 +204,11 @@ let prefix ?cache (w : Workload.t) : prefix =
             c.misses <- c.misses + 1;
             None)
     with
-    | Some p -> p
+    | Some p ->
+      Trips_obs.Metrics.incr "stage.cache.hit";
+      p
     | None ->
+      Trips_obs.Metrics.incr "stage.cache.miss";
       (* compute outside the lock so other domains' lookups proceed *)
       let p = compute_prefix w key in
       if c.enabled then

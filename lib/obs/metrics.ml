@@ -1,0 +1,96 @@
+(* Named-counter / histogram registry.  One global mutex guards both
+   tables; every operation is a handful of hashtable accesses, and
+   publishers bump per-run aggregates (not per-instruction events), so
+   contention is negligible even under -j N sweeps. *)
+
+type histogram = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * histogram) list;
+}
+
+let mutex = Mutex.create ()
+let counter_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
+let histo_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let incr ?(by = 1) name =
+  Mutex.protect mutex (fun () ->
+      let v = Option.value ~default:0 (Hashtbl.find_opt counter_tbl name) in
+      Hashtbl.replace counter_tbl name (v + by))
+
+let observe name x =
+  Mutex.protect mutex (fun () ->
+      let h =
+        match Hashtbl.find_opt histo_tbl name with
+        | None -> { h_count = 1; h_sum = x; h_min = x; h_max = x }
+        | Some h ->
+          {
+            h_count = h.h_count + 1;
+            h_sum = h.h_sum +. x;
+            h_min = Float.min h.h_min x;
+            h_max = Float.max h.h_max x;
+          }
+      in
+      Hashtbl.replace histo_tbl name h)
+
+let reset () =
+  Mutex.protect mutex (fun () ->
+      Hashtbl.reset counter_tbl;
+      Hashtbl.reset histo_tbl)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () =
+  Mutex.protect mutex (fun () ->
+      { counters = sorted_bindings counter_tbl;
+        histograms = sorted_bindings histo_tbl })
+
+let counter_value s name =
+  Option.value ~default:0 (List.assoc_opt name s.counters)
+
+let render fmt s =
+  Format.fprintf fmt "@[<v>metrics:@,";
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "  %-36s %12d@," name v)
+    s.counters;
+  if s.histograms <> [] then begin
+    Format.fprintf fmt "  %-36s %8s %12s %10s %10s@," "histogram" "count"
+      "mean" "min" "max";
+    List.iter
+      (fun (name, h) ->
+        let mean = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count in
+        Format.fprintf fmt "  %-36s %8d %12.6f %10.6f %10.6f@," name h.h_count
+          mean h.h_min h.h_max)
+      s.histograms
+  end;
+  Format.fprintf fmt "@]"
+
+let to_json s =
+  let buf = Buffer.create 512 in
+  let sep = ref false in
+  let comma () = if !sep then Buffer.add_char buf ','; sep := true in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iter
+    (fun (name, v) ->
+      comma ();
+      Buffer.add_string buf (Printf.sprintf "%S:%d" name v))
+    s.counters;
+  Buffer.add_string buf "},\"histograms\":{";
+  sep := false;
+  List.iter
+    (fun (name, h) ->
+      comma ();
+      Buffer.add_string buf
+        (Printf.sprintf "%S:{\"count\":%d,\"sum\":%.12g,\"min\":%.12g,\"max\":%.12g}"
+           name h.h_count h.h_sum h.h_min h.h_max))
+    s.histograms;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

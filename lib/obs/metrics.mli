@@ -1,0 +1,43 @@
+(** Process-wide named-counter / histogram metrics registry.
+
+    Counters and histograms are registered implicitly on first use by
+    dotted name (["formation.attempts"], ["stage.time.lower"], ...).
+    All operations are domain-safe; increments from parallel sweep
+    domains aggregate into the same registry.
+
+    Unlike {!Trace}, metrics are observational aggregates — they are not
+    part of any determinism contract (timings differ run to run). *)
+
+type histogram = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : (string * histogram) list;  (** sorted by name *)
+}
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1; may be negative) to the named counter. *)
+
+val observe : string -> float -> unit
+(** Record one sample into the named histogram. *)
+
+val reset : unit -> unit
+(** Drop every counter and histogram. *)
+
+val snapshot : unit -> snapshot
+
+val counter_value : snapshot -> string -> int
+(** 0 when the counter never fired. *)
+
+val render : Format.formatter -> snapshot -> unit
+(** Human-readable table: counters, then histograms with
+    count/mean/min/max. *)
+
+val to_json : snapshot -> string
+(** [{"counters":{...},"histograms":{name:{"count":..,"sum":..,"min":..,
+    "max":..}}}] with names sorted — stable for diffing. *)

@@ -1,0 +1,121 @@
+(* Domain-safe structured event tracing.
+
+   Design constraints, in order:
+
+   - recording must be deterministic across [--jobs] settings after
+     sorting, so events carry a (cell, seq) coordinate assigned on the
+     recording domain: the cell is the engine slot being executed (every
+     slot runs start-to-finish on one domain) and seq counts emissions
+     within that slot.  Sorting by (cell, seq) therefore reconstructs
+     exactly the stream a sequential run produces;
+   - recording must be cheap when off: one atomic load;
+   - recording must be safe from any domain: the shared buffer append is
+     the only cross-domain interaction and sits under a mutex.
+
+   The (cell, seq) state is domain-local (DLS), not global: two domains
+   running different cells never contend on it, and a domain outside any
+   [with_cell] span (single compiles, tests) records under cell -1 with
+   a monotonically increasing seq. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  cell : int;
+  seq : int;
+  kind : string;
+  fields : (string * value) list;
+}
+
+let enabled = Atomic.make false
+let mutex = Mutex.create ()
+let events : event list ref = ref []  (* reversed emission order *)
+
+type tagging = { mutable cur_cell : int; mutable cur_seq : int }
+
+let tag_key = Domain.DLS.new_key (fun () -> { cur_cell = -1; cur_seq = 0 })
+
+let is_enabled () = Atomic.get enabled
+
+let start () =
+  Mutex.protect mutex (fun () -> events := []);
+  let t = Domain.DLS.get tag_key in
+  t.cur_seq <- 0;
+  Atomic.set enabled true
+
+let compare_event a b =
+  match compare a.cell b.cell with 0 -> compare a.seq b.seq | c -> c
+
+let stop () =
+  Atomic.set enabled false;
+  let evs = Mutex.protect mutex (fun () ->
+      let evs = !events in
+      events := [];
+      evs)
+  in
+  List.sort compare_event (List.rev evs)
+
+let with_cell cell f =
+  let t = Domain.DLS.get tag_key in
+  let old_cell = t.cur_cell and old_seq = t.cur_seq in
+  t.cur_cell <- cell;
+  t.cur_seq <- 0;
+  Fun.protect
+    ~finally:(fun () ->
+      t.cur_cell <- old_cell;
+      t.cur_seq <- old_seq)
+    f
+
+let record kind fields =
+  if Atomic.get enabled then begin
+    let t = Domain.DLS.get tag_key in
+    let ev = { cell = t.cur_cell; seq = t.cur_seq; kind; fields } in
+    t.cur_seq <- t.cur_seq + 1;
+    Mutex.protect mutex (fun () -> events := ev :: !events)
+  end
+
+(* ---- JSON -------------------------------------------------------------- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_value buf = function
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+    (* %.12g is stable for the probabilities and deltas we record and
+       has no locale dependence *)
+    Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+
+let to_json ev =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf "{\"cell\":";
+  Buffer.add_string buf (string_of_int ev.cell);
+  Buffer.add_string buf ",\"seq\":";
+  Buffer.add_string buf (string_of_int ev.seq);
+  Buffer.add_string buf ",\"kind\":\"";
+  escape buf ev.kind;
+  Buffer.add_char buf '"';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf ",\"";
+      escape buf k;
+      Buffer.add_string buf "\":";
+      add_value buf v)
+    ev.fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

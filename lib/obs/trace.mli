@@ -1,0 +1,49 @@
+(** Domain-safe structured event tracing.
+
+    A trace is a flat stream of {!event}s recorded from anywhere in the
+    stack (formation, the optimizer, the harness).  Recording is a no-op
+    until {!start}; {!stop} returns the events sorted by [(cell, seq)],
+    which makes the stream {e deterministic} across [--jobs] settings:
+    every event is tagged with the engine slot ("cell") it was recorded
+    under, and numbered sequentially within that cell, so however the
+    domains interleave, sorting recovers the same stream a sequential run
+    produces.
+
+    Events carry their fields as an ordered association list; JSON
+    rendering preserves that order, so two identical events always render
+    to identical bytes (stable field order). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  cell : int;  (** engine slot index; [-1] outside a parallel sweep *)
+  seq : int;  (** emission index within the cell *)
+  kind : string;  (** e.g. ["merge-attempt"], ["opt-pass"] *)
+  fields : (string * value) list;  (** rendered in this order *)
+}
+
+val start : unit -> unit
+(** Clear any previous trace and start recording. *)
+
+val stop : unit -> event list
+(** Stop recording; return the events sorted by [(cell, seq)] and clear
+    the buffer. *)
+
+val is_enabled : unit -> bool
+(** Cheap guard for callers that want to skip building field lists. *)
+
+val record : string -> (string * value) list -> unit
+(** [record kind fields] appends one event tagged with the calling
+    domain's current cell.  No-op when tracing is off. *)
+
+val with_cell : int -> (unit -> 'a) -> 'a
+(** [with_cell i f] runs [f] with the calling domain's cell index set to
+    [i] and its sequence counter reset to [0]; restores the previous
+    tagging on exit.  The engine wraps every sweep slot in this. *)
+
+val compare_event : event -> event -> int
+(** Orders by [(cell, seq)] — the deterministic trace order. *)
+
+val to_json : event -> string
+(** One JSON object, no trailing newline.  Field order: [cell], [seq],
+    [kind], then [fields] in emission order. *)

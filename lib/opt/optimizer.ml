@@ -19,16 +19,37 @@ let block_measure (b : Block.t) =
   in
   (Block.size b, List.length b.Block.exits, guards)
 
+(* Per-pass instruction-delta reporting: one trace event and one metric
+   bump per pass application that changed the block.  The metric name is
+   [opt.<pass>.removed_instrs]; a negative delta (a pass that grew the
+   block) subtracts, keeping the counter an honest net. *)
+let report_pass ~block name (before : Block.t) (after : Block.t) =
+  let nb = Block.size before and na = Block.size after in
+  if nb <> na then begin
+    Trips_obs.Metrics.incr ~by:(nb - na)
+      (Printf.sprintf "opt.%s.removed_instrs" name);
+    if Trips_obs.Trace.is_enabled () then
+      Trips_obs.Trace.record "opt-pass"
+        [
+          ("block", Trips_obs.Trace.Int block);
+          ("pass", Trips_obs.Trace.Str name);
+          ("before", Trips_obs.Trace.Int nb);
+          ("after", Trips_obs.Trace.Int na);
+        ]
+  end;
+  after
+
 (** Optimize one block to a fixpoint (bounded), given the registers that
     are live when it exits. *)
 let optimize_block ?(max_rounds = 6) cfg (b : Block.t) ~live_out : Block.t =
+  let block = b.Block.id in
   let rec go b rounds =
     if rounds = 0 then b
     else begin
       let before = block_measure b in
-      let b = Local_vn.run cfg b in
-      let b = Dce.run b ~live_out in
-      let b = Predicate_opt.run b ~live_out in
+      let b = report_pass ~block "local_vn" b (Local_vn.run cfg b) in
+      let b = report_pass ~block "dce" b (Dce.run b ~live_out) in
+      let b = report_pass ~block "predicate_opt" b (Predicate_opt.run b ~live_out) in
       if block_measure b = before then b else go b (rounds - 1)
     end
   in
@@ -43,6 +64,7 @@ let optimize_cfg ?(max_rounds = 4) cfg : unit =
   let rec go rounds =
     if rounds > 0 then begin
       let global_hits = Gvn.run cfg in
+      if global_hits > 0 then Trips_obs.Metrics.incr ~by:global_hits "opt.gvn.hits";
       let live = Liveness.compute cfg in
       let changed = ref false in
       List.iter

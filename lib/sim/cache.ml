@@ -25,6 +25,8 @@ let access t ~addr =
     false
   end
 
+let counters t = (t.accesses, t.misses)
+
 let miss_rate t =
   if t.accesses = 0 then 0.0
   else float_of_int t.misses /. float_of_int t.accesses

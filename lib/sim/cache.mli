@@ -10,4 +10,7 @@ val create : ?size_words:int -> ?line_words:int -> unit -> t
 val access : t -> addr:int -> bool
 (** [true] on hit; updates the cache. *)
 
+val counters : t -> int * int
+(** [(accesses, misses)] so far. *)
+
 val miss_rate : t -> float

@@ -283,6 +283,17 @@ let run ?(timing = default_timing) ?(trace = 0) ?fuel ?strict_exits
   in
   let fr = Func_sim.run ?fuel ?strict_exits ~hooks ?registers ~memory cfg in
   retire m ~next:None;
+  Trips_obs.Metrics.incr ~by:m.last_commit "sim.cycle.cycles";
+  Trips_obs.Metrics.incr ~by:fr.Func_sim.blocks_executed "sim.cycle.commits";
+  Trips_obs.Metrics.incr ~by:m.instrs_fetched "sim.cycle.fetched";
+  Trips_obs.Metrics.incr ~by:m.instrs_fired "sim.cycle.fired";
+  Trips_obs.Metrics.incr ~by:m.mispredictions "sim.cycle.flushes";
+  let lookups, hits = Predictor.counters m.predictor in
+  Trips_obs.Metrics.incr ~by:lookups "sim.predictor.lookups";
+  Trips_obs.Metrics.incr ~by:hits "sim.predictor.hits";
+  let accesses, misses = Cache.counters m.cache in
+  Trips_obs.Metrics.incr ~by:accesses "sim.dcache.accesses";
+  Trips_obs.Metrics.incr ~by:misses "sim.dcache.misses";
   {
     cycles = m.last_commit;
     blocks = fr.Func_sim.blocks_executed;

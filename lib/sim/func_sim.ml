@@ -140,6 +140,9 @@ let run ?(fuel = 50_000_000) ?(strict_exits = true) ?(hooks = no_hooks)
   let checksum =
     (memory_checksum memory * 31) + Option.value ~default:(-1) ret
   in
+  Trips_obs.Metrics.incr ~by:!blocks_executed "sim.func.blocks";
+  Trips_obs.Metrics.incr ~by:!instrs_executed "sim.func.instrs_executed";
+  Trips_obs.Metrics.incr ~by:!instrs_fetched "sim.func.instrs_fetched";
   {
     ret;
     blocks_executed = !blocks_executed;

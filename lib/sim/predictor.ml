@@ -57,5 +57,7 @@ let update t ~block ~actual =
   t.history <- (t.history lsl 2) lxor (actual land 0xff);
   correct
 
+let counters t = (t.lookups, t.hits)
+
 let accuracy t =
   if t.lookups = 0 then 1.0 else float_of_int t.hits /. float_of_int t.lookups

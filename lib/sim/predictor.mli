@@ -19,4 +19,7 @@ val update : t -> block:int -> actual:int -> bool
 (** Record the actual successor; returns whether the prediction was
     correct. *)
 
+val counters : t -> int * int
+(** [(lookups, hits)] so far. *)
+
 val accuracy : t -> float

@@ -44,6 +44,30 @@ let test_map_empty_and_defaults () =
   check Alcotest.int "empty input" 0 (List.length (Engine.map ~jobs:8 Fun.id []));
   check Alcotest.bool "default_jobs >= 1" true (Engine.default_jobs () >= 1)
 
+(* Regression: a Domain.spawn failure mid-pool used to leak the already-
+   spawned helper domains (they were never joined).  With the injected
+   spawn limit, map must still complete every slot on the calling domain
+   plus the helpers that did start, join them all, and count the
+   degradation in the metrics registry. *)
+let test_map_degrades_on_spawn_failure () =
+  Trips_obs.Metrics.reset ();
+  Engine.spawn_limit_for_tests := Some 1;
+  Fun.protect
+    ~finally:(fun () -> Engine.spawn_limit_for_tests := None)
+    (fun () ->
+      let xs = List.init 40 Fun.id in
+      let expect = List.map (fun x -> x * 3) xs in
+      let got = List.map ok_or_fail (Engine.map ~jobs:8 (fun x -> x * 3) xs) in
+      check Alcotest.(list int) "all slots complete despite spawn failure"
+        expect got);
+  check Alcotest.int "degradation recorded" 1
+    (Trips_obs.Metrics.counter_value
+       (Trips_obs.Metrics.snapshot ())
+       "engine.spawn_failures");
+  (* and with the limit cleared, the full pool works again *)
+  let got = List.map ok_or_fail (Engine.map ~jobs:4 succ (List.init 8 Fun.id)) in
+  check Alcotest.(list int) "pool restored" (List.init 8 succ) got
+
 (* ---- sweep determinism ------------------------------------------------- *)
 
 (* cheap microbenchmarks only: these properties re-run full table sweeps *)
@@ -195,6 +219,8 @@ let suite =
       Alcotest.test_case "map isolates exceptions per slot" `Quick
         test_map_exception_isolation;
       Alcotest.test_case "map edge cases" `Quick test_map_empty_and_defaults;
+      Alcotest.test_case "map degrades on spawn failure" `Quick
+        test_map_degrades_on_spawn_failure;
       prop_jobs_invariant;
       prop_cache_transparent;
       Alcotest.test_case "parallel sweep contains a chaos-corrupted cell"

@@ -227,9 +227,101 @@ let test_block_splitting_extension () =
           (stats.Chf.Formation.block_splits > 0))
     [ ("nosplit", base); ("split", with_split) ]
 
+(* ---- rollback of hidden state ------------------------------------------ *)
+
+(* Regression for a trial-merge rollback gap: when a *failed* unroll was
+   the attempt that re-saved the stale one-iteration body, rollback used
+   to leave the re-saved body behind, so a later unroll duplicated a
+   different (larger) body than a run that never made the failed attempt.
+   Driving the same merge sequence with and without a chaos-failed unroll
+   in the middle must produce bit-identical CFGs. *)
+let rollback_cfg () =
+  let cfg = Cfg.create ~name:"rollback" () in
+  for _ = 0 to 2 do
+    ignore (Cfg.fresh_block_id cfg)
+  done;
+  let g r sense = Some { Instr.greg = r; sense } in
+  Cfg.set_block cfg
+    (Block.make 0
+       [
+         Cfg.instr cfg (Instr.Binop (Opcode.Add, 1, Instr.Reg 1, Instr.Imm 1));
+         Cfg.instr cfg (Instr.Cmp (Opcode.Lt, 2, Instr.Reg 1, Instr.Imm 3));
+         Cfg.instr cfg (Instr.Cmp (Opcode.Lt, 3, Instr.Reg 1, Instr.Imm 6));
+       ]
+       [
+         { Block.eguard = g 2 true; target = Block.Goto 0 };
+         { Block.eguard = g 3 true; target = Block.Goto 1 };
+         { Block.eguard = g 3 false; target = Block.Goto 2 };
+       ]);
+  Cfg.set_block cfg
+    (Block.make 1
+       [ Cfg.instr cfg (Instr.Mov (4, Instr.Imm 1)) ]
+       [ { Block.eguard = None; target = Block.Goto 0 } ]);
+  Cfg.set_block cfg
+    (Block.make 2
+       [ Cfg.instr cfg (Instr.Mov (5, Instr.Imm 7)) ]
+       [ { Block.eguard = None; target = Block.Ret None } ]);
+  cfg.Cfg.entry <- 0;
+  Cfg.validate cfg;
+  cfg
+
+let test_failed_unroll_leaves_no_hidden_state () =
+  let drive ~with_failed_unroll =
+    let cfg = rollback_cfg () in
+    let st =
+      Chf.Formation.make Chf.Policy.edge_default cfg
+        (Trips_profile.Profile.empty ())
+    in
+    let expect_success label outcome =
+      match outcome with
+      | Chf.Formation.Success _ -> ()
+      | Chf.Formation.Structural_failure m ->
+        Alcotest.failf "%s failed structurally: %s" label m
+      | Chf.Formation.Size_rejected _ -> Alcotest.failf "%s size-rejected" label
+    in
+    (* 1: unroll saves the one-iteration body of b0 *)
+    expect_success "unroll#1"
+      (Chf.Formation.merge_blocks st ~hb_id:0 ~s_id:0 ~kind:Chf.Formation.Unroll);
+    (* 2: merging b1 away makes that saved body stale (it targets b1) *)
+    expect_success "simple b1"
+      (Chf.Formation.merge_blocks st ~hb_id:0 ~s_id:1 ~kind:Chf.Formation.Simple);
+    (* 3 (run A only): a chaos-failed unroll re-saves the body before
+       failing; the rollback must restore the stale entry *)
+    if with_failed_unroll then begin
+      Chf.Formation.chaos_combine_failure :=
+        Some (fun ~hb_id:_ ~s_id:_ ~kind:_ -> true);
+      Fun.protect
+        ~finally:(fun () -> Chf.Formation.chaos_combine_failure := None)
+        (fun () ->
+          match
+            Chf.Formation.merge_blocks st ~hb_id:0 ~s_id:0
+              ~kind:Chf.Formation.Unroll
+          with
+          | Chf.Formation.Structural_failure _ -> ()
+          | _ -> Alcotest.fail "chaos-injected unroll should fail")
+    end;
+    (* 4: grow b0 (tail-dup keeps b2 alive), so the body a leaked step-3
+       re-save captured differs from the body a fresh re-save captures *)
+    expect_success "tail dup b2"
+      (Chf.Formation.merge_blocks st ~hb_id:0 ~s_id:2
+         ~kind:Chf.Formation.Tail_dup);
+    (* 5: the next unroll re-saves from the current block either way *)
+    expect_success "unroll#2"
+      (Chf.Formation.merge_blocks st ~hb_id:0 ~s_id:0 ~kind:Chf.Formation.Unroll);
+    ( cfg.Cfg.entry,
+      List.map (Cfg.block cfg) (List.sort compare (Cfg.block_ids cfg)) )
+  in
+  let with_failure = drive ~with_failed_unroll:true in
+  let without_failure = drive ~with_failed_unroll:false in
+  check Alcotest.bool
+    "failed unroll is invisible: both runs produce identical CFGs" true
+    (with_failure = without_failure)
+
 let suite =
   ( "formation",
     [
+      Alcotest.test_case "failed unroll leaves no hidden state" `Quick
+        test_failed_unroll_leaves_no_hidden_state;
       Alcotest.test_case "block splitting extension" `Quick
         test_block_splitting_extension;
       Alcotest.test_case "estimate counts" `Quick test_estimate_counts;

@@ -16,5 +16,6 @@ let () =
       Test_workloads.suite;
       Test_verify.suite;
       Test_engine.suite;
+      Test_obs.suite;
       Test_integration.suite;
     ]

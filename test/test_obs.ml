@@ -1,0 +1,306 @@
+(* Observability subsystem tests: trace determinism across --jobs, stable
+   JSON rendering, the metrics registry, and the formation decision log —
+   including the retry-pool contract the trace exposed (structural
+   failures are dropped, never retried) and rollback completeness after
+   any failed merge attempt. *)
+
+open Trips_ir
+open Trips_obs
+
+let check = Alcotest.check
+
+(* ---- trace primitives -------------------------------------------------- *)
+
+let test_trace_json_stable () =
+  let ev =
+    {
+      Trace.cell = 3;
+      seq = 7;
+      kind = "merge-attempt";
+      fields =
+        [
+          ("seed", Trace.Int 4);
+          ("prob", Trace.Float 0.25);
+          ("classify", Trace.Str "simple");
+          ("ok", Trace.Bool true);
+          ("msg", Trace.Str "quote\" and \\slash");
+        ];
+    }
+  in
+  check Alcotest.string "field order and escaping preserved"
+    "{\"cell\":3,\"seq\":7,\"kind\":\"merge-attempt\",\"seed\":4,\"prob\":0.25,\
+     \"classify\":\"simple\",\"ok\":true,\"msg\":\"quote\\\" and \\\\slash\"}"
+    (Trace.to_json ev)
+
+let test_trace_cell_tagging () =
+  let _ = Trace.stop () in
+  Trace.start ();
+  Trace.record "a" [];
+  Trace.with_cell 5 (fun () ->
+      Trace.record "b" [];
+      Trace.record "c" []);
+  Trace.record "d" [];
+  let evs = Trace.stop () in
+  check
+    Alcotest.(list (pair int (pair int string)))
+    "sorted (cell, seq) stream"
+    [ (-1, (0, "a")); (-1, (1, "d")); (5, (0, "b")); (5, (1, "c")) ]
+    (List.map (fun e -> (e.Trace.cell, (e.Trace.seq, e.Trace.kind))) evs);
+  (* recording after stop is a no-op *)
+  Trace.record "late" [];
+  check Alcotest.int "nothing recorded while off" 0 (List.length (Trace.stop ()))
+
+let test_metrics_registry () =
+  Metrics.reset ();
+  Metrics.incr "b.counter";
+  Metrics.incr ~by:4 "a.counter";
+  Metrics.incr ~by:(-1) "a.counter";
+  Metrics.observe "lat" 2.0;
+  Metrics.observe "lat" 6.0;
+  let s = Metrics.snapshot () in
+  check Alcotest.(list (pair string int)) "counters sorted by name"
+    [ ("a.counter", 3); ("b.counter", 1) ]
+    s.Metrics.counters;
+  check Alcotest.int "absent counter reads 0" 0
+    (Metrics.counter_value s "nope");
+  (match s.Metrics.histograms with
+  | [ ("lat", h) ] ->
+    check Alcotest.int "histo count" 2 h.Metrics.h_count;
+    check (Alcotest.float 1e-9) "histo sum" 8.0 h.Metrics.h_sum;
+    check (Alcotest.float 1e-9) "histo min" 2.0 h.Metrics.h_min;
+    check (Alcotest.float 1e-9) "histo max" 6.0 h.Metrics.h_max
+  | _ -> Alcotest.fail "expected exactly the lat histogram");
+  check Alcotest.string "json is sorted and stable"
+    "{\"counters\":{\"a.counter\":3,\"b.counter\":1},\"histograms\":{\"lat\":\
+     {\"count\":2,\"sum\":8,\"min\":2,\"max\":6}}}"
+    (Metrics.to_json s);
+  Metrics.reset ();
+  check Alcotest.int "reset drops counters" 0
+    (List.length (Metrics.snapshot ()).Metrics.counters)
+
+(* ---- formation decision log -------------------------------------------- *)
+
+(* Hand-built three-block loop: the seed b0 branches to the loop body b1
+   (back edge to b0) and to the exit block b2. *)
+let loop_cfg () =
+  let cfg = Cfg.create ~name:"obs-loop" () in
+  for _ = 0 to 2 do
+    ignore (Cfg.fresh_block_id cfg)
+  done;
+  let g r sense = Some { Instr.greg = r; sense } in
+  Cfg.set_block cfg
+    (Block.make 0
+       [
+         Cfg.instr cfg (Instr.Binop (Opcode.Add, 1, Instr.Reg 1, Instr.Imm 1));
+         Cfg.instr cfg (Instr.Cmp (Opcode.Lt, 2, Instr.Reg 1, Instr.Imm 3));
+       ]
+       [
+         { Block.eguard = g 2 true; target = Block.Goto 1 };
+         { Block.eguard = g 2 false; target = Block.Goto 2 };
+       ]);
+  Cfg.set_block cfg
+    (Block.make 1
+       [ Cfg.instr cfg (Instr.Mov (3, Instr.Imm 1)) ]
+       [ { Block.eguard = None; target = Block.Goto 0 } ]);
+  Cfg.set_block cfg
+    (Block.make 2
+       [ Cfg.instr cfg (Instr.Mov (4, Instr.Imm 7)) ]
+       [ { Block.eguard = None; target = Block.Ret None } ]);
+  cfg.Cfg.entry <- 0;
+  Cfg.validate cfg;
+  cfg
+
+let profile_of cfg =
+  let memory = Array.make 8 0 in
+  let _, profile =
+    Trips_sim.Func_sim.run_profiled ~registers:[ (1, 0) ] ~memory cfg
+  in
+  profile
+
+let with_chaos hook f =
+  Chf.Formation.chaos_combine_failure := Some hook;
+  Fun.protect
+    ~finally:(fun () -> Chf.Formation.chaos_combine_failure := None)
+    f
+
+(* Satellite 1: a candidate whose combine fails structurally must be
+   dropped, not parked in the size-retry pool — under the old behavior it
+   was retried after the next successful merge, doubling the structural
+   failure (and, before the budget, looping).  The trace pins it down:
+   exactly one structural event for the poisoned candidate. *)
+let test_structural_failure_not_retried () =
+  let cfg = loop_cfg () in
+  let profile = profile_of cfg in
+  let st = Chf.Formation.make Chf.Policy.edge_default cfg profile in
+  let _ = Trace.stop () in
+  Trace.start ();
+  with_chaos
+    (fun ~hb_id:_ ~s_id ~kind:_ -> s_id = 1)
+    (fun () -> Chf.Formation.expand_block st 0);
+  let evs = Trace.stop () in
+  let attempts_on b1 =
+    List.filter
+      (fun e ->
+        e.Trace.kind = "merge-attempt"
+        && List.assoc "cand" e.Trace.fields = Trace.Int b1)
+      evs
+  in
+  check Alcotest.int "poisoned candidate attempted exactly once" 1
+    (List.length (attempts_on 1));
+  (match attempts_on 1 with
+  | [ e ] ->
+    check Alcotest.bool "and the attempt is the structural reject" true
+      (List.assoc "outcome" e.Trace.fields = Trace.Str "structural")
+  | _ -> ());
+  check Alcotest.int "one structural failure counted" 1
+    st.Chf.Formation.stats.Chf.Formation.combine_failures;
+  check Alcotest.int "the sibling merge still landed" 1
+    st.Chf.Formation.stats.Chf.Formation.merges;
+  check Alcotest.bool "failed candidate survives as its own block" true
+    (Cfg.mem cfg 1)
+
+(* Per-attempt outcomes and the stats counters must agree: the trace is
+   the decision log, the counters its aggregate. *)
+let test_trace_matches_stats () =
+  let w = Option.get (Trips_workloads.Micro.by_name "sieve") in
+  let profile, _ = Trips_harness.Pipeline.profile_workload w in
+  let cfg, _ = Trips_harness.Pipeline.lower_workload w in
+  Trips_opt.Optimizer.optimize_cfg cfg;
+  let _ = Trace.stop () in
+  Trace.start ();
+  let stats = Chf.Formation.run Chf.Policy.edge_default cfg profile in
+  let evs = Trace.stop () in
+  let outcome_count o =
+    List.length
+      (List.filter
+         (fun e ->
+           e.Trace.kind = "merge-attempt"
+           && List.assoc "outcome" e.Trace.fields = Trace.Str o)
+         evs)
+  in
+  check Alcotest.int "success events = merges" stats.Chf.Formation.merges
+    (outcome_count "success");
+  check Alcotest.int "size events = size_rejections"
+    stats.Chf.Formation.size_rejections (outcome_count "size");
+  check Alcotest.int "structural events = combine_failures"
+    stats.Chf.Formation.combine_failures (outcome_count "structural");
+  check Alcotest.int "success+size+structural = attempts"
+    stats.Chf.Formation.attempts
+    (outcome_count "success" + outcome_count "size"
+    + outcome_count "structural")
+
+(* Tentpole acceptance: the full table-1 sweep records the same trace for
+   every --jobs setting, and metrics aggregate identically. *)
+let test_trace_jobs_invariant () =
+  let ws =
+    List.filter_map Trips_workloads.Micro.by_name [ "sieve"; "vadd"; "gzip_1" ]
+  in
+  let run jobs =
+    Metrics.reset ();
+    let _ = Trace.stop () in
+    Trace.start ();
+    ignore (Trips_harness.Table1.run ~cache:(Trips_harness.Stage.create ()) ~jobs ~workloads:ws ());
+    let evs = Trace.stop () in
+    let counters =
+      (* drop timing-dependent histograms; counters are deterministic *)
+      (Metrics.snapshot ()).Metrics.counters
+      |> List.filter (fun (name, _) -> name <> "stage.cache.hit" && name <> "stage.cache.miss")
+    in
+    (List.map Trace.to_json evs, counters)
+  in
+  let evs1, counters1 = run 1 in
+  let evs4, counters4 = run 4 in
+  check Alcotest.bool "some events recorded" true (List.length evs1 > 0);
+  check Alcotest.(list string) "trace identical across -j 1 / -j 4" evs1 evs4;
+  check
+    Alcotest.(list (pair string int))
+    "deterministic counters identical across -j" counters1 counters4
+
+(* Satellite 4: after ANY failure outcome the CFG must be bit-identical
+   to its pre-attempt snapshot — blocks, entry, and the fresh-id
+   counters (a leaked counter bump changes every later allocation).
+   Random programs, every classifiable (seed, cand) pair, with
+   chaos-injected structural failures on half the attempts and tight
+   limits to provoke genuine size rejections on the rest. *)
+let snapshot cfg =
+  ( cfg.Cfg.entry,
+    cfg.Cfg.next_block,
+    cfg.Cfg.next_instr,
+    cfg.Cfg.next_reg,
+    List.map (Cfg.block cfg) (List.sort compare (Cfg.block_ids cfg)) )
+
+let prop_failure_rolls_back =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"any failed merge attempt leaves the CFG bit-identical"
+       ~count:25
+       ~print:(fun (w, _) -> Generators.print_workload w)
+       QCheck2.Gen.(pair Generators.random_program_gen (int_bound 1000))
+       (fun (w, salt) ->
+         let profile, _ = Trips_harness.Pipeline.profile_workload w in
+         let cfg, _ = Trips_harness.Pipeline.lower_workload w in
+         let tight =
+           {
+             Chf.Constraints.trips_limits with
+             Chf.Constraints.max_instrs = 12;
+           }
+         in
+         let config =
+           { Chf.Policy.edge_default with Chf.Policy.limits = tight; slack = 0 }
+         in
+         let st = Chf.Formation.make config cfg profile in
+         (* tolerate the lowered CFG's own parameter reads in the
+            verifier, so only attempt-introduced damage is flagged *)
+         let tolerated = Trips_verify.Cfg_verify.undefined_regs cfg in
+         let failures = ref 0 in
+         List.iter
+           (fun hb_id ->
+             if Cfg.mem cfg hb_id then
+               List.iter
+                 (fun s_id ->
+                   match Chf.Formation.classify st ~hb_id ~s_id with
+                   | None -> ()
+                   | Some kind ->
+                     let inject = (hb_id + s_id + salt) mod 2 = 0 in
+                     let before = snapshot cfg in
+                     let outcome =
+                       with_chaos
+                         (fun ~hb_id:_ ~s_id:_ ~kind:_ -> inject)
+                         (fun () ->
+                           Chf.Formation.merge_blocks st ~hb_id ~s_id ~kind)
+                     in
+                     (match outcome with
+                     | Chf.Formation.Success _ -> ()
+                     | Chf.Formation.Structural_failure _
+                     | Chf.Formation.Size_rejected _ ->
+                       incr failures;
+                       if snapshot cfg <> before then
+                         QCheck2.Test.fail_reportf
+                           "CFG changed after failed merge %d <- %d" hb_id s_id;
+                       if
+                         Trips_verify.Cfg_verify.check ~allow_unreachable:true
+                           ~params:tolerated cfg
+                         <> []
+                       then
+                         QCheck2.Test.fail_reportf
+                           "CFG un-verifiable after failed merge %d <- %d"
+                           hb_id s_id))
+                 (Block.distinct_successors (Cfg.block cfg hb_id)))
+           (List.sort compare (Cfg.block_ids cfg));
+         (* the generator must actually exercise the failure paths *)
+         !failures > 0))
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "trace json is stable" `Quick test_trace_json_stable;
+      Alcotest.test_case "trace cell tagging" `Quick test_trace_cell_tagging;
+      Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+      Alcotest.test_case "structural failure never retried" `Quick
+        test_structural_failure_not_retried;
+      Alcotest.test_case "trace agrees with stats" `Quick
+        test_trace_matches_stats;
+      Alcotest.test_case "trace invariant across --jobs" `Quick
+        test_trace_jobs_invariant;
+      prop_failure_rolls_back;
+    ] )

@@ -2,7 +2,8 @@
 
 CHAOS_SEED ?= 42
 
-.PHONY: all build test chaos trace-check check bench bench-all clean
+.PHONY: all build test chaos trace-check equiv-check check bench \
+	bench-formation bench-all clean
 
 all: build
 
@@ -27,11 +28,23 @@ trace-check: build
 	cmp _build/trace-j1.jsonl _build/trace-j4.jsonl
 	@echo "trace-check: event streams identical across -j 1 / -j 4"
 
-check: build test chaos trace-check
+# Fast-path equivalence: the formation suite includes the property test
+# that formation with every TRIPS_NO_* escape hatch engaged produces
+# byte-identical CFGs, stats and traces to the default fast paths.
+equiv-check: build
+	dune exec test/test_main.exe -- test formation
+
+check: build test chaos trace-check equiv-check
 
 # Full-sweep benchmark of the staged engine (writes BENCH_sweep.json).
 bench: build
 	dune exec bench/main.exe -- sweep
+
+# Formation fast-path attribution: legacy path (hatches engaged) vs the
+# pre-filter, incremental liveness, loop-forest reuse and indexed pool,
+# with an identical-output assertion (writes BENCH_formation.json).
+bench-formation: build
+	dune exec bench/main.exe -- formation
 
 # Every experiment: tables, figure, ablations, Bechamel micro-benchmarks.
 bench-all: build

@@ -324,6 +324,116 @@ let run_sweep () =
   close_out oc;
   Fmt.pr "wrote BENCH_sweep.json@."
 
+(* Formation fast paths: constraint pre-filter, incremental liveness,
+   loop-forest reuse and the indexed candidate pool, each behind its own
+   TRIPS_NO_* escape hatch (DESIGN.md §12).  Every table is recompiled
+   sequentially with stage caching off so formation really runs for each
+   cell; the formation-stage timer isolates the win from the (unchanged)
+   lowering/backend/simulation stages.  All configurations must render
+   byte-identical outputs — the fast paths are pure strength reductions —
+   and wall clocks, per-piece attribution and fast-path hit counters go
+   to BENCH_formation.json. *)
+let run_formation () =
+  section "Formation — fast-path attribution (legacy path vs pre-filter, \
+           incremental liveness, loop reuse, indexed pool)";
+  let hatches =
+    [
+      "TRIPS_NO_PREFILTER";
+      "TRIPS_NO_INCR_LIVENESS";
+      "TRIPS_NO_LOOP_REUSE";
+      "TRIPS_NO_CAND_POOL";
+    ]
+  in
+  let render_all () =
+    let buf = Buffer.create 4096 in
+    let fmt = Format.formatter_of_buffer buf in
+    let cache = Stage.disabled () and jobs = 1 in
+    Table1.render fmt (Table1.run ~cache ~jobs ());
+    Table2.render fmt (Table2.run ~cache ~jobs ());
+    Table3.render fmt (Table3.run ~cache ~jobs ());
+    Format.pp_print_flush fmt ();
+    Buffer.contents buf
+  in
+  (* [on] lists the hatch variables whose fast path stays enabled; the
+     rest are set non-empty, which disables them. *)
+  let measure ~name ~on =
+    List.iter
+      (fun h -> Unix.putenv h (if List.mem h on then "" else "1"))
+      hatches;
+    Trips_obs.Metrics.reset ();
+    Stage.reset_timings ();
+    let t0 = Unix.gettimeofday () in
+    let output = render_all () in
+    let wall = Unix.gettimeofday () -. t0 in
+    let formation_s = (Stage.timings ()).Stage.formation_s in
+    let snap = Trips_obs.Metrics.snapshot () in
+    let counter = Trips_obs.Metrics.counter_value snap in
+    let prefilter = counter "formation.prefilter.hits" in
+    let incr_live = counter "formation.liveness.incremental" in
+    let loops = counter "formation.loops.reuse" in
+    List.iter (fun h -> Unix.putenv h "") hatches;
+    Fmt.pr
+      "%-28s %6.2fs wall  %6.2fs formation  (prefilter %d, incr-live %d, \
+       loop-reuse %d)@."
+      name wall formation_s prefilter incr_live loops;
+    (name, wall, formation_s, (prefilter, incr_live, loops), output)
+  in
+  let baseline = measure ~name:"fast paths off (legacy)" ~on:[] in
+  let only_pf = measure ~name:"pre-filter only" ~on:[ "TRIPS_NO_PREFILTER" ] in
+  let only_il =
+    measure ~name:"incremental liveness only" ~on:[ "TRIPS_NO_INCR_LIVENESS" ]
+  in
+  let only_lr =
+    measure ~name:"loop-forest reuse only" ~on:[ "TRIPS_NO_LOOP_REUSE" ]
+  in
+  let only_cp =
+    measure ~name:"indexed pool only" ~on:[ "TRIPS_NO_CAND_POOL" ]
+  in
+  let fast = measure ~name:"all fast paths (default)" ~on:hatches in
+  let configs = [ baseline; only_pf; only_il; only_lr; only_cp; fast ] in
+  let output_of (_, _, _, _, o) = o in
+  let formation_of (_, _, f, _, _) = f in
+  let wall_of (_, w, _, _, _) = w in
+  let identical =
+    List.for_all (fun c -> output_of c = output_of baseline) configs
+  in
+  if not identical then
+    Fmt.epr "bench: WARNING: formation outputs differ across fast paths@.";
+  let speedup = formation_of baseline /. formation_of fast in
+  Fmt.pr "identical outputs: %b@." identical;
+  Fmt.pr "formation-stage speedup: %.2fx  (wall: %.2fx)@." speedup
+    (wall_of baseline /. wall_of fast);
+  let attribution c = formation_of baseline -. formation_of c in
+  let json =
+    let config (name, wall, formation_s, (pf, il, lr), _) =
+      Fmt.str
+        "    { \"name\": %S, \"wall_s\": %.3f, \"formation_s\": %.3f,@\n\
+        \      \"counters\": { \"prefilter_hits\": %d, \
+         \"liveness_incremental\": %d, \"loops_reuse\": %d } }"
+        name wall formation_s pf il lr
+    in
+    Fmt.str
+      "{@\n\
+      \  \"identical_outputs\": %b,@\n\
+      \  \"formation_speedup\": %.3f,@\n\
+      \  \"wall_speedup\": %.3f,@\n\
+      \  \"attribution_s\": { \"prefilter\": %.3f, \"incr_liveness\": %.3f, \
+       \"loop_reuse\": %.3f, \"cand_pool\": %.3f },@\n\
+      \  \"configs\": [@\n\
+       %s@\n\
+      \  ]@\n\
+       }@\n"
+      identical speedup
+      (wall_of baseline /. wall_of fast)
+      (attribution only_pf) (attribution only_il) (attribution only_lr)
+      (attribution only_cp)
+      (String.concat ",\n" (List.map config configs))
+  in
+  let oc = open_out "BENCH_formation.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_formation.json@."
+
 let experiments =
   [
     ("table1", run_table1);
@@ -335,6 +445,7 @@ let experiments =
     ("speed", run_speed);
     ("verify", run_verify);
     ("sweep", run_sweep);
+    ("formation", run_formation);
   ]
 
 let () =

@@ -96,6 +96,9 @@ type t = {
   live_in : IntSet.t IntMap.t;
   live_out : IntSet.t IntMap.t;
   gk : gen_kill IntMap.t;
+  succs : int list IntMap.t;  (* successor lists at solve time *)
+  preds : IntSet.t IntMap.t;  (* inverse of [succs] *)
+  order : int IntMap.t;  (* postorder position, worklist priority only *)
 }
 
 (* Blocks are immutable records replaced wholesale (see [Cfg]), so a
@@ -174,7 +177,150 @@ let compute ?cache cfg =
   let to_map h =
     Hashtbl.fold (fun k v acc -> IntMap.add k v acc) h IntMap.empty
   in
-  { live_in = to_map live_in; live_out = to_map live_out; gk }
+  let preds =
+    IntMap.fold
+      (fun src ss acc ->
+        List.fold_left
+          (fun acc s ->
+            IntMap.add s
+              (IntSet.add src (IntMap.find_or ~default:IntSet.empty s acc))
+              acc)
+          acc ss)
+      succs IntMap.empty
+  in
+  let order =
+    List.fold_left
+      (fun (k, acc) id -> (k + 1, IntMap.add id k acc))
+      (0, IntMap.empty) ids
+    |> snd
+  in
+  { live_in = to_map live_in; live_out = to_map live_out; gk; succs; preds; order }
+
+(* ---- incremental re-solve ---------------------------------------------- *)
+
+(* After an edit that replaced or removed a handful of blocks, the least
+   fixpoint can change only where the edit is *backward-reachable*: a
+   block's live sets depend on its forward cone, so a block that cannot
+   reach any edited block keeps its exact old solution.  Re-running the
+   worklist from the stale solution is NOT sound — a register whose
+   liveness was sustained through a cycle of un-edited blocks can keep
+   itself alive forever once its real source disappeared (the classic
+   stale-overapproximation trap).  Instead we reset the affected region
+   (ancestors of the edited blocks) to bottom and ascend again; the
+   boundary (non-ancestors) is frozen at its old — still exact — values,
+   so the ascent converges to the global least fixpoint, identical to a
+   full {!compute}.  See DESIGN.md §12. *)
+let update ?cache t cfg ~touched =
+  let present, removed = List.partition (Cfg.mem cfg) touched in
+  (* 1. refresh the edge maps and gen/kill for the edited blocks *)
+  let preds = ref t.preds in
+  let retarget id old_s new_s =
+    List.iter
+      (fun s ->
+        preds :=
+          IntMap.add s
+            (IntSet.remove id (IntMap.find_or ~default:IntSet.empty s !preds))
+            !preds)
+      old_s;
+    List.iter
+      (fun s ->
+        preds :=
+          IntMap.add s
+            (IntSet.add id (IntMap.find_or ~default:IntSet.empty s !preds))
+            !preds)
+      new_s
+  in
+  let succs = ref t.succs and gk = ref t.gk in
+  let seeds = ref IntSet.empty in
+  List.iter
+    (fun id ->
+      let new_s = Cfg.successors cfg id in
+      retarget id (IntMap.find_or ~default:[] id !succs) new_s;
+      succs := IntMap.add id new_s !succs;
+      gk := IntMap.add id (gen_kill_memo cache (Cfg.block cfg id)) !gk;
+      seeds := IntSet.add id !seeds)
+    present;
+  let live_in = ref t.live_in and live_out = ref t.live_out in
+  List.iter
+    (fun id ->
+      retarget id (IntMap.find_or ~default:[] id !succs) [];
+      (* un-edited blocks that still referenced the removed block's
+         live-in are stale too *)
+      seeds := IntSet.union !seeds (IntMap.find_or ~default:IntSet.empty id !preds);
+      succs := IntMap.remove id !succs;
+      gk := IntMap.remove id !gk;
+      preds := IntMap.remove id !preds;
+      live_in := IntMap.remove id !live_in;
+      live_out := IntMap.remove id !live_out)
+    removed;
+  (* 2. affected region: backward closure of the seeds *)
+  let affected = ref IntSet.empty in
+  let rec close id =
+    if not (IntSet.mem id !affected) then begin
+      affected := IntSet.add id !affected;
+      IntSet.iter close (IntMap.find_or ~default:IntSet.empty id !preds)
+    end
+  in
+  IntSet.iter close !seeds;
+  (* 3. reset the region to bottom, then ascend with a worklist *)
+  IntSet.iter
+    (fun id ->
+      live_in := IntMap.add id IntSet.empty !live_in;
+      live_out := IntMap.add id IntSet.empty !live_out)
+    !affected;
+  let position id = IntMap.find_or ~default:max_int id t.order in
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let push id =
+    if not (Hashtbl.mem queued id) then begin
+      Hashtbl.replace queued id ();
+      Queue.push id queue
+    end
+  in
+  (* seed successors-first (postorder) so the first sweep is productive *)
+  IntSet.elements !affected
+  |> List.sort (fun a b -> compare (position a) (position b))
+  |> List.iter push;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    Hashtbl.remove queued id;
+    match IntMap.find_opt id !gk with
+    | None -> ()  (* not part of the solved (reachable) region *)
+    | Some g ->
+      let out =
+        List.fold_left
+          (fun acc s ->
+            IntSet.union acc (IntMap.find_or ~default:IntSet.empty s !live_in))
+          IntSet.empty
+          (IntMap.find_or ~default:[] id !succs)
+      in
+      let inn =
+        IntSet.union g.hard
+          (IntSet.union (IntSet.inter g.soft out) (IntSet.diff out g.kill))
+      in
+      let in_changed =
+        not (IntSet.equal inn (IntMap.find_or ~default:IntSet.empty id !live_in))
+      in
+      if
+        in_changed
+        || not
+             (IntSet.equal out
+                (IntMap.find_or ~default:IntSet.empty id !live_out))
+      then begin
+        live_in := IntMap.add id inn !live_in;
+        live_out := IntMap.add id out !live_out;
+        if in_changed then
+          IntSet.iter push (IntMap.find_or ~default:IntSet.empty id !preds)
+      end
+  done;
+  {
+    live_in = !live_in;
+    live_out = !live_out;
+    gk = !gk;
+    succs = !succs;
+    preds = !preds;
+    order = t.order;
+  }
 
 let live_in t id = IntMap.find_or ~default:IntSet.empty id t.live_in
 let live_out t id = IntMap.find_or ~default:IntSet.empty id t.live_out

@@ -41,6 +41,19 @@ type gk_cache
 val gk_cache : unit -> gk_cache
 
 val compute : ?cache:gk_cache -> Cfg.t -> t
+
+val update : ?cache:gk_cache -> t -> Cfg.t -> touched:int list -> t
+(** [update t cfg ~touched] re-solves the fixpoint after an edit that
+    replaced, added or removed exactly the blocks in [touched] (removed
+    blocks are recognized by their absence from [cfg]); every other
+    block's successor list and body must be unchanged since [t] was
+    computed.  Only the region that can reach an edited block is reset
+    and re-solved — the rest keeps its old (still exact) solution — so
+    the result is the unique least fixpoint, identical to a full
+    {!compute} on the edited graph.  Formation uses this after every
+    trial merge, where an edit touches one block and removes at most
+    one. *)
+
 val live_in : t -> int -> IntSet.t
 val live_out : t -> int -> IntSet.t
 

@@ -79,6 +79,29 @@ let kind_name = function
   | Peel -> "peel"
   | Tail_dup -> "tail_dup"
 
+(* Which of the formation fast paths are enabled.  Each has its own
+   [TRIPS_NO_*] escape hatch (set to any non-empty string to disable)
+   for bisection and for the per-piece attribution in [bench formation];
+   with every hatch set, formation runs the historical slow path.  All
+   four are output-invariant: traces, stats and the final CFG are
+   byte-identical either way (enforced by the equivalence property
+   test). *)
+type fast_paths = {
+  prefilter : bool;  (* constraint lower-bound pre-filter *)
+  incr_liveness : bool;  (* Liveness.update instead of full compute *)
+  loop_reuse : bool;  (* loop forest / predecessor map keyed by edge version *)
+  cand_pool : bool;  (* indexed candidate pool *)
+}
+
+(* How often each fast path actually fired; exported as the
+   [formation.prefilter.hits] / [formation.liveness.incremental] /
+   [formation.loops.reuse] metrics by [run]. *)
+type perf_counters = {
+  mutable prefilter_hits : int;
+  mutable live_incremental : int;
+  mutable loops_reuse : int;
+}
+
 type state = {
   cfg : Cfg.t;
   profile : Profile.t;
@@ -89,10 +112,33 @@ type state = {
   peels_done : (int, int) Hashtbl.t;  (* header -> peeled iterations *)
   unrolls_done : (int, int) Hashtbl.t;  (* loop block -> appended iterations *)
   mutable version : int;  (* bumped on every CFG change *)
-  mutable loops_cache : (int * Loops.t) option;
+  mutable edge_version : int;
+      (* bumped only when a successor list may have changed; body-only
+         rewrites (the optimizer shrinking a block in place) keep it, so
+         edge-keyed caches survive them *)
+  mutable loops_cache : (int * int * Loops.t) option;
+      (* (edge_version, version) at which the forest was last validated *)
+  mutable preds_cache : (int * IntSet.t IntMap.t) option;
+      (* predecessor map keyed by edge_version *)
   mutable live_cache : (int * Liveness.t) option;
+  mutable live_dirty : IntSet.t;
+      (* blocks edited (or removed) since [live_cache] was solved; the
+         seeds for the next incremental [Liveness.update] *)
   live_gk : Liveness.gk_cache option;  (* gen/kill memo across recomputations *)
+  floors : (int, Block.t * Constraints.floor) Hashtbl.t;
+      (* pre-filter floor per block id, revalidated by physical equality
+         with the installed block (so [Cfg.set_block] invalidates it) *)
+  body_floors : (int, Block.t * Constraints.floor) Hashtbl.t;
+      (* same, for the saved one-iteration unroll bodies *)
+  fast : fast_paths;
+  perf : perf_counters;
 }
+
+(* [TRIPS_NO_X] convention: any non-empty value disables the feature. *)
+let hatch_enabled name =
+  match Sys.getenv_opt name with
+  | Some s when s <> "" -> false
+  | Some _ | None -> true
 
 let make config cfg profile =
   {
@@ -105,34 +151,130 @@ let make config cfg profile =
     peels_done = Hashtbl.create 8;
     unrolls_done = Hashtbl.create 8;
     version = 0;
+    edge_version = 0;
     loops_cache = None;
+    preds_cache = None;
     live_cache = None;
+    live_dirty = IntSet.empty;
     (* escape hatch for bisecting memo-related issues, and for benchmarks
        that want to price the memo itself (see bench sweep) *)
     live_gk =
       (match Sys.getenv_opt "TRIPS_NO_LIVENESS_MEMO" with
       | Some s when s <> "" -> None
       | Some _ | None -> Some (Liveness.gk_cache ()));
+    floors = Hashtbl.create 64;
+    body_floors = Hashtbl.create 8;
+    fast =
+      {
+        prefilter = hatch_enabled "TRIPS_NO_PREFILTER";
+        incr_liveness = hatch_enabled "TRIPS_NO_INCR_LIVENESS";
+        loop_reuse = hatch_enabled "TRIPS_NO_LOOP_REUSE";
+        cand_pool = hatch_enabled "TRIPS_NO_CAND_POOL";
+      };
+    perf = { prefilter_hits = 0; live_incremental = 0; loops_reuse = 0 };
   }
 
-let touch st =
-  st.version <- st.version + 1
+(* Record a CFG edit that cannot have changed any successor list. *)
+let touch_body st ids =
+  st.version <- st.version + 1;
+  st.live_dirty <- List.fold_left (fun s id -> IntSet.add id s) st.live_dirty ids
+
+(* Record a CFG edit that may have rewired edges. *)
+let touch_edges st ids =
+  touch_body st ids;
+  st.edge_version <- st.edge_version + 1
 
 let loops st =
+  (* With the reuse fast path the forest is keyed by [edge_version], so
+     body-only touches revalidate for free; the hatch falls back to the
+     historical every-touch keying. *)
+  let key = if st.fast.loop_reuse then st.edge_version else st.version in
   match st.loops_cache with
-  | Some (v, l) when v = st.version -> l
+  | Some (k, v, l) when k = key ->
+    if v <> st.version then begin
+      (* the historical keying would have recomputed here *)
+      st.perf.loops_reuse <- st.perf.loops_reuse + 1;
+      st.loops_cache <- Some (k, st.version, l)
+    end;
+    l
   | _ ->
     let l = Loops.compute st.cfg in
-    st.loops_cache <- Some (st.version, l);
+    st.loops_cache <- Some (key, st.version, l);
     l
+
+(* Predecessor list of [id], same contents as [Cfg.predecessors] but
+   served from an edge-versioned cached map instead of rebuilding the
+   whole map per query (classify and the breadth-first selector both ask
+   per candidate). *)
+let preds st id =
+  if not st.fast.loop_reuse then Cfg.predecessors st.cfg id
+  else begin
+    let map =
+      match st.preds_cache with
+      | Some (k, m) when k = st.edge_version -> m
+      | _ ->
+        let m = Cfg.predecessor_map st.cfg in
+        st.preds_cache <- Some (st.edge_version, m);
+        m
+    in
+    IntSet.elements (IntMap.find_or ~default:IntSet.empty id map)
+  end
 
 let liveness st =
   match st.live_cache with
   | Some (v, l) when v = st.version -> l
-  | _ ->
-    let l = Liveness.compute ?cache:st.live_gk st.cfg in
+  | Some (_, l) when st.fast.incr_liveness ->
+    (* re-solve only from the blocks edited since the last solution *)
+    let touched = IntSet.elements st.live_dirty in
+    let l = Liveness.update ?cache:st.live_gk l st.cfg ~touched in
+    st.perf.live_incremental <- st.perf.live_incremental + 1;
+    st.live_dirty <- IntSet.empty;
     st.live_cache <- Some (st.version, l);
     l
+  | _ ->
+    let l = Liveness.compute ?cache:st.live_gk st.cfg in
+    st.live_dirty <- IntSet.empty;
+    st.live_cache <- Some (st.version, l);
+    l
+
+exception Dirty_reachable
+
+(* Exact live-out of [hb_id] without re-solving any fixpoint.
+   [live_out hb = ∪ live_in succ], and a successor's live_in depends
+   only on its forward cone — so when no successor can reach a block
+   edited since the cached solution was solved (the dirty set, which
+   after a trial install includes the hyperblock itself), the cached
+   values are still exact and the union can be read off directly.  The
+   reachability check is a forward DFS with a small node budget; on a
+   hit or budget exhaustion we return [None] and the caller falls back
+   to the incremental update.  This skips the whole ancestors-reset
+   re-solve on the common straight-line merge trial, where successors
+   sit strictly downstream; self-loops (unrolling) fail the check
+   immediately and pay the full update as before. *)
+let live_out_local st hb_id =
+  match st.live_cache with
+  | Some (_, l) when st.fast.incr_liveness ->
+    let succs = Block.distinct_successors (Cfg.block st.cfg hb_id) in
+    let target = IntSet.add hb_id st.live_dirty in
+    let budget = ref 64 in
+    let visited = Hashtbl.create 16 in
+    let rec dfs id =
+      if not (Hashtbl.mem visited id) then begin
+        decr budget;
+        if !budget < 0 || IntSet.mem id target then raise Dirty_reachable;
+        Hashtbl.replace visited id ();
+        List.iter dfs (Cfg.successors st.cfg id)
+      end
+    in
+    (try
+       List.iter dfs succs;
+       st.perf.live_incremental <- st.perf.live_incremental + 1;
+       Some
+         (List.fold_left
+            (fun acc s -> IntSet.union acc (Liveness.live_in l s))
+            IntSet.empty succs)
+     with Dirty_reachable -> None)
+  | _ -> None
 
 let counter tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
 let bump_counter tbl key = Hashtbl.replace tbl key (counter tbl key + 1)
@@ -140,68 +282,79 @@ let bump_counter tbl key = Hashtbl.replace tbl key (counter tbl key + 1)
 (* ---- LegalMerge -------------------------------------------------------- *)
 
 (* Classify the merge of successor [s_id] into [hb_id], or reject it.
-   Mirrors lines 7-15 of MergeBlocks plus the policy's legality gates. *)
-let classify st ~hb_id ~s_id : merge_kind option =
+   Mirrors lines 7-15 of MergeBlocks plus the policy's legality gates.
+   [hb] may pass the already-fetched hyperblock record (the expansion
+   loop holds it across attempts on an unchanged block). *)
+let classify ?hb st ~hb_id ~s_id : merge_kind option =
   let cfg = st.cfg in
   let config = st.config in
-  if not (Cfg.mem cfg s_id) then None
-  else if Hashtbl.mem st.finalized s_id && s_id <> hb_id then None
-  else begin
-    let hb = Cfg.block cfg hb_id in
-    if not (List.mem s_id (Block.distinct_successors hb)) then None
-    else if s_id = hb_id then
-      (* self back edge: unrolling *)
-      if
-        config.Policy.enable_head_dup
-        && counter st.unrolls_done hb_id < config.Policy.max_unroll
-      then Some Unroll
-      else None
+  match Cfg.block_opt cfg s_id with
+  | None -> None
+  | Some s_blk ->
+    if Hashtbl.mem st.finalized s_id && s_id <> hb_id then None
     else begin
-      let preds = Cfg.predecessors cfg s_id in
-      let lp = loops st in
-      let is_header = Loops.is_loop_header lp s_id in
-      let back_edge = Loops.is_back_edge lp ~src:hb_id ~dst:s_id in
-      if preds = [ hb_id ] && s_id <> cfg.Cfg.entry then Some Simple
-      else if is_header && not back_edge then
+      let hb = match hb with Some b -> b | None -> Cfg.block cfg hb_id in
+      if not (List.mem s_id (Block.distinct_successors hb)) then None
+      else if s_id = hb_id then
+        (* self back edge: unrolling *)
         if
           config.Policy.enable_head_dup
-          && counter st.peels_done s_id < config.Policy.max_peel
-          &&
-          (* trip-count-histogram gate: peel iteration k only when enough
-             entries run at least k iterations *)
-          (match Profile.trip_histogram st.profile s_id with
-          | [] -> true
-          | _ ->
-            Profile.trip_count_at_least st.profile s_id
-              (counter st.peels_done s_id + 1)
-            >= config.Policy.peel_coverage)
-        then Some Peel
+          && counter st.unrolls_done hb_id < config.Policy.max_unroll
+        then Some Unroll
         else None
-      else if
-        config.Policy.enable_tail_dup
-        && Block.size (Cfg.block cfg s_id) <= config.Policy.max_tail_dup_instrs
-      then Some Tail_dup
-      else None
+      else begin
+        let s_preds = preds st s_id in
+        let lp = loops st in
+        let is_header = Loops.is_loop_header lp s_id in
+        let back_edge = Loops.is_back_edge lp ~src:hb_id ~dst:s_id in
+        if s_preds = [ hb_id ] && s_id <> cfg.Cfg.entry then Some Simple
+        else if is_header && not back_edge then
+          if
+            config.Policy.enable_head_dup
+            && counter st.peels_done s_id < config.Policy.max_peel
+            &&
+            (* trip-count-histogram gate: peel iteration k only when enough
+               entries run at least k iterations *)
+            (match Profile.trip_histogram st.profile s_id with
+            | [] -> true
+            | _ ->
+              Profile.trip_count_at_least st.profile s_id
+                (counter st.peels_done s_id + 1)
+              >= config.Policy.peel_coverage)
+          then Some Peel
+          else None
+        else if
+          config.Policy.enable_tail_dup
+          && Block.size s_blk <= config.Policy.max_tail_dup_instrs
+        then Some Tail_dup
+        else None
+      end
     end
-  end
 
 (* ---- MergeBlocks ------------------------------------------------------- *)
+
+(* Is the saved body still usable — every target either the loop block
+   itself or still present? *)
+let saved_body_valid st hb_id (b : Block.t) =
+  List.for_all (fun t -> t = hb_id || Cfg.mem st.cfg t) (Block.successors b)
 
 (* The saved one-iteration body for unrolling [hb_id]; re-saved if stale
    (a target of the saved body has since been merged away). *)
 let body_for_unroll st hb_id =
-  let cfg = st.cfg in
-  let current = Cfg.block cfg hb_id in
-  let valid (b : Block.t) =
-    List.for_all
-      (fun t -> t = hb_id || Cfg.mem cfg t)
-      (Block.successors b)
-  in
+  let current = Cfg.block st.cfg hb_id in
   match Hashtbl.find_opt st.saved_bodies hb_id with
-  | Some b when valid b -> b
+  | Some b when saved_body_valid st hb_id b -> b
   | Some _ | None ->
     Hashtbl.replace st.saved_bodies hb_id current;
     current
+
+(* What [body_for_unroll] would return, without its re-save side effect:
+   the pre-filter must inspect the body before the trial's rollback
+   snapshot exists, so it must not mutate [saved_bodies]. *)
+let peek_body_for_unroll st hb_id =
+  match Hashtbl.find_opt st.saved_bodies hb_id with
+  | Some b when saved_body_valid st hb_id b -> b
+  | Some _ | None -> Cfg.block st.cfg hb_id
 
 type merge_outcome =
   | Success of Constraints.estimate
@@ -215,6 +368,43 @@ type merge_outcome =
 let chaos_combine_failure :
     (hb_id:int -> s_id:int -> kind:merge_kind -> bool) option ref =
   ref None
+
+(* Test-only soundness audit: when set, the pre-filter never shortcuts;
+   instead every attempt runs the full trial and the hook receives the
+   pre-filter lower bound alongside the true post-optimization estimate,
+   so tests can assert [bound <= estimate] fieldwise for every attempted
+   merge. *)
+let prefilter_audit :
+    (bound:Constraints.estimate -> est:Constraints.estimate -> unit) option ref
+    =
+  ref None
+
+(* Pre-filter floor for [b], cached in [tbl] under [id] and revalidated
+   by physical equality (blocks are immutable records, so the same
+   record means the same floor). *)
+let floor_in tbl id (b : Block.t) =
+  match Hashtbl.find_opt tbl id with
+  | Some (b0, f) when b0 == b -> f
+  | _ ->
+    let f = Constraints.block_floor b in
+    Hashtbl.replace tbl id (b, f);
+    f
+
+(* Additive lower bound on the merged estimate of [s_id] into [hb]
+   (DESIGN.md §12); [None] when neither the fast path nor the audit hook
+   wants it. *)
+let merge_bound st ~hb ~hb_id ~s_id ~kind =
+  if not (st.fast.prefilter || !prefilter_audit <> None) then None
+  else begin
+    let fh = floor_in st.floors hb_id hb in
+    let fs =
+      match kind with
+      | Unroll -> floor_in st.body_floors hb_id (peek_body_for_unroll st hb_id)
+      | Simple | Tail_dup | Peel ->
+        floor_in st.floors s_id (Cfg.block st.cfg s_id)
+    in
+    Some (Constraints.merge_lower_bound ~hb:fh ~s:fs)
+  end
 
 let zero_estimate =
   { Constraints.instrs = 0; loads_stores = 0; reads = 0; writes = 0 }
@@ -247,23 +437,47 @@ let emit_attempt st ~hb_id ~s_id ~depth ~prob ~classify ~outcome ~est ~msg =
       ]
   end
 
-let merge_blocks ?(depth = 0) ?(prob = 1.0) st ~hb_id ~s_id ~kind :
+let merge_blocks ?(depth = 0) ?(prob = 1.0) ?hb st ~hb_id ~s_id ~kind :
     merge_outcome =
   let cfg = st.cfg in
   let config = st.config in
   st.stats.attempts <- st.stats.attempts + 1;
-  let hb = Cfg.block cfg hb_id in
+  let hb = match hb with Some b -> b | None -> Cfg.block cfg hb_id in
+  let emit = emit_attempt st ~hb_id ~s_id ~depth ~prob ~classify:(kind_name kind) in
+  let bound = merge_bound st ~hb ~hb_id ~s_id ~kind in
+  match bound with
+  | Some b
+    when !prefilter_audit = None
+         && not
+              (Constraints.legal ~slack:config.Policy.slack config.Policy.limits
+                 b) ->
+    (* Constraint pre-filter: the lower bound already exceeds the limits,
+       and it never exceeds the true post-optimization estimate, so the
+       full trial (combine, install, liveness, optimize, rollback) could
+       only have ended in the same [Size_rejected].  Skip it without
+       touching the CFG.  The trace event is byte-identical to a trial
+       size reject — reject events always carry zero estimates — so the
+       fast path cannot be distinguished from the outside. *)
+    st.stats.size_rejections <- st.stats.size_rejections + 1;
+    st.perf.prefilter_hits <- st.perf.prefilter_hits + 1;
+    emit ~outcome:"size" ~est:zero_estimate ~msg:"";
+    Size_rejected b
+  | _ ->
   (* Snapshot everything a failed attempt must not leak: the saved unroll
-     body (body_for_unroll may re-save it below) and the fresh-id
-     counters (the trial allocates instruction/register/block ids that
-     die with the rollback; restoring the counters keeps a failed
-     attempt bit-for-bit invisible to later merges). *)
+     body (body_for_unroll may re-save it below), the fresh-id counters
+     (the trial allocates instruction/register/block ids that die with
+     the rollback; restoring the counters keeps a failed attempt
+     bit-for-bit invisible to later merges), and the edge version (a
+     rolled-back trial restores the exact pre-trial graph, so edge-keyed
+     caches stay valid across it). *)
   let saved_body_before =
     if kind = Unroll then Hashtbl.find_opt st.saved_bodies hb_id else None
   in
   let next_block0 = cfg.Cfg.next_block
   and next_instr0 = cfg.Cfg.next_instr
   and next_reg0 = cfg.Cfg.next_reg in
+  let edge_version0 = st.edge_version in
+  let live_cache0 = st.live_cache and live_dirty0 = st.live_dirty in
   let rollback_hidden_state () =
     if kind = Unroll then
       (match saved_body_before with
@@ -273,7 +487,17 @@ let merge_blocks ?(depth = 0) ?(prob = 1.0) st ~hb_id ~s_id ~kind :
     cfg.Cfg.next_instr <- next_instr0;
     cfg.Cfg.next_reg <- next_reg0
   in
-  let emit = emit_attempt st ~hb_id ~s_id ~depth ~prob ~classify:(kind_name kind) in
+  let restore_edge_version () =
+    st.edge_version <- edge_version0;
+    (* a forest or map computed *during* the trial must not be
+       revalidated at a reused version number *)
+    (match st.loops_cache with
+    | Some (k, _, _) when k > st.edge_version -> st.loops_cache <- None
+    | _ -> ());
+    match st.preds_cache with
+    | Some (k, _) when k > st.edge_version -> st.preds_cache <- None
+    | _ -> ()
+  in
   let s_for_merge, s_label =
     match kind with
     | Simple -> (Cfg.block cfg s_id, s_id)
@@ -302,25 +526,42 @@ let merge_blocks ?(depth = 0) ?(prob = 1.0) st ~hb_id ~s_id ~kind :
     emit ~outcome:"structural" ~est:zero_estimate ~msg;
     Structural_failure msg
   | Ok combined ->
-    (* install tentatively; saved state allows rollback *)
+    (* install tentatively; saved state allows rollback.  The merge
+       rewires the hyperblock's exits, and a Simple merge removes [s]. *)
     let old_s = if kind = Simple then Cfg.block_opt cfg s_id else None in
     Cfg.set_block cfg combined;
-    if kind = Simple then Cfg.remove_block cfg s_id;
-    touch st;
-    let live_out = Liveness.live_out (liveness st) hb_id in
+    if kind = Simple then begin
+      Cfg.remove_block cfg s_id;
+      touch_edges st [ hb_id; s_id ]
+    end
+    else touch_edges st [ hb_id ];
+    let trial_live_out () =
+      match live_out_local st hb_id with
+      | Some lo -> lo
+      | None -> Liveness.live_out (liveness st) hb_id
+    in
+    let live_out = trial_live_out () in
     let final =
       if config.Policy.iterate_opt then begin
         let b = Trips_opt.Optimizer.optimize_block cfg combined ~live_out in
         if b != combined then begin
           Cfg.set_block cfg b;
-          touch st
+          (* the exit simplifier may have pruned exits *)
+          if
+            Block.distinct_successors b
+            = Block.distinct_successors combined
+          then touch_body st [ hb_id ]
+          else touch_edges st [ hb_id ]
         end;
         b
       end
       else combined
     in
-    let live_out = Liveness.live_out (liveness st) hb_id in
+    let live_out = trial_live_out () in
     let est = Constraints.estimate final ~live_out in
+    (match (!prefilter_audit, bound) with
+    | Some f, Some b -> f ~bound:b ~est
+    | _ -> ());
     if Constraints.legal ~slack:config.Policy.slack config.Policy.limits est
     then begin
       st.stats.merges <- st.stats.merges + 1;
@@ -337,13 +578,26 @@ let merge_blocks ?(depth = 0) ?(prob = 1.0) st ~hb_id ~s_id ~kind :
       Success est
     end
     else begin
-      (* rollback *)
+      (* rollback: restore the exact pre-trial graph *)
       st.stats.size_rejections <- st.stats.size_rejections + 1;
       Cfg.set_block cfg hb;
       (match old_s with Some b -> Cfg.set_block cfg b | None -> ());
       rollback_hidden_state ();
-      touch st;
-      emit ~outcome:"size" ~est ~msg:"";
+      (if st.fast.incr_liveness then begin
+         (* the rolled-back graph is bit-identical to the pre-trial one,
+            so the pre-trial liveness solution and dirty set are exact
+            again; re-key them at a fresh version (a solution computed
+            against the trial graph must never be served) instead of
+            dirtying, so a failed trial costs no liveness work later *)
+         st.version <- st.version + 1;
+         st.live_cache <-
+           Option.map (fun (_, l) -> (st.version, l)) live_cache0;
+         st.live_dirty <- live_dirty0
+       end
+       else if kind = Simple then touch_body st [ hb_id; s_id ]
+       else touch_body st [ hb_id ]);
+      restore_edge_version ();
+      emit ~outcome:"size" ~est:zero_estimate ~msg:"";
       Size_rejected est
     end
 
@@ -362,56 +616,70 @@ let make_candidates st ~src ~targets ~depth ~prob =
       })
     targets
 
-(* Keep the most promising entry per block id. *)
-let add_candidates pool cands =
-  List.fold_left
-    (fun pool (c : Policy.candidate) ->
-      match List.find_opt (fun x -> x.Policy.block_id = c.Policy.block_id) pool with
-      | None -> c :: pool
-      | Some existing ->
-        if c.Policy.depth < existing.Policy.depth
-           || (c.Policy.depth = existing.Policy.depth
-              && c.Policy.prob > existing.Policy.prob)
-        then c :: List.filter (fun x -> x.Policy.block_id <> c.Policy.block_id) pool
-        else pool)
-    pool cands
-
 (** Grow the hyperblock seeded at [seed] until no candidate fits. *)
 let expand_block st seed =
   if Cfg.mem st.cfg seed then begin
-    let selector = Policy.make_selector st.config st.cfg st.profile ~seed in
+    let selector =
+      Policy.make_selector ~preds:(preds st) st.config st.cfg st.profile ~seed
+    in
+    let pool = Policy.Pool.create ~indexed:st.fast.cand_pool in
     let merge_budget = ref (4 * Cfg.num_blocks st.cfg + 64) in
     (* candidates rejected *only on size*, retried after later shrinks;
        structural (Cannot_combine) failures never enter this pool — a
        merge the combiner cannot express will not become expressible
        because the block shrank, and retrying it would melt the budget *)
     let retry = ref [] in
-    let emit_reject c ~classify ~outcome =
+    (* the seed's current block record, held across attempts: a failed
+       merge rolls the block back bit-for-bit, so only a success or a
+       split forces a refetch *)
+    let hb_cache = ref None in
+    let current_hb () =
+      match !hb_cache with
+      | Some b -> b
+      | None ->
+        let b = Cfg.block st.cfg seed in
+        hb_cache := Some b;
+        b
+    in
+    let emit_reject (c : Policy.candidate) ~classify ~outcome =
       emit_attempt st ~hb_id:seed ~s_id:c.Policy.block_id
         ~depth:c.Policy.depth ~prob:c.Policy.prob ~classify ~outcome
         ~est:zero_estimate ~msg:""
     in
-    let rec drain pool ~progress =
-      let choice, pool = selector.Policy.select pool in
-      match choice with
+    (* Budget exhaustion: every candidate still waiting — the one just
+       selected, the remaining pool (canonical block-id order) and the
+       size-retry list (chronological) — gets its own [budget] event, so
+       the trace stays a complete account of every candidacy and the
+       trace==stats identity holds when the budget trips. *)
+    let drain_budget c =
+      emit_reject c ~classify:"none" ~outcome:"budget";
+      List.iter
+        (fun c -> emit_reject c ~classify:"none" ~outcome:"budget")
+        (Policy.Pool.to_sorted_list pool);
+      List.iter
+        (fun c -> emit_reject c ~classify:"none" ~outcome:"budget")
+        (List.rev !retry);
+      retry := []
+    in
+    let rec drain ~progress =
+      match selector.Policy.select pool with
       | None ->
         (* convergence retry: size-failed candidates get another chance
            once something else was merged (the block may have shrunk) *)
         if progress && !retry <> [] then begin
-          let pool = add_candidates pool !retry in
+          Policy.Pool.add_list pool !retry;
           retry := [];
-          drain pool ~progress:false
+          drain ~progress:false
         end
       | Some c ->
-        if !merge_budget <= 0 then
-          emit_reject c ~classify:"none" ~outcome:"budget"
+        if !merge_budget <= 0 then drain_budget c
         else begin
           decr merge_budget;
           let s_id = c.Policy.block_id in
-          match classify st ~hb_id:seed ~s_id with
+          match classify ~hb:(current_hb ()) st ~hb_id:seed ~s_id with
           | None ->
             emit_reject c ~classify:"none" ~outcome:"policy";
-            drain pool ~progress
+            drain ~progress
           | Some kind -> (
             (* snapshot the merged-in block's own successors before the
                merge folds them into the seed's exit list *)
@@ -419,18 +687,18 @@ let expand_block st seed =
               Block.distinct_successors (Cfg.block st.cfg s_id)
             in
             match
-              merge_blocks ~depth:c.Policy.depth ~prob:c.Policy.prob st
-                ~hb_id:seed ~s_id ~kind
+              merge_blocks ~depth:c.Policy.depth ~prob:c.Policy.prob
+                ~hb:(current_hb ()) st ~hb_id:seed ~s_id ~kind
             with
             | Success _ ->
-              let new_cands =
-                make_candidates st ~src:s_id ~targets:merged_succs
-                  ~depth:(c.Policy.depth + 1) ~prob:c.Policy.prob
-              in
-              drain (add_candidates pool new_cands) ~progress:true
+              hb_cache := None;
+              make_candidates st ~src:s_id ~targets:merged_succs
+                ~depth:(c.Policy.depth + 1) ~prob:c.Policy.prob
+              |> Policy.Pool.add_list pool;
+              drain ~progress:true
             | Structural_failure _ ->
               (* dropped: not retried, not split *)
-              drain pool ~progress
+              drain ~progress
             | Size_rejected _ ->
               (* Section 9 extension: a unique-predecessor candidate that
                  only failed on size can be split so its first half still
@@ -441,26 +709,26 @@ let expand_block st seed =
                 && Block.size (Cfg.block st.cfg s_id) >= 8
               then begin
                 match Trips_transform.Split.split_block st.cfg s_id with
-                | Some _ ->
+                | Some new_id ->
                   st.stats.block_splits <- st.stats.block_splits + 1;
-                  touch st;
-                  drain (add_candidates pool [ c ]) ~progress:true
+                  touch_edges st [ s_id; new_id ];
+                  Policy.Pool.add pool c;
+                  drain ~progress:true
                 | None ->
                   retry := c :: !retry;
-                  drain pool ~progress
+                  drain ~progress
               end
               else begin
                 retry := c :: !retry;
-                drain pool ~progress
+                drain ~progress
               end)
         end
     in
-    let initial =
-      make_candidates st ~src:seed
-        ~targets:(Block.distinct_successors (Cfg.block st.cfg seed))
-        ~depth:1 ~prob:1.0
-    in
-    drain (add_candidates [] initial) ~progress:false
+    make_candidates st ~src:seed
+      ~targets:(Block.distinct_successors (Cfg.block st.cfg seed))
+      ~depth:1 ~prob:1.0
+    |> Policy.Pool.add_list pool;
+    drain ~progress:false
   end
 
 (** Run hyperblock formation over the whole function: expand every block,
@@ -474,8 +742,24 @@ let expand_block st seed =
 let run config cfg profile : stats =
   let st = make config cfg profile in
   let rec loop () =
+    (* seed boundary: pruning can delete arbitrarily many blocks.  The
+       incremental paths carry their caches across seeds by touching
+       exactly the pruned blocks — in the common case nothing is pruned
+       and every cache stays valid — while the hatched paths restart
+       from scratch the way the historical code did. *)
+    let before = Cfg.block_ids cfg in
     Order.prune_unreachable cfg;
-    st.version <- st.version + 1;
+    (match List.filter (fun id -> not (Cfg.mem cfg id)) before with
+    | [] -> ()
+    | removed -> touch_edges st removed);
+    if not st.fast.incr_liveness then begin
+      st.live_cache <- None;
+      st.live_dirty <- IntSet.empty
+    end;
+    if not st.fast.loop_reuse then begin
+      st.version <- st.version + 1;
+      st.edge_version <- st.edge_version + 1
+    end;
     let rpo = Order.reverse_postorder cfg in
     let order =
       List.mapi (fun idx id -> (id, idx)) rpo
@@ -499,4 +783,8 @@ let run config cfg profile : stats =
   Order.prune_unreachable cfg;
   Cfg.validate cfg;
   publish_metrics st.stats;
+  let open Trips_obs in
+  Metrics.incr ~by:st.perf.prefilter_hits "formation.prefilter.hits";
+  Metrics.incr ~by:st.perf.live_incremental "formation.liveness.incremental";
+  Metrics.incr ~by:st.perf.loops_reuse "formation.loops.reuse";
   st.stats

@@ -47,6 +47,28 @@ type merge_kind = Simple | Unroll | Peel | Tail_dup
 val kind_name : merge_kind -> string
 (** Lower-case stable name used in trace events. *)
 
+type fast_paths = {
+  prefilter : bool;  (** constraint lower-bound pre-filter *)
+  incr_liveness : bool;  (** [Liveness.update] instead of full compute *)
+  loop_reuse : bool;
+      (** loop forest / predecessor map keyed by edge version *)
+  cand_pool : bool;  (** indexed candidate pool *)
+}
+(** Which formation fast paths are enabled; each is read at {!make} from
+    its own [TRIPS_NO_PREFILTER] / [TRIPS_NO_INCR_LIVENESS] /
+    [TRIPS_NO_LOOP_REUSE] / [TRIPS_NO_CAND_POOL] escape hatch (any
+    non-empty value disables).  All four are output-invariant: traces,
+    stats and the final CFG are byte-identical either way. *)
+
+type perf_counters = {
+  mutable prefilter_hits : int;
+  mutable live_incremental : int;
+  mutable loops_reuse : int;
+}
+(** How often each fast path fired; exported by {!run} as the
+    [formation.prefilter.hits], [formation.liveness.incremental] and
+    [formation.loops.reuse] metrics. *)
+
 type state = {
   cfg : Cfg.t;
   profile : Profile.t;
@@ -56,18 +78,28 @@ type state = {
   saved_bodies : (int, Block.t) Hashtbl.t;
   peels_done : (int, int) Hashtbl.t;
   unrolls_done : (int, int) Hashtbl.t;
-  mutable version : int;
-  mutable loops_cache : (int * Trips_analysis.Loops.t) option;
+  mutable version : int;  (** bumped on every CFG change *)
+  mutable edge_version : int;
+      (** bumped only when a successor list may have changed *)
+  mutable loops_cache : (int * int * Trips_analysis.Loops.t) option;
+  mutable preds_cache : (int * IntSet.t IntMap.t) option;
   mutable live_cache : (int * Trips_analysis.Liveness.t) option;
+  mutable live_dirty : IntSet.t;
+      (** blocks edited since [live_cache] was solved *)
   live_gk : Trips_analysis.Liveness.gk_cache option;
       (** gen/kill memo reused across liveness recomputations; [None] when
           disabled via the [TRIPS_NO_LIVENESS_MEMO] environment variable *)
+  floors : (int, Block.t * Constraints.floor) Hashtbl.t;
+  body_floors : (int, Block.t * Constraints.floor) Hashtbl.t;
+  fast : fast_paths;
+  perf : perf_counters;
 }
 
 val make : Policy.config -> Cfg.t -> Profile.t -> state
 
-val classify : state -> hb_id:int -> s_id:int -> merge_kind option
-(** [LegalMerge] plus the Figure 5 case split; [None] rejects the merge. *)
+val classify : ?hb:Block.t -> state -> hb_id:int -> s_id:int -> merge_kind option
+(** [LegalMerge] plus the Figure 5 case split; [None] rejects the merge.
+    [hb] may pass the already-fetched hyperblock record. *)
 
 type merge_outcome =
   | Success of Constraints.estimate
@@ -85,19 +117,30 @@ val chaos_combine_failure :
     exercising the structural-failure rollback paths.  Reset to [None]
     after use. *)
 
+val prefilter_audit :
+  (bound:Constraints.estimate -> est:Constraints.estimate -> unit) option ref
+(** Test-only soundness audit: when set, the constraint pre-filter never
+    shortcuts; every attempt runs the full trial and the hook receives
+    the pre-filter lower bound alongside the true post-optimization
+    estimate, so tests can assert [bound <= est] fieldwise for every
+    attempted merge.  Reset to [None] after use. *)
+
 val merge_blocks :
   ?depth:int ->
   ?prob:float ->
+  ?hb:Block.t ->
   state ->
   hb_id:int ->
   s_id:int ->
   kind:merge_kind ->
   merge_outcome
-(** [MergeBlocks]: trial-merge, optionally optimize, constraint-check;
-    commits on success and rolls back on failure — including the saved
+(** [MergeBlocks]: pre-filter against the additive size lower bound,
+    then trial-merge, optionally optimize, constraint-check; commits on
+    success and rolls back on failure — including the saved
     one-iteration body and the CFG's fresh-id counters, so a failed
     attempt leaves no hidden state behind.  [depth]/[prob] only annotate
-    the trace event. *)
+    the trace event; [hb] may pass the already-fetched hyperblock
+    record. *)
 
 val expand_block : state -> int -> unit
 (** [ExpandBlock]: grow the hyperblock seeded at a block until no

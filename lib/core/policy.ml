@@ -161,19 +161,86 @@ let vliw_prepass params cfg profile ~seed =
       { included = IntSet.empty; rank = IntMap.empty }
       scored
 
+(* ---- candidate pool --------------------------------------------------- *)
+
+module Pool = struct
+  (* The candidate pool keeps the most promising entry per block id.
+     Indexed mode backs it with a [Hashtbl] keyed by block id, so insert
+     and replace are O(1) instead of the historical O(n) list scan (O(n²)
+     per expansion); Listed mode replicates that list pool exactly and
+     backs the [TRIPS_NO_CAND_POOL] escape hatch.  Selection never
+     depends on container iteration order: every selector comparator is a
+     strict total order (block-id tie-break), so the fold-based maximum —
+     and therefore traces — are identical in both modes and across
+     [--jobs] settings. *)
+  type t =
+    | Indexed of (int, candidate) Hashtbl.t
+    | Listed of candidate list ref
+
+  let create ~indexed : t =
+    if indexed then Indexed (Hashtbl.create 64) else Listed (ref [])
+
+  (* Keep-best rule: strictly shallower, or same depth and strictly more
+     probable, replaces; ties keep the incumbent. *)
+  let better_entry (c : candidate) (old : candidate) =
+    c.depth < old.depth || (c.depth = old.depth && c.prob > old.prob)
+
+  let add t (c : candidate) =
+    match t with
+    | Indexed h -> (
+      match Hashtbl.find_opt h c.block_id with
+      | None -> Hashtbl.replace h c.block_id c
+      | Some old -> if better_entry c old then Hashtbl.replace h c.block_id c)
+    | Listed l -> (
+      match List.find_opt (fun x -> x.block_id = c.block_id) !l with
+      | None -> l := c :: !l
+      | Some old ->
+        if better_entry c old then
+          l := c :: List.filter (fun x -> x.block_id <> c.block_id) !l)
+
+  let add_list t cs = List.iter (add t) cs
+
+  let remove t id =
+    match t with
+    | Indexed h -> Hashtbl.remove h id
+    | Listed l -> l := List.filter (fun x -> x.block_id <> id) !l
+
+  (** Drop every candidate failing [p] (selector vetoes are permanent). *)
+  let retain t p =
+    match t with
+    | Indexed h ->
+      Hashtbl.filter_map_inplace (fun _ c -> if p c then Some c else None) h
+    | Listed l -> l := List.filter p !l
+
+  let fold t f acc =
+    match t with
+    | Indexed h -> Hashtbl.fold (fun _ c acc -> f acc c) h acc
+    | Listed l -> List.fold_left f acc !l
+
+  (** Remaining candidates in ascending block-id order — the canonical
+      deterministic drain order for budget-exhaustion trace events. *)
+  let to_sorted_list t =
+    fold t (fun acc c -> c :: acc) []
+    |> List.sort (fun a b -> compare a.block_id b.block_id)
+end
+
 (* ---- selection -------------------------------------------------------- *)
 
 type selector = {
-  (* Pick the next candidate to merge.  Returns the choice and the
-     remaining pool (vetoed candidates are dropped from the pool). *)
-  select : candidate list -> candidate option * candidate list;
+  (* Pick the next candidate to merge, removing it from the pool; also
+     drops vetoed candidates from the pool permanently. *)
+  select : Pool.t -> candidate option;
 }
 
-let remove c = List.filter (fun x -> x.block_id <> c.block_id)
-
-let pick_best better = function
-  | [] -> None
-  | c :: cs -> Some (List.fold_left (fun a b -> if better b a then b else a) c cs)
+(* Maximum of the pool under a *strict total order* [better]: with the
+   block-id tie-break the result is independent of fold order. *)
+let pick_best better pool =
+  Pool.fold pool
+    (fun acc c ->
+      match acc with
+      | None -> Some c
+      | Some best -> if better c best then Some c else acc)
+    None
 
 (* Deterministic lexicographic comparisons. *)
 let bf_better a b =
@@ -186,9 +253,23 @@ let df_better a b =
   || (a.depth = b.depth
      && (a.prob > b.prob || (a.prob = b.prob && a.block_id < b.block_id)))
 
+let take better pool =
+  match pick_best better pool with
+  | Some c ->
+    Pool.remove pool c.block_id;
+    Some c
+  | None -> None
+
 (** Build the selection function for one [ExpandBlock] run rooted at
-    [seed].  The VLIW heuristic performs its path analysis here. *)
-let make_selector config cfg profile ~seed : selector =
+    [seed].  The VLIW heuristic performs its path analysis here.
+    [preds] supplies a block's predecessor list (same contents as
+    {!Cfg.predecessors}); formation passes its edge-versioned cached map
+    so the breadth-first duplication check stops rebuilding the full
+    predecessor map per candidate. *)
+let make_selector ?preds config cfg profile ~seed : selector =
+  let preds =
+    match preds with Some f -> f | None -> fun id -> Cfg.predecessors cfg id
+  in
   match config.heuristic with
   | Breadth_first ->
     (* Breadth-first "merges all paths": among same-depth candidates it
@@ -197,28 +278,20 @@ let make_selector config cfg profile ~seed : selector =
        *after* the arms that reach it and needs no tail duplication —
        and its entry predicate collapses to constant true. *)
     let needs_dup (c : candidate) =
-      c.block_id = seed || Cfg.predecessors cfg c.block_id <> [ seed ]
+      c.block_id = seed || preds c.block_id <> [ seed ]
     in
     let bf_dup_better a b =
       let da = needs_dup a and db = needs_dup b in
       if da <> db then db  (* the no-duplication candidate wins *)
       else bf_better a b
     in
-    {
-      select =
-        (fun pool ->
-          match pick_best bf_dup_better pool with
-          | Some c -> (Some c, remove c pool)
-          | None -> (None, pool));
-    }
+    { select = (fun pool -> take bf_dup_better pool) }
   | Depth_first { min_merge_prob } ->
     {
       select =
         (fun pool ->
-          let pool = List.filter (fun c -> c.prob >= min_merge_prob) pool in
-          match pick_best df_better pool with
-          | Some c -> (Some c, remove c pool)
-          | None -> (None, pool));
+          Pool.retain pool (fun c -> c.prob >= min_merge_prob);
+          take df_better pool);
     }
   | Vliw params ->
     let pre = vliw_prepass params cfg profile ~seed in
@@ -230,10 +303,6 @@ let make_selector config cfg profile ~seed : selector =
     {
       select =
         (fun pool ->
-          let pool =
-            List.filter (fun c -> IntSet.mem c.block_id pre.included) pool
-          in
-          match pick_best vliw_better pool with
-          | Some c -> (Some c, remove c pool)
-          | None -> (None, pool));
+          Pool.retain pool (fun c -> IntSet.mem c.block_id pre.included);
+          take vliw_better pool);
     }

@@ -57,12 +57,51 @@ type candidate = {
   prob : float;  (** estimated path probability from the seed *)
 }
 
+(** Candidate pool keeping the most promising entry per block id.
+    Indexed mode ([create ~indexed:true]) is Hashtbl-backed with O(1)
+    insert/replace; Listed mode replicates the historical O(n) list pool
+    and backs the [TRIPS_NO_CAND_POOL] escape hatch.  Selector decisions
+    never depend on container iteration order (all comparators are
+    strict total orders with a block-id tie-break), so traces are
+    identical in both modes and across [--jobs] settings. *)
+module Pool : sig
+  type t
+
+  val create : indexed:bool -> t
+
+  val add : t -> candidate -> unit
+  (** Keep the better of the existing and new entry for the block id:
+      strictly shallower, or same depth and strictly more probable,
+      replaces; ties keep the incumbent. *)
+
+  val add_list : t -> candidate list -> unit
+  val remove : t -> int -> unit
+
+  val retain : t -> (candidate -> bool) -> unit
+  (** Drop every candidate failing the predicate. *)
+
+  val fold : t -> ('a -> candidate -> 'a) -> 'a -> 'a
+
+  val to_sorted_list : t -> candidate list
+  (** Remaining candidates in ascending block-id order — the canonical
+      deterministic drain order for budget-exhaustion trace events. *)
+end
+
 type selector = {
-  select : candidate list -> candidate option * candidate list;
-      (** Pick the next candidate; returns the choice and the remaining
-          pool (vetoed candidates are dropped). *)
+  select : Pool.t -> candidate option;
+      (** Pick the next candidate to merge, removing it from the pool;
+          vetoed candidates are dropped from the pool permanently. *)
 }
 
-val make_selector : config -> Cfg.t -> Profile.t -> seed:int -> selector
+val make_selector :
+  ?preds:(int -> int list) ->
+  config ->
+  Cfg.t ->
+  Profile.t ->
+  seed:int ->
+  selector
 (** Build the selection function for one ExpandBlock run; the VLIW
-    heuristic performs its path analysis here. *)
+    heuristic performs its path analysis here.  [preds] supplies a
+    block's predecessor list (defaults to {!Cfg.predecessors}, which
+    rebuilds the whole predecessor map per call — formation passes its
+    edge-versioned cached map instead). *)

@@ -287,6 +287,154 @@ let liveness_upper_bounded_by_classic =
              IntSet.subset (Liveness.live_in live id) classic)
            (Order.postorder cfg)))
 
+(* ---- incremental liveness ---------------------------------------------- *)
+
+(* Random CFG, then a random sequence of edits shaped like the ones
+   formation performs: body rewrites, exit retargets, spliced-in fresh
+   blocks, and simple merges that delete the absorbed successor.  After
+   every edit, [Liveness.update] seeded with the pre-edit solution must
+   agree block-for-block with a fresh [compute] on the edited graph —
+   the update is exact, not approximate. *)
+let incremental_edit_gen =
+  QCheck2.Gen.(
+    let* spec = Generators.random_cfg_gen in
+    let* edits = list_repeat 24 (int_bound 100_000) in
+    return (spec, edits))
+
+(* Applies one edit; returns the touched block ids ([] for a no-op). *)
+let apply_random_edit cfg pick =
+  let ids = Order.postorder cfg in
+  let n = List.length ids in
+  let k = List.nth ids (pick n) in
+  let b = Cfg.block cfg k in
+  let append_store () =
+    let i =
+      Cfg.instr cfg (Instr.Store (Instr.Reg (1 + pick 8), Instr.Imm 0, 0))
+    in
+    Cfg.set_block cfg { b with Block.instrs = b.Block.instrs @ [ i ] };
+    [ k ]
+  in
+  match pick 5 with
+  | 0 -> append_store ()
+  | 1 ->
+    (* an unconditional definition kills the register at the block top *)
+    let i = Cfg.instr cfg (Instr.Mov (1 + pick 8, Instr.Imm 3)) in
+    Cfg.set_block cfg { b with Block.instrs = i :: b.Block.instrs };
+    [ k ]
+  | 2 ->
+    (* retarget the first Goto exit to another existing block (may
+       orphan blocks — update must not care about unreachable ones) *)
+    let tgt = List.nth ids (pick n) in
+    let replaced = ref false in
+    let exits =
+      List.map
+        (fun e ->
+          match e.Block.target with
+          | Block.Goto _ when not !replaced ->
+            replaced := true;
+            { e with Block.target = Block.Goto tgt }
+          | _ -> e)
+        b.Block.exits
+    in
+    if !replaced then begin
+      Cfg.set_block cfg { b with Block.exits };
+      [ k ]
+    end
+    else []
+  | 3 -> (
+    (* splice a fresh empty forwarding block into the first Goto edge:
+       exercises the added-block path *)
+    let goto_tgt =
+      List.find_map
+        (fun e ->
+          match e.Block.target with Block.Goto t -> Some t | _ -> None)
+        b.Block.exits
+    in
+    match goto_tgt with
+    | None -> []
+    | Some t ->
+      let nb = Cfg.fresh_block_id cfg in
+      Cfg.set_block cfg
+        (Block.make nb [] [ { Block.eguard = None; target = Block.Goto t } ]);
+      let replaced = ref false in
+      let exits =
+        List.map
+          (fun e ->
+            match e.Block.target with
+            | Block.Goto t' when t' = t && not !replaced ->
+              replaced := true;
+              { e with Block.target = Block.Goto nb }
+            | _ -> e)
+          b.Block.exits
+      in
+      Cfg.set_block cfg { b with Block.exits };
+      [ k; nb ])
+  | _ -> (
+    (* simple merge: absorb a unique successor with a unique
+       predecessor, deleting it — the removed-block path *)
+    let preds = Cfg.predecessor_map cfg in
+    let candidate =
+      List.find_map
+        (fun k ->
+          let b = Cfg.block cfg k in
+          match b.Block.exits with
+          | [ { Block.eguard = None; target = Block.Goto t } ]
+            when t <> k
+                 && t <> cfg.Cfg.entry
+                 && IntSet.equal
+                      (IntMap.find_or ~default:IntSet.empty t preds)
+                      (IntSet.singleton k) ->
+            Some (k, t)
+          | _ -> None)
+        ids
+    in
+    match candidate with
+    | None -> append_store ()
+    | Some (k, t) ->
+      let bk = Cfg.block cfg k and bt = Cfg.block cfg t in
+      Cfg.set_block cfg
+        {
+          bk with
+          Block.instrs = bk.Block.instrs @ bt.Block.instrs;
+          exits = bt.Block.exits;
+        };
+      Cfg.remove_block cfg t;
+      [ k; t ])
+
+let incremental_liveness_matches_full =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"CHK incremental liveness update equals full recompute"
+       ~count:120 incremental_edit_gen (fun (spec, edits) ->
+         let cfg = Generators.build_random_cfg spec in
+         let pick =
+           let cells = ref edits in
+           fun bound ->
+             match !cells with
+             | [] -> 0
+             | c :: rest ->
+               cells := rest;
+               c mod bound
+         in
+         let cache = Liveness.gk_cache () in
+         let live = ref (Liveness.compute ~cache cfg) in
+         let ok = ref true in
+         for _ = 1 to 5 do
+           let touched = apply_random_edit cfg pick in
+           live := Liveness.update ~cache !live cfg ~touched;
+           let full = Liveness.compute cfg in
+           ok :=
+             !ok
+             && List.for_all
+                  (fun id ->
+                    IntSet.equal (Liveness.live_in !live id)
+                      (Liveness.live_in full id)
+                    && IntSet.equal (Liveness.live_out !live id)
+                         (Liveness.live_out full id))
+                  (Order.postorder cfg)
+         done;
+         !ok))
+
 let suite =
   ( "analysis",
     [
@@ -305,4 +453,5 @@ let suite =
         test_refined_liveness_soft;
       Alcotest.test_case "weak guard exposes" `Quick test_hard_exposure_on_weak_guard;
       liveness_upper_bounded_by_classic;
+      incremental_liveness_matches_full;
     ] )

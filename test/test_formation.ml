@@ -227,6 +227,83 @@ let test_block_splitting_extension () =
           (stats.Chf.Formation.block_splits > 0))
     [ ("nosplit", base); ("split", with_split) ]
 
+(* ---- fast-path equivalence --------------------------------------------- *)
+
+let fast_path_hatches =
+  [
+    "TRIPS_NO_PREFILTER";
+    "TRIPS_NO_INCR_LIVENESS";
+    "TRIPS_NO_LOOP_REUSE";
+    "TRIPS_NO_CAND_POOL";
+  ]
+
+(* Run formation on a workload and capture everything observable: the
+   final CFG (entry + every block record), the statistics, and the full
+   sorted trace rendered to JSON. *)
+let form_traced w =
+  let profile, _ = Trips_harness.Pipeline.profile_workload w in
+  let cfg, _ = Trips_harness.Pipeline.lower_workload w in
+  Trips_opt.Optimizer.optimize_cfg cfg;
+  let _ = Trips_obs.Trace.stop () in
+  Trips_obs.Trace.start ();
+  let stats = Chf.Formation.run Chf.Policy.edge_default cfg profile in
+  let trace = List.map Trips_obs.Trace.to_json (Trips_obs.Trace.stop ()) in
+  let blocks =
+    List.map (Cfg.block cfg) (List.sort compare (Cfg.block_ids cfg))
+  in
+  ((cfg.Cfg.entry, blocks), stats, trace)
+
+(* The contract every fast path must honor (DESIGN.md §12): with the
+   pre-filter, incremental liveness, loop-forest reuse and the indexed
+   pool all enabled, the final CFG, the statistics and the byte-rendered
+   trace are identical to a run with every escape hatch engaged — the
+   fast paths are pure strength reductions, never behavior changes. *)
+let fast_paths_are_output_invariant =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"CHK fast paths are output-invariant (random programs)" ~count:20
+       ~print:Generators.print_workload Generators.random_program_gen
+       (fun w ->
+         let with_hatches v f =
+           List.iter (fun h -> Unix.putenv h v) fast_path_hatches;
+           Fun.protect
+             ~finally:(fun () ->
+               List.iter (fun h -> Unix.putenv h "") fast_path_hatches)
+             f
+         in
+         let fast = with_hatches "" (fun () -> form_traced w) in
+         let slow = with_hatches "1" (fun () -> form_traced w) in
+         fast = slow))
+
+(* The pre-filter's additive lower bound must never exceed the true
+   post-optimization estimate: the audit hook forces every attempt down
+   the full trial path and hands the test both numbers, over kernels
+   covering stores, loops, unrolling, peeling and tail duplication. *)
+let test_prefilter_bound_is_sound () =
+  let fired = ref 0 in
+  Chf.Formation.prefilter_audit :=
+    Some
+      (fun ~bound ~est ->
+        incr fired;
+        let open Chf.Constraints in
+        if
+          not
+            (bound.instrs <= est.instrs
+            && bound.loads_stores <= est.loads_stores
+            && bound.reads <= est.reads
+            && bound.writes <= est.writes)
+        then
+          Alcotest.failf "prefilter bound exceeds true estimate: %a > %a"
+            pp_estimate bound pp_estimate est);
+  Fun.protect
+    ~finally:(fun () -> Chf.Formation.prefilter_audit := None)
+    (fun () ->
+      List.iter
+        (fun name -> ignore (form name Chf.Policy.edge_default))
+        [ "sieve"; "gzip_1"; "bzip2_3"; "ammp_1"; "matrix_1"; "parser_1";
+          "dhry"; "vadd" ]);
+  check Alcotest.bool "audit hook fired" true (!fired > 0)
+
 (* ---- rollback of hidden state ------------------------------------------ *)
 
 (* Regression for a trial-merge rollback gap: when a *failed* unroll was
@@ -340,4 +417,7 @@ let suite =
       formation_keeps_exit_invariant;
       Alcotest.test_case "peel gated by trips" `Quick test_peel_gated_by_trip_counts;
       Alcotest.test_case "unroll capped" `Quick test_unroll_capped;
+      fast_paths_are_output_invariant;
+      Alcotest.test_case "prefilter bound is sound" `Quick
+        test_prefilter_bound_is_sound;
     ] )

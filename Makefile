@@ -2,8 +2,8 @@
 
 CHAOS_SEED ?= 42
 
-.PHONY: all build test chaos trace-check equiv-check check bench \
-	bench-formation bench-all clean
+.PHONY: all build test chaos trace-check equiv-check report-check \
+	bench-diff check bench bench-formation bench-all clean
 
 all: build
 
@@ -34,7 +34,26 @@ trace-check: build
 equiv-check: build
 	dune exec test/test_main.exe -- test formation
 
-check: build test chaos trace-check equiv-check
+# Report determinism: the per-block utilization report on two fixed
+# workloads must be byte-identical under -j 1 and -j 4 (the cycle model
+# has no wall clock, so the golden is machine-independent too).
+report-check: build
+	dune exec bin/chfc.exe -- report -w sieve -w gzip_1 -j 1 --out _build/report-j1.txt
+	dune exec bin/chfc.exe -- report -w sieve -w gzip_1 -j 4 --out _build/report-j4.txt
+	cmp _build/report-j1.txt _build/report-j4.txt
+	cmp _build/report-j1.txt test/golden/report_check.txt
+	@echo "report-check: reports identical across -j 1 / -j 4 and match the golden"
+
+# Fresh formation bench vs the committed BENCH_formation.json baseline.
+# Warn-only: wall clocks vary across machines; counters that collapse to
+# zero or outputs that diverge are called out.  The fresh run writes to
+# _build/bench so the committed baseline is never clobbered.
+bench-diff: build
+	mkdir -p _build/bench
+	TRIPS_BENCH_DIR=_build/bench dune exec bench/main.exe -- formation > /dev/null
+	dune exec tools/bench_diff.exe -- BENCH_formation.json _build/bench/BENCH_formation.json
+
+check: build test chaos trace-check equiv-check report-check bench-diff
 
 # Full-sweep benchmark of the staged engine (writes BENCH_sweep.json).
 bench: build

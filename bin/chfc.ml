@@ -65,6 +65,30 @@ let trace_arg =
            their (cell, seq) coordinate, so the stream is identical for \
            every $(b,--jobs) setting.")
 
+let chrome_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome-trace" ] ~docv:"FILE"
+        ~doc:
+          "Record stage spans and decision events with wall-clock \
+           timestamps and write them to $(docv) in Chrome trace-event \
+           format (open in chrome://tracing or Perfetto).  Unlike \
+           $(b,--trace), the output carries real timings and is not \
+           deterministic across runs.")
+
+let no_provenance_arg =
+  Arg.(
+    value & flag
+    & info [ "no-provenance" ]
+        ~doc:
+          "Disable lineage tagging (the provenance layer behind `chfc \
+           report`).  Compiled output is byte-identical either way; the \
+           switch exists to prove that and to shave the tagging cost.")
+
+let apply_provenance no_provenance =
+  if no_provenance then Trips_ir.Lineage.set_enabled false
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -86,24 +110,35 @@ let write_text_file path content =
   close_out oc
 
 (* Wrap a command body in trace/metrics capture.  Tracing is off unless
-   [--trace] was given, so untraced runs pay one atomic load per
-   would-be event. *)
-let with_obs trace metrics metrics_json f =
+   [--trace] or [--chrome-trace] was given, so untraced runs pay one
+   atomic load per would-be event.  Spans (wall-clock stage timings) are
+   collected only for [--chrome-trace]: mixing them into the [--trace]
+   JSONL stream would break its cross-run determinism. *)
+let with_obs trace chrome metrics metrics_json f =
   Trips_obs.Metrics.reset ();
-  if trace <> None then Trips_obs.Trace.start ();
+  let tracing = trace <> None || chrome <> None in
+  if tracing then Trips_obs.Trace.start ~spans:(chrome <> None) ();
   let finish_trace () =
-    match trace with
-    | None -> ()
-    | Some path ->
+    if tracing then begin
       let evs = Trips_obs.Trace.stop () in
-      let buf = Buffer.create 4096 in
-      List.iter
-        (fun ev ->
-          Buffer.add_string buf (Trips_obs.Trace.to_json ev);
-          Buffer.add_char buf '\n')
-        evs;
-      write_text_file path (Buffer.contents buf);
-      Fmt.pr "trace: %d event(s) written to %s@." (List.length evs) path
+      (match trace with
+      | None -> ()
+      | Some path ->
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun ev ->
+            Buffer.add_string buf (Trips_obs.Trace.to_json ev);
+            Buffer.add_char buf '\n')
+          evs;
+        write_text_file path (Buffer.contents buf);
+        Fmt.pr "trace: %d event(s) written to %s@." (List.length evs) path);
+      match chrome with
+      | None -> ()
+      | Some path ->
+        write_text_file path (Trips_obs.Trace.to_chrome_json evs ^ "\n");
+        Fmt.pr "chrome trace: %d event(s) written to %s@." (List.length evs)
+          path
+    end
   in
   match f () with
   | v ->
@@ -115,7 +150,7 @@ let with_obs trace metrics metrics_json f =
     | None -> ());
     v
   | exception e ->
-    if trace <> None then ignore (Trips_obs.Trace.stop ());
+    if tracing then ignore (Trips_obs.Trace.stop ());
     raise e
 
 (* ---- list ------------------------------------------------------------- *)
@@ -127,6 +162,10 @@ let list_cmd =
     List.iter
       (fun w -> Fmt.pr "  %-16s %s@." w.Workload.name w.Workload.description)
       Micro.all;
+    Fmt.pr "@.store-dense stress kernels (bench formation, pre-filter):@.";
+    List.iter
+      (fun w -> Fmt.pr "  %-16s %s@." w.Workload.name w.Workload.description)
+      Micro.store_dense;
     Fmt.pr "@.SPEC-like programs (Table 3):@.";
     List.iter (fun w -> Fmt.pr "  %s@." w.Workload.name) Spec_like.all
   in
@@ -196,7 +235,7 @@ let compile_workload_report w ordering config dump backend verify emit_asm
     exit 1
 
 let compile_run name ordering policy dump backend verify emit_asm emit_dot
-    trace metrics metrics_json =
+    no_provenance trace chrome metrics metrics_json =
   match
     (find_workload name, ordering_of_string ordering, policy_of_string policy)
   with
@@ -204,14 +243,15 @@ let compile_run name ordering policy dump backend verify emit_asm emit_dot
     Fmt.epr "chfc: %s@." m;
     exit 2
   | Ok w, Ok ordering, Ok config ->
-    with_obs trace metrics metrics_json (fun () ->
+    apply_provenance no_provenance;
+    with_obs trace chrome metrics metrics_json (fun () ->
         compile_workload_report w ordering config dump backend verify emit_asm
           emit_dot)
 
 (* compile a kernel from a source file; parameters default to 0 unless
    given as name=value *)
 let compile_file_run path ordering policy dump backend verify emit_asm emit_dot
-    args memory_words unroll trace metrics metrics_json =
+    args memory_words unroll no_provenance trace chrome metrics metrics_json =
   match (ordering_of_string ordering, policy_of_string policy) with
   | Error (`Msg m), _ | _, Error (`Msg m) ->
     Fmt.epr "chfc: %s@." m;
@@ -246,7 +286,8 @@ let compile_file_run path ordering policy dump backend verify emit_asm emit_dot
           ~description:("kernel from " ^ path)
           ~args:parsed_args ~memory_words ~frontend_unroll:unroll program
       in
-      with_obs trace metrics metrics_json (fun () ->
+      apply_provenance no_provenance;
+      with_obs trace chrome metrics metrics_json (fun () ->
           compile_workload_report w ordering config dump backend verify
             emit_asm emit_dot))
 
@@ -302,8 +343,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc)
     Term.(
       const compile_run $ workload_arg $ ordering $ policy $ dump $ backend
-      $ verify_arg $ emit_asm_arg $ emit_dot_arg $ trace_arg $ metrics_arg
-      $ metrics_json_arg)
+      $ verify_arg $ emit_asm_arg $ emit_dot_arg $ no_provenance_arg
+      $ trace_arg $ chrome_trace_arg $ metrics_arg $ metrics_json_arg)
 
 let compile_file_cmd =
   let doc = "Compile a kernel source file (see `chfc syntax`)." in
@@ -344,7 +385,8 @@ let compile_file_cmd =
     Term.(
       const compile_file_run $ path_arg $ ordering $ policy $ dump $ backend
       $ verify_arg $ emit_asm_arg $ emit_dot_arg $ args $ memory_words $ unroll
-      $ trace_arg $ metrics_arg $ metrics_json_arg)
+      $ no_provenance_arg $ trace_arg $ chrome_trace_arg $ metrics_arg
+      $ metrics_json_arg)
 
 (* ---- chaos ------------------------------------------------------------- *)
 
@@ -464,8 +506,8 @@ let micro_selection names =
 
 let table1_cmd =
   let doc = "Reproduce Table 1 (phase orderings, cycle counts)." in
-  let run names jobs no_cache cache_stats trace metrics metrics_json =
-    with_obs trace metrics metrics_json (fun () ->
+  let run names jobs no_cache cache_stats trace chrome metrics metrics_json =
+    with_obs trace chrome metrics metrics_json (fun () ->
         let jobs, cache = sweep_env jobs no_cache in
         Table1.render Fmt.stdout
           (Table1.run ~cache ~jobs ~workloads:(micro_selection names) ());
@@ -474,12 +516,12 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc)
     Term.(
       const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
-      $ trace_arg $ metrics_arg $ metrics_json_arg)
+      $ trace_arg $ chrome_trace_arg $ metrics_arg $ metrics_json_arg)
 
 let table2_cmd =
   let doc = "Reproduce Table 2 (block-selection heuristics)." in
-  let run names jobs no_cache cache_stats trace metrics metrics_json =
-    with_obs trace metrics metrics_json (fun () ->
+  let run names jobs no_cache cache_stats trace chrome metrics metrics_json =
+    with_obs trace chrome metrics metrics_json (fun () ->
         let jobs, cache = sweep_env jobs no_cache in
         Table2.render Fmt.stdout
           (Table2.run ~cache ~jobs ~workloads:(micro_selection names) ());
@@ -488,17 +530,17 @@ let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc)
     Term.(
       const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
-      $ trace_arg $ metrics_arg $ metrics_json_arg)
+      $ trace_arg $ chrome_trace_arg $ metrics_arg $ metrics_json_arg)
 
 let table3_cmd =
   let doc = "Reproduce Table 3 (SPEC-like block counts)." in
-  let run names jobs no_cache cache_stats trace metrics metrics_json =
+  let run names jobs no_cache cache_stats trace chrome metrics metrics_json =
     let workloads =
       match names with
       | [] -> Spec_like.all
       | names -> List.filter_map Spec_like.by_name names
     in
-    with_obs trace metrics metrics_json (fun () ->
+    with_obs trace chrome metrics metrics_json (fun () ->
         let jobs, cache = sweep_env jobs no_cache in
         Table3.render Fmt.stdout (Table3.run ~cache ~jobs ~workloads ());
         report_cache cache cache_stats)
@@ -506,12 +548,12 @@ let table3_cmd =
   Cmd.v (Cmd.info "table3" ~doc)
     Term.(
       const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
-      $ trace_arg $ metrics_arg $ metrics_json_arg)
+      $ trace_arg $ chrome_trace_arg $ metrics_arg $ metrics_json_arg)
 
 let figure7_cmd =
   let doc = "Reproduce Figure 7 (cycle vs block count reduction)." in
-  let run names jobs no_cache cache_stats trace metrics metrics_json =
-    with_obs trace metrics metrics_json (fun () ->
+  let run names jobs no_cache cache_stats trace chrome metrics metrics_json =
+    with_obs trace chrome metrics metrics_json (fun () ->
         let jobs, cache = sweep_env jobs no_cache in
         Figure7.render Fmt.stdout
           (Table1.run ~cache ~jobs ~workloads:(micro_selection names) ());
@@ -520,7 +562,72 @@ let figure7_cmd =
   Cmd.v (Cmd.info "figure7" ~doc)
     Term.(
       const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
-      $ trace_arg $ metrics_arg $ metrics_json_arg)
+      $ trace_arg $ chrome_trace_arg $ metrics_arg $ metrics_json_arg)
+
+(* ---- report ------------------------------------------------------------ *)
+
+let report_cmd =
+  let doc =
+    "Per-block utilization report: slot usage, useful-instruction ratio, \
+     cycle and flush attribution by lineage class, and the formation \
+     decisions that shaped each hyperblock."
+  in
+  let ordering =
+    Arg.(
+      value
+      & opt string "iupo-merged"
+      & info [ "ordering"; "o" ] ~docv:"ORDERING"
+          ~doc:"Phase ordering: bb, upio, iupo, iup-o, iupo-merged.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "bf"
+      & info [ "policy"; "p" ] ~docv:"POLICY" ~doc:"bf, df or vliw.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON (stable field order) to $(docv).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the text report to $(docv) instead of stdout.")
+  in
+  let run names ordering policy jobs no_cache cache_stats json out no_provenance
+      trace chrome metrics metrics_json =
+    match (ordering_of_string ordering, policy_of_string policy) with
+    | Error (`Msg m), _ | _, Error (`Msg m) ->
+      Fmt.epr "chfc: %s@." m;
+      exit 2
+    | Ok ordering, Ok config ->
+      apply_provenance no_provenance;
+      with_obs trace chrome metrics metrics_json (fun () ->
+          let jobs, cache = sweep_env jobs no_cache in
+          let o =
+            Reporter.run ~config ~cache ~jobs ~ordering
+              ~workloads:(micro_selection names) ()
+          in
+          (match out with
+          | Some path -> write_text_file path (Fmt.str "%a" Reporter.render o)
+          | None -> Reporter.render Fmt.stdout o);
+          (match json with
+          | Some path ->
+            write_text_file path
+              (Trips_obs.Report.to_json o.Reporter.reports ^ "\n")
+          | None -> ());
+          report_cache cache cache_stats;
+          if o.Reporter.failures <> [] then exit 1)
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ workloads_arg $ ordering $ policy $ jobs_arg $ no_cache_arg
+      $ cache_stats_arg $ json_arg $ out_arg $ no_provenance_arg $ trace_arg
+      $ chrome_trace_arg $ metrics_arg $ metrics_json_arg)
 
 let () =
   let doc = "convergent hyperblock formation for TRIPS (MICRO 2006 reproduction)" in
@@ -529,6 +636,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; compile_cmd; compile_file_cmd; chaos_cmd; table1_cmd;
-            table2_cmd; table3_cmd; figure7_cmd;
+            list_cmd; compile_cmd; compile_file_cmd; chaos_cmd; report_cmd;
+            table1_cmd; table2_cmd; table3_cmd; figure7_cmd;
           ]))

@@ -505,6 +505,31 @@ let merge_blocks ?(depth = 0) ?(prob = 1.0) ?hb st ~hb_id ~s_id ~kind :
       (Cfg.refresh_instr_ids cfg (Cfg.block cfg s_id), s_id)
     | Unroll -> (Cfg.refresh_instr_ids cfg (body_for_unroll st hb_id), hb_id)
   in
+  (* Provenance: the copy (or moved block) about to enter the hyperblock
+     is re-placed by this merge; origins are preserved, the latest
+     placing transform wins.  The retagged copy dies with the rollback,
+     so lineage never leaks from a failed trial. *)
+  let lineage_step = List.length (Cfg.decisions cfg hb_id) + 1 in
+  let s_for_merge =
+    if not (Lineage.enabled ()) then s_for_merge
+    else begin
+      let placed =
+        match kind with
+        | Simple -> Lineage.If_conv lineage_step
+        | Tail_dup -> Lineage.Tail_dup lineage_step
+        | Unroll ->
+          Lineage.Unroll (lineage_step, counter st.unrolls_done hb_id + 1)
+        | Peel -> Lineage.Peel (lineage_step, counter st.peels_done s_id + 1)
+      in
+      let instrs =
+        List.map
+          (fun (i : Instr.t) ->
+            Instr.with_lineage { i.Instr.lineage with Lineage.placed } i)
+          s_for_merge.Block.instrs
+      in
+      { s_for_merge with Block.instrs }
+    end
+  in
   let combined_result =
     let injected =
       match !chaos_combine_failure with
@@ -574,6 +599,10 @@ let merge_blocks ?(depth = 0) ?(prob = 1.0) ?hb st ~hb_id ~s_id ~kind :
       | Peel ->
         st.stats.peels <- st.stats.peels + 1;
         bump_counter st.peels_done s_id);
+      if Lineage.enabled () then
+        Cfg.record_decision cfg hb_id
+          (Lineage.decision ~step:lineage_step ~kind:(kind_name kind)
+             ~src:s_id);
       emit ~outcome:"success" ~est ~msg:"";
       Success est
     end

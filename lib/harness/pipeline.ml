@@ -203,11 +203,13 @@ let run_functional (c : compiled) : Func_sim.result =
       let memory = Workload.memory c.workload in
       Func_sim.run ~registers:c.registers ~memory c.cfg)
 
-(** Run the compiled workload under the cycle-level timing model. *)
-let run_cycles ?timing (c : compiled) : Cycle_sim.result =
+(** Run the compiled workload under the cycle-level timing model.
+    [attribution] collects per-block lineage attribution ({!Attribution})
+    without affecting timing. *)
+let run_cycles ?timing ?attribution (c : compiled) : Cycle_sim.result =
   Stage.time Stage.Sim (fun () ->
       let memory = Workload.memory c.workload in
-      Cycle_sim.run ?timing ~registers:c.registers ~memory c.cfg)
+      Cycle_sim.run ?timing ?attribution ~registers:c.registers ~memory c.cfg)
 
 (* On a checksum mismatch, re-run the formation phases with differential
    checking on a fresh lowering to name the first phase that diverged;

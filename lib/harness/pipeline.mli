@@ -109,7 +109,13 @@ val failure_of_exn :
 
 val run_functional : compiled -> Func_sim.result
 
-val run_cycles : ?timing:Cycle_sim.timing -> compiled -> Cycle_sim.result
+val run_cycles :
+  ?timing:Cycle_sim.timing ->
+  ?attribution:Attribution.t ->
+  compiled ->
+  Cycle_sim.result
+(** [attribution] collects per-block lineage attribution
+    ({!Trips_sim.Attribution}) without affecting timing. *)
 
 val verify_against : baseline:Func_sim.result -> compiled -> Func_sim.result
 (** @raise Miscompiled unless the compiled workload reproduces the

@@ -1,0 +1,102 @@
+(* The [chfc report] harness: compile each workload, cycle-simulate it
+   with an attribution collector, and assemble the per-function
+   utilization reports ({!Trips_obs.Report}).
+
+   Determinism across [--jobs]: workloads are mapped over the engine's
+   domain pool, but each report depends only on its own workload (the
+   compile is deterministic, the cycle model has no wall clock, and
+   attribution rows come out sorted), and {!Engine.map} returns results
+   in input order — so the assembled report list is byte-identical at
+   any parallelism (make report-check). *)
+
+open Trips_ir
+open Trips_sim
+open Trips_workloads
+open Trips_obs
+
+type outcome = {
+  reports : Report.func_report list;  (* workload order *)
+  failures : Pipeline.failure list;
+}
+
+(* One workload -> one report: the final CFG provides static sizes and
+   formation decisions, the attributed cycle run the dynamic counts. *)
+let report_workload ?cache ?config ~ordering (w : Workload.t) :
+    Report.func_report =
+  let c = Pipeline.compile ?cache ?config ~backend:true ordering w in
+  let attribution = Attribution.create () in
+  let r = Pipeline.run_cycles ~attribution c in
+  let dyn = Attribution.rows attribution in
+  let dyn_of id =
+    List.find_opt (fun (row : Attribution.row) -> row.Attribution.r_block = id) dyn
+  in
+  let blocks =
+    List.map
+      (fun (b : Block.t) ->
+        let id = b.Block.id in
+        let execs, fetched, fired, cycles, flushes, classes =
+          match dyn_of id with
+          | None -> (0, 0, 0, 0, 0, [])
+          | Some row ->
+            ( row.Attribution.r_execs,
+              row.Attribution.r_fetched,
+              row.Attribution.r_fired,
+              row.Attribution.r_cycles,
+              row.Attribution.r_flushes,
+              List.map
+                (fun (cls, cc_fetched, cc_fired) ->
+                  { Report.cls; cc_fetched; cc_fired })
+                row.Attribution.r_classes )
+        in
+        {
+          Report.block = id;
+          static_size = Block.size b;
+          execs;
+          fetched;
+          fired;
+          cycles;
+          flushes;
+          classes;
+          decisions =
+            List.map Lineage.describe_decision (Cfg.decisions c.Pipeline.cfg id);
+        })
+      (Cfg.blocks c.Pipeline.cfg)
+  in
+  {
+    Report.fn = w.Workload.name;
+    capacity = Machine.max_instrs;
+    total_cycles = r.Cycle_sim.cycles;
+    blocks;
+  }
+
+(** Build reports for [workloads] (default: the 24 microbenchmarks)
+    under [ordering] (default: merged convergent formation, the paper's
+    headline configuration).  Failures are collected, not raised. *)
+let run ?config ?(cache = Stage.create ()) ?jobs
+    ?(ordering = Chf.Phases.Iupo_merged) ?(workloads = Micro.all) () : outcome =
+  let results =
+    Engine.map ?jobs
+      (fun w ->
+        match report_workload ~cache ?config ~ordering w with
+        | r -> Ok r
+        | exception e ->
+          Error (Pipeline.failure_of_exn ~workload:w ~ordering:(Some ordering) e))
+      workloads
+  in
+  let reports, failures =
+    List.fold_left
+      (fun (rs, fs) outcome ->
+        match outcome with
+        | Ok (Ok r) -> (r :: rs, fs)
+        | Ok (Error f) -> (rs, f :: fs)
+        | Error e -> raise e)
+      ([], []) results
+  in
+  { reports = List.rev reports; failures = List.rev failures }
+
+let render fmt (o : outcome) =
+  Report.render fmt o.reports;
+  if o.failures <> [] then begin
+    Fmt.pf fmt "@.%d failure(s):@." (List.length o.failures);
+    List.iter (fun f -> Fmt.pf fmt "  %a@." Pipeline.pp_failure f) o.failures
+  end

@@ -1,0 +1,37 @@
+(** The [chfc report] harness: per-workload compile + attributed cycle
+    simulation, assembled into {!Trips_obs.Report} utilization reports.
+
+    Byte-identical output at any [--jobs] setting: each report depends
+    only on its own workload and {!Engine.map} preserves input order. *)
+
+open Trips_workloads
+open Trips_obs
+
+type outcome = {
+  reports : Report.func_report list;  (** workload order *)
+  failures : Pipeline.failure list;
+}
+
+val report_workload :
+  ?cache:Stage.cache ->
+  ?config:Chf.Policy.config ->
+  ordering:Chf.Phases.ordering ->
+  Workload.t ->
+  Report.func_report
+(** Compile one workload (back end on), cycle-simulate with attribution,
+    and assemble its report.  Raises on unrecoverable compile errors —
+    {!run} wraps this with failure collection. *)
+
+val run :
+  ?config:Chf.Policy.config ->
+  ?cache:Stage.cache ->
+  ?jobs:int ->
+  ?ordering:Chf.Phases.ordering ->
+  ?workloads:Workload.t list ->
+  unit ->
+  outcome
+(** Reports for [workloads] (default: the 24 microbenchmarks) under
+    [ordering] (default: merged convergent formation).  Failures are
+    collected, not raised. *)
+
+val render : Format.formatter -> outcome -> unit

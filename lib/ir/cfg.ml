@@ -13,6 +13,9 @@ type t = {
   mutable next_block : int;
   mutable next_instr : int;
   mutable next_reg : int;
+  decisions : (int, Lineage.decision list) Hashtbl.t;
+      (* per-block formation decisions, most recent first; provenance
+         side table — never consulted by any pass *)
 }
 
 let create ?(name = "f") () =
@@ -23,6 +26,7 @@ let create ?(name = "f") () =
     next_block = 0;
     next_instr = 0;
     next_reg = Machine.first_virtual_reg;
+    decisions = Hashtbl.create 16;
   }
 
 let fresh_block_id cfg =
@@ -41,7 +45,8 @@ let fresh_reg cfg =
   r
 
 (** Build an instruction with a fresh id. *)
-let instr ?guard cfg op = Instr.make ?guard (fresh_instr_id cfg) op
+let instr ?guard ?lineage cfg op =
+  Instr.make ?guard ?lineage (fresh_instr_id cfg) op
 
 let mem cfg id = Hashtbl.mem cfg.blocks id
 
@@ -89,7 +94,38 @@ let predecessors cfg id =
 (** Deep copy sharing no mutable state with the original. *)
 let copy cfg =
   let blocks = Hashtbl.copy cfg.blocks in
-  { cfg with blocks }
+  let decisions = Hashtbl.copy cfg.decisions in
+  { cfg with blocks; decisions }
+
+(* ---- provenance -------------------------------------------------------- *)
+
+(** Stamp every instruction as [Original] to its enclosing block: the
+    baseline lineage of a freshly lowered CFG, before any transform runs. *)
+let stamp_origins cfg =
+  iter_blocks
+    (fun b ->
+      let lineage =
+        { Lineage.origin = b.Block.id; placed = Lineage.Original }
+      in
+      let instrs = List.map (Instr.with_lineage lineage) b.Block.instrs in
+      set_block cfg { b with Block.instrs })
+    cfg
+
+(** Append a formation decision to [id]'s provenance record. *)
+let record_decision cfg id d =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt cfg.decisions id) in
+  Hashtbl.replace cfg.decisions id (d :: prev)
+
+(** Decisions recorded against block [id], in chronological order. *)
+let decisions cfg id =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt cfg.decisions id))
+
+(** Copy the decision history of [src] onto [dst] (used when a block is
+    split: both halves descend from the same formation history). *)
+let copy_decisions cfg ~src ~dst =
+  match Hashtbl.find_opt cfg.decisions src with
+  | None -> ()
+  | Some ds -> Hashtbl.replace cfg.decisions dst ds
 
 (** Renumber every instruction in [b] with fresh ids; used when a block is
     duplicated so that instruction ids stay unique across the function. *)

@@ -13,6 +13,9 @@ type t = {
   mutable next_block : int;
   mutable next_instr : int;
   mutable next_reg : int;
+  decisions : (int, Lineage.decision list) Hashtbl.t;
+      (** per-block formation decisions, most recent first; use
+          {!decisions} for chronological access *)
 }
 
 val create : ?name:string -> unit -> t
@@ -24,7 +27,7 @@ val fresh_reg : t -> int
 (** A fresh virtual register (numbered from
     {!Machine.first_virtual_reg}). *)
 
-val instr : ?guard:Instr.guard -> t -> Instr.op -> Instr.t
+val instr : ?guard:Instr.guard -> ?lineage:Lineage.t -> t -> Instr.op -> Instr.t
 (** Build an instruction with a fresh id. *)
 
 val mem : t -> int -> bool
@@ -57,6 +60,20 @@ val predecessors : t -> int -> int list
 
 val copy : t -> t
 (** Deep copy sharing no mutable state with the original. *)
+
+val stamp_origins : t -> unit
+(** Stamp every instruction as {!Lineage.Original} to its enclosing
+    block: the baseline lineage of a freshly lowered CFG. *)
+
+val record_decision : t -> int -> Lineage.decision -> unit
+(** Append a formation decision to a block's provenance record. *)
+
+val decisions : t -> int -> Lineage.decision list
+(** Decisions recorded against a block, in chronological order. *)
+
+val copy_decisions : t -> src:int -> dst:int -> unit
+(** Copy [src]'s decision history onto [dst] (used by block splitting:
+    both halves descend from the same formation history). *)
 
 val refresh_instr_ids : t -> Block.t -> Block.t
 (** Renumber every instruction with fresh ids; used when duplicating a

@@ -25,9 +25,11 @@ type op =
          constant-output constraint on predicated paths that lack a real
          writer. *)
 
-type t = { id : int; op : op; guard : guard option }
+type t = { id : int; op : op; guard : guard option; lineage : Lineage.t }
 
-let make ?guard id op = { id; op; guard }
+let make ?guard ?(lineage = Lineage.unknown) id op = { id; op; guard; lineage }
+
+let with_lineage lineage i = { i with lineage }
 
 (** Registers written by the instruction. *)
 let defs i =

@@ -28,10 +28,15 @@ type op =
           constant-output constraint on predicated paths without a real
           writer. *)
 
-type t = { id : int; op : op; guard : guard option }
-(** [id] is unique within a function ([Cfg] allocates them). *)
+type t = { id : int; op : op; guard : guard option; lineage : Lineage.t }
+(** [id] is unique within a function ([Cfg] allocates them).  [lineage]
+    is inert provenance — no pass reads it to make a decision and {!pp}
+    never renders it. *)
 
-val make : ?guard:guard -> int -> op -> t
+val make : ?guard:guard -> ?lineage:Lineage.t -> int -> op -> t
+(** [lineage] defaults to {!Lineage.unknown}. *)
+
+val with_lineage : Lineage.t -> t -> t
 
 val defs : t -> reg list
 (** Registers written (possibly conditionally, if guarded). *)

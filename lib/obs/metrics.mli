@@ -13,6 +13,9 @@ type histogram = {
   h_sum : float;
   h_min : float;
   h_max : float;
+  h_p50 : float;  (** exact nearest-rank quantiles over all samples; *)
+  h_p90 : float;  (** a property of the sample multiset, so identical *)
+  h_p99 : float;  (** however the observing domains interleaved *)
 }
 
 type snapshot = {
@@ -36,8 +39,9 @@ val counter_value : snapshot -> string -> int
 
 val render : Format.formatter -> snapshot -> unit
 (** Human-readable table: counters, then histograms with
-    count/mean/min/max. *)
+    count/mean/min/max/p50/p90/p99. *)
 
 val to_json : snapshot -> string
 (** [{"counters":{...},"histograms":{name:{"count":..,"sum":..,"min":..,
-    "max":..}}}] with names sorted — stable for diffing. *)
+    "max":..,"p50":..,"p90":..,"p99":..}}}] with names sorted and field
+    order fixed — stable for diffing. *)

@@ -30,16 +30,28 @@ let enabled = Atomic.make false
 let mutex = Mutex.create ()
 let events : event list ref = ref []  (* reversed emission order *)
 
+(* Span mode adds wall-clock timestamps ([ts]/[dur] fields) to the
+   stream for the Chrome-trace exporter.  It is a separate switch from
+   [enabled] because timestamps — and the cell a cached computation's
+   span lands on — are inherently nondeterministic, so they must never
+   enter the default stream, whose -j1/-j4 byte identity is contractual
+   (make trace-check). *)
+let spans_flag = Atomic.make false
+let base_time = Atomic.make 0.0
+
 type tagging = { mutable cur_cell : int; mutable cur_seq : int }
 
 let tag_key = Domain.DLS.new_key (fun () -> { cur_cell = -1; cur_seq = 0 })
 
 let is_enabled () = Atomic.get enabled
+let spans_enabled () = Atomic.get spans_flag
 
-let start () =
+let start ?(spans = false) () =
   Mutex.protect mutex (fun () -> events := []);
   let t = Domain.DLS.get tag_key in
   t.cur_seq <- 0;
+  Atomic.set base_time (Unix.gettimeofday ());
+  Atomic.set spans_flag spans;
   Atomic.set enabled true
 
 let compare_event a b =
@@ -47,6 +59,7 @@ let compare_event a b =
 
 let stop () =
   Atomic.set enabled false;
+  Atomic.set spans_flag false;
   let evs = Mutex.protect mutex (fun () ->
       let evs = !events in
       events := [];
@@ -65,13 +78,55 @@ let with_cell cell f =
       t.cur_seq <- old_seq)
     f
 
+let now_us () = (Unix.gettimeofday () -. Atomic.get base_time) *. 1e6
+
+let push ev =
+  Mutex.protect mutex (fun () -> events := ev :: !events)
+
 let record kind fields =
   if Atomic.get enabled then begin
+    let fields =
+      (* span mode: place point events on the exporter's timeline *)
+      if Atomic.get spans_flag then fields @ [ ("ts", Float (now_us ())) ]
+      else fields
+    in
     let t = Domain.DLS.get tag_key in
     let ev = { cell = t.cur_cell; seq = t.cur_seq; kind; fields } in
     t.cur_seq <- t.cur_seq + 1;
-    Mutex.protect mutex (fun () -> events := ev :: !events)
+    push ev
   end
+
+(* [span] always times the thunk and reports the duration to [on_close]
+   (even on exception) — callers like [Stage.time] keep their wall-clock
+   accounting whether or not tracing is on.  The "span" event itself is
+   emitted only in span mode. *)
+let span ?(fields = []) ?on_close name f =
+  let t0 = Unix.gettimeofday () in
+  let finish () =
+    let dt = Unix.gettimeofday () -. t0 in
+    (match on_close with Some g -> g dt | None -> ());
+    if Atomic.get enabled && Atomic.get spans_flag then begin
+      let ts = (t0 -. Atomic.get base_time) *. 1e6 in
+      let ev_fields =
+        ("name", Str name) :: ("ts", Float ts)
+        :: ("dur", Float (dt *. 1e6))
+        :: fields
+      in
+      let t = Domain.DLS.get tag_key in
+      let ev =
+        { cell = t.cur_cell; seq = t.cur_seq; kind = "span"; fields = ev_fields }
+      in
+      t.cur_seq <- t.cur_seq + 1;
+      push ev
+    end
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
 
 (* ---- JSON -------------------------------------------------------------- *)
 
@@ -100,6 +155,71 @@ let add_value buf = function
     Buffer.add_char buf '"';
     escape buf s;
     Buffer.add_char buf '"'
+
+(* Chrome trace-event format (the JSON-array flavor): spans become
+   complete events (ph "X") with microsecond ts/dur, everything else an
+   instant (ph "i") carrying its fields as args.  Cells map to thread
+   ids (tid = cell + 1, so the out-of-sweep cell -1 is tid 0), which
+   lays a sweep out one engine slot per track in chrome://tracing or
+   Perfetto. *)
+let to_chrome_json events =
+  let buf = Buffer.create 4096 in
+  let add_args fields =
+    Buffer.add_string buf "\"args\":{";
+    List.iteri
+      (fun k (name, v) ->
+        if k > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape buf name;
+        Buffer.add_string buf "\":";
+        add_value buf v)
+      fields;
+    Buffer.add_char buf '}'
+  in
+  let fnum = function
+    | Some (Float f) -> f
+    | Some (Int n) -> float_of_int n
+    | _ -> 0.0
+  in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun k ev ->
+      if k > 0 then Buffer.add_string buf ",\n";
+      let tid = ev.cell + 1 in
+      match ev.kind with
+      | "span" ->
+        let name =
+          match List.assoc_opt "name" ev.fields with
+          | Some (Str s) -> s
+          | _ -> "span"
+        in
+        let ts = fnum (List.assoc_opt "ts" ev.fields) in
+        let dur = fnum (List.assoc_opt "dur" ev.fields) in
+        let args =
+          List.filter
+            (fun (k, _) -> k <> "name" && k <> "ts" && k <> "dur")
+            ev.fields
+        in
+        Buffer.add_string buf "{\"name\":\"";
+        escape buf name;
+        Buffer.add_string buf
+          (Printf.sprintf "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,"
+             ts dur tid);
+        add_args args;
+        Buffer.add_char buf '}'
+      | kind ->
+        let ts = fnum (List.assoc_opt "ts" ev.fields) in
+        let args = List.filter (fun (k, _) -> k <> "ts") ev.fields in
+        Buffer.add_string buf "{\"name\":\"";
+        escape buf kind;
+        Buffer.add_string buf
+          (Printf.sprintf "\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"s\":\"t\","
+             ts tid);
+        add_args args;
+        Buffer.add_char buf '}')
+    events;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
 
 let to_json ev =
   let buf = Buffer.create 160 in

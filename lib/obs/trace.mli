@@ -22,8 +22,13 @@ type event = {
   fields : (string * value) list;  (** rendered in this order *)
 }
 
-val start : unit -> unit
-(** Clear any previous trace and start recording. *)
+val start : ?spans:bool -> unit -> unit
+(** Clear any previous trace and start recording.  [spans] additionally
+    records {!span} events and stamps every point event with a wall-clock
+    ["ts"] field (microseconds since [start]) for the Chrome-trace
+    exporter.  Span mode is off by default because wall-clock timestamps
+    are inherently nondeterministic and would break the [-j1]/[-j4] byte
+    identity of the default stream. *)
 
 val stop : unit -> event list
 (** Stop recording; return the events sorted by [(cell, seq)] and clear
@@ -31,6 +36,21 @@ val stop : unit -> event list
 
 val is_enabled : unit -> bool
 (** Cheap guard for callers that want to skip building field lists. *)
+
+val spans_enabled : unit -> bool
+(** Whether span mode is on (see {!start}). *)
+
+val span :
+  ?fields:(string * value) list ->
+  ?on_close:(float -> unit) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [span name f] times [f] and, in span mode, records a ["span"] event
+    with [name], ["ts"] and ["dur"] fields (microseconds).  [on_close]
+    receives the duration in seconds — always, even when tracing is off
+    or [f] raises — so callers can keep their own accounting on the same
+    clock ({!Stage.time} builds on this). *)
 
 val record : string -> (string * value) list -> unit
 (** [record kind fields] appends one event tagged with the calling
@@ -47,3 +67,10 @@ val compare_event : event -> event -> int
 val to_json : event -> string
 (** One JSON object, no trailing newline.  Field order: [cell], [seq],
     [kind], then [fields] in emission order. *)
+
+val to_chrome_json : event list -> string
+(** The whole stream in Chrome trace-event format (JSON-array flavor):
+    spans become complete events ([ph "X"]) with microsecond [ts]/[dur],
+    everything else an instant ([ph "i"]) with its fields as [args];
+    cells map to thread ids.  Open the result in [chrome://tracing] or
+    Perfetto. *)

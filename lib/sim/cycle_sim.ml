@@ -138,8 +138,11 @@ let issue_at m ~ready =
 
 (* Retire the accumulated block instance: compute its dispatch, issue and
    commit times, update predictor/window bookkeeping.  [next] is the id of
-   the actually-following block, or None at program end. *)
-let retire m ~next =
+   the actually-following block, or None at program end.  [attribution]
+   receives the instance's fetch/fire counts per lineage class, its
+   share of total cycles (the commit-time delta, which partitions the
+   run total exactly) and any flush its branch resolution caused. *)
+let retire ?attribution m ~next =
   if m.started then begin
     let t = m.t in
     let events = List.rev m.cur_events in
@@ -244,6 +247,15 @@ let retire m ~next =
         m.cur_block n_instrs dispatch_start dispatch_end !block_done
         branch_time commit
     end;
+    (match attribution with
+    | Some a ->
+      Attribution.count_execution a ~block:m.cur_block;
+      List.iter
+        (fun ((i : Instr.t), fired, _) ->
+          Attribution.count_instr a ~block:m.cur_block i ~fired)
+        events;
+      Attribution.add_cycles a ~block:m.cur_block (commit - m.last_commit)
+    | None -> ());
     m.commit_ring.(slot) <- commit;
     m.last_commit <- commit;
     m.prev_dispatch_end <- dispatch_end;
@@ -256,7 +268,10 @@ let retire m ~next =
       let was_hit = correct && predicted = Some actual in
       if not was_hit then begin
         m.mispredictions <- m.mispredictions + 1;
-        m.redirect_at <- branch_time + t.flush_penalty
+        m.redirect_at <- branch_time + t.flush_penalty;
+        match attribution with
+        | Some a -> Attribution.add_flush a ~block:m.cur_block
+        | None -> ()
       end
     | None -> ())
   end
@@ -264,14 +279,14 @@ let retire m ~next =
 (** Run [cfg] under the timing model.  Functionally identical to
     [Func_sim.run]; additionally reports cycles and microarchitectural
     statistics. *)
-let run ?(timing = default_timing) ?(trace = 0) ?fuel ?strict_exits
-    ?registers ~memory cfg : result =
+let run ?(timing = default_timing) ?(trace = 0) ?attribution ?fuel
+    ?strict_exits ?registers ~memory cfg : result =
   let m = make_machine ~trace timing in
   let hooks =
     {
       Func_sim.on_block =
         (fun id ->
-          retire m ~next:(Some id);
+          retire ?attribution m ~next:(Some id);
           m.started <- true;
           m.cur_block <- id;
           m.cur_events <- [];
@@ -282,7 +297,7 @@ let run ?(timing = default_timing) ?(trace = 0) ?fuel ?strict_exits
     }
   in
   let fr = Func_sim.run ?fuel ?strict_exits ~hooks ?registers ~memory cfg in
-  retire m ~next:None;
+  retire ?attribution m ~next:None;
   Trips_obs.Metrics.incr ~by:m.last_commit "sim.cycle.cycles";
   Trips_obs.Metrics.incr ~by:fr.Func_sim.blocks_executed "sim.cycle.commits";
   Trips_obs.Metrics.incr ~by:m.instrs_fetched "sim.cycle.fetched";

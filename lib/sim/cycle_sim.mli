@@ -56,6 +56,7 @@ type result = {
 val run :
   ?timing:timing ->
   ?trace:int ->
+  ?attribution:Attribution.t ->
   ?fuel:int ->
   ?strict_exits:bool ->
   ?registers:(int * int) list ->
@@ -64,4 +65,7 @@ val run :
   result
 (** Functionally identical to {!Func_sim.run}; additionally reports
     cycles and microarchitectural statistics.  [trace] prints retire
-    timing for the first N block instances to stderr (debugging). *)
+    timing for the first N block instances to stderr (debugging).
+    [attribution] collects per-block, per-lineage-class fetch/fire
+    counts, cycle shares (commit-time deltas, partitioning the run
+    total) and flushes; attribution never changes timing. *)

@@ -63,9 +63,15 @@ let combine cfg ~(hb : Block.t) ~(s : Block.t) ~s_label : Block.t * stats =
       (Cannot_combine
          (Fmt.str "b%d has no exit to b%d" hb.Block.id s_label));
   let added = ref 0 in
+  (* Predication machinery (negations, disjunctions, conjunctions,
+     snapshots) is billed to the block whose merge required it. *)
+  let helper_lineage =
+    { Lineage.origin = s_label; placed = Lineage.Helper "predication" }
+  in
   let fresh_instr op =
     incr added;
-    Cfg.instr cfg op
+    let i = Cfg.instr cfg op in
+    if Lineage.enabled () then Instr.with_lineage helper_lineage i else i
   in
   (* Instructions prefixed between HB's body and S's body. *)
   let prefix = ref [] in

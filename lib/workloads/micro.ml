@@ -754,4 +754,44 @@ let all : Workload.t list =
     vadd;
   ]
 
-let by_name name = List.find_opt (fun w -> w.Workload.name = name) all
+(* ---- store-dense stress kernels (not part of the 24) ------------------- *)
+
+(* Dense store runs drive a merged-block estimate into the 32-slot
+   load/store budget well before the 128-instruction budget — the regime
+   where the constraint pre-filter's sound store-count floor can prove a
+   merge oversized without trialling it.  The shipped 24 kernels never
+   reach that regime (their rejects are all instruction-budget driven,
+   see DESIGN.md §12), so these ride along in [bench formation] and in
+   the pre-filter regression test rather than in [all]. *)
+let store_burst name ~stores ~trip seed =
+  let open Ast in
+  Workload.make ~name
+    ~description:
+      (Printf.sprintf
+         "%d stores per iteration, trip %d; unrolled estimates hit the \
+          load/store budget, exercising the constraint pre-filter"
+         stores trip)
+    ~memory_words:8192
+    ~init_memory:(fill_with seed ())
+    {
+      prog_name = name;
+      params = [];
+      body =
+        [
+          for_ "k" (i 0) (i trip)
+            (List.init stores (fun j ->
+                 Store (i (Int.mul 256 j) + v "k", v "k" + i j)));
+          Return (Some (v "k"));
+        ];
+    }
+
+(** Store-dense pre-filter stress kernels; separate from {!all} so the
+    24-kernel tables stay exactly the paper's set. *)
+let store_dense : Workload.t list =
+  [
+    store_burst "fill12" ~stores:12 ~trip:200 13;
+    store_burst "fill16" ~stores:16 ~trip:150 17;
+  ]
+
+let by_name name =
+  List.find_opt (fun w -> w.Workload.name = name) (all @ store_dense)

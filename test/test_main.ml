@@ -17,5 +17,6 @@ let () =
       Test_verify.suite;
       Test_engine.suite;
       Test_obs.suite;
+      Test_provenance.suite;
       Test_integration.suite;
     ]

@@ -68,15 +68,298 @@ let test_metrics_registry () =
     check Alcotest.int "histo count" 2 h.Metrics.h_count;
     check (Alcotest.float 1e-9) "histo sum" 8.0 h.Metrics.h_sum;
     check (Alcotest.float 1e-9) "histo min" 2.0 h.Metrics.h_min;
-    check (Alcotest.float 1e-9) "histo max" 6.0 h.Metrics.h_max
+    check (Alcotest.float 1e-9) "histo max" 6.0 h.Metrics.h_max;
+    check (Alcotest.float 1e-9) "histo p50" 2.0 h.Metrics.h_p50;
+    check (Alcotest.float 1e-9) "histo p90" 6.0 h.Metrics.h_p90;
+    check (Alcotest.float 1e-9) "histo p99" 6.0 h.Metrics.h_p99
   | _ -> Alcotest.fail "expected exactly the lat histogram");
   check Alcotest.string "json is sorted and stable"
     "{\"counters\":{\"a.counter\":3,\"b.counter\":1},\"histograms\":{\"lat\":\
-     {\"count\":2,\"sum\":8,\"min\":2,\"max\":6}}}"
+     {\"count\":2,\"sum\":8,\"min\":2,\"max\":6,\"p50\":2,\"p90\":6,\"p99\":6}}}"
     (Metrics.to_json s);
   Metrics.reset ();
   check Alcotest.int "reset drops counters" 0
     (List.length (Metrics.snapshot ()).Metrics.counters)
+
+(* ---- spans and the Chrome exporter ------------------------------------- *)
+
+let span_events evs =
+  List.filter (fun e -> e.Trace.kind = "span") evs
+
+let test_span_api () =
+  let _ = Trace.stop () in
+  (* span mode off: the body runs, on_close fires, nothing is recorded *)
+  Trace.start ();
+  let closed = ref (-1.0) in
+  let r = Trace.span ~on_close:(fun dt -> closed := dt) "work" (fun () -> 42) in
+  check Alcotest.int "span returns the body's value" 42 r;
+  check Alcotest.bool "on_close fired with a duration" true (!closed >= 0.0);
+  check Alcotest.int "no span events outside span mode" 0
+    (List.length (span_events (Trace.stop ())));
+  (* on_close fires even when the body raises, and when tracing is off *)
+  closed := -1.0;
+  (try Trace.span ~on_close:(fun dt -> closed := dt) "boom" (fun () ->
+       failwith "x")
+   with Failure _ -> ());
+  check Alcotest.bool "on_close fired on exception, tracing off" true
+    (!closed >= 0.0);
+  (* span mode on: a span event with name/ts/dur, extra fields appended,
+     and point events stamped with ts *)
+  Trace.start ~spans:true ();
+  ignore
+    (Trace.span
+       ~fields:[ ("workload", Trace.Str "sieve") ]
+       "stage.formation"
+       (fun () -> Trace.record "point" [ ("x", Trace.Int 1) ]));
+  let evs = Trace.stop () in
+  (match span_events evs with
+  | [ e ] ->
+    check Alcotest.bool "span carries its name" true
+      (List.assoc "name" e.Trace.fields = Trace.Str "stage.formation");
+    let dur =
+      match List.assoc "dur" e.Trace.fields with
+      | Trace.Float d -> d
+      | _ -> -1.0
+    in
+    check Alcotest.bool "span has a non-negative µs duration" true (dur >= 0.0);
+    check Alcotest.bool "span keeps caller fields" true
+      (List.assoc "workload" e.Trace.fields = Trace.Str "sieve")
+  | l -> Alcotest.failf "expected exactly one span event, got %d" (List.length l));
+  (match List.find_opt (fun e -> e.Trace.kind = "point") evs with
+  | Some e ->
+    check Alcotest.bool "point events gain a ts stamp in span mode" true
+      (List.mem_assoc "ts" e.Trace.fields)
+  | None -> Alcotest.fail "point event lost")
+
+(* Minimal recursive-descent JSON syntax checker (the tree has no JSON
+   library): accepts exactly the RFC 8259 value grammar we emit.  Raises
+   on the first syntax error. *)
+let json_validate s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "invalid JSON at byte %d: %s" !pos msg in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal l =
+    if !pos + String.length l <= n && String.sub s !pos (String.length l) = l
+    then pos := !pos + String.length l
+    else fail ("expected " ^ l)
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          advance ();
+          go ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done;
+          go ()
+        | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d = ref 0 in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        incr d;
+        advance ()
+      done;
+      if !d = 0 then fail "expected digit"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else
+        let rec members () =
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        members ()
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else
+        let rec elements () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        elements ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a value"
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Tentpole acceptance: the Chrome exporter emits syntactically valid
+   trace-event JSON — spans as complete events, points as instants, cells
+   as thread ids. *)
+let test_chrome_trace_valid () =
+  let _ = Trace.stop () in
+  Trace.start ~spans:true ();
+  Trace.record "merge-attempt"
+    [ ("cand", Trace.Int 3); ("outcome", Trace.Str "success") ];
+  ignore
+    (Trace.span
+       ~fields:[ ("workload", Trace.Str "quote\"me") ]
+       "stage.formation"
+       (fun () -> ()));
+  Trace.with_cell 2 (fun () ->
+      Trace.record "opt-pass" [ ("pass", Trace.Str "dce") ]);
+  let evs = Trace.stop () in
+  let js = Trace.to_chrome_json evs in
+  json_validate js;
+  check Alcotest.bool "spans are complete events" true
+    (contains js "\"ph\":\"X\"");
+  check Alcotest.bool "points are instants" true (contains js "\"ph\":\"i\"");
+  check Alcotest.bool "span name survives" true
+    (contains js "\"name\":\"stage.formation\"");
+  check Alcotest.bool "cells map to thread ids" true (contains js "\"tid\":3");
+  check Alcotest.bool "durations present" true (contains js "\"dur\":");
+  (* the validator itself must reject garbage, or the test is vacuous *)
+  check Alcotest.bool "validator rejects malformed input" true
+    (try
+       json_validate "[{\"a\":1,}]";
+       false
+     with _ -> true)
+
+(* Stage timers ride Trace.span (satellite: the refactor must keep
+   feeding the stage.time.* histograms). *)
+let test_stage_time_uses_span () =
+  let _ = Trace.stop () in
+  Metrics.reset ();
+  Trips_harness.Stage.reset_timings ();
+  Trace.start ~spans:true ();
+  let v = Trips_harness.Stage.time Trips_harness.Stage.Lower (fun () -> 7) in
+  let evs = Trace.stop () in
+  check Alcotest.int "timed body result" 7 v;
+  check Alcotest.int "one stage span recorded" 1
+    (List.length (span_events evs));
+  (match Metrics.snapshot () with
+  | s -> (
+    match List.assoc_opt "stage.time.lower" s.Metrics.histograms with
+    | Some h -> check Alcotest.int "histogram observed once" 1 h.Metrics.h_count
+    | None -> Alcotest.fail "stage.time.lower histogram missing"));
+  check Alcotest.bool "cumulative timing accounted" true
+    ((Trips_harness.Stage.timings ()).Trips_harness.Stage.lower_s >= 0.0)
+
+(* Satellite: quantile math and the JSON golden under interleaved
+   multi-domain registration — field order inside a histogram is fixed,
+   keys are sorted, and nearest-rank quantiles are deterministic however
+   the observations interleave. *)
+let test_metrics_multidomain_golden () =
+  Metrics.reset ();
+  let worker entries () =
+    List.iter
+      (fun (c, h, v) ->
+        Metrics.incr c;
+        Metrics.observe h v)
+      entries
+  in
+  let d1 =
+    Domain.spawn
+      (worker [ ("z.counter", "sim.lat", 4.0); ("a.counter", "form.lat", 1.0) ])
+  in
+  let d2 =
+    Domain.spawn
+      (worker [ ("m.counter", "sim.lat", 2.0); ("a.counter", "form.lat", 3.0) ])
+  in
+  Domain.join d1;
+  Domain.join d2;
+  let s = Metrics.snapshot () in
+  check Alcotest.string "sorted keys, stable field order, exact quantiles"
+    "{\"counters\":{\"a.counter\":2,\"m.counter\":1,\"z.counter\":1},\
+     \"histograms\":{\"form.lat\":{\"count\":2,\"sum\":4,\"min\":1,\"max\":3,\
+     \"p50\":1,\"p90\":3,\"p99\":3},\"sim.lat\":{\"count\":2,\"sum\":6,\
+     \"min\":2,\"max\":4,\"p50\":2,\"p90\":4,\"p99\":4}}}"
+    (Metrics.to_json s)
+
+(* Quantiles are nearest-rank over the full sample multiset. *)
+let test_metrics_quantiles () =
+  Metrics.reset ();
+  for i = 1 to 100 do
+    Metrics.observe "q" (float_of_int i)
+  done;
+  (match (Metrics.snapshot ()).Metrics.histograms with
+  | [ ("q", h) ] ->
+    check (Alcotest.float 1e-9) "p50 of 1..100" 50.0 h.Metrics.h_p50;
+    check (Alcotest.float 1e-9) "p90 of 1..100" 90.0 h.Metrics.h_p90;
+    check (Alcotest.float 1e-9) "p99 of 1..100" 99.0 h.Metrics.h_p99;
+    check (Alcotest.float 1e-9) "min" 1.0 h.Metrics.h_min;
+    check (Alcotest.float 1e-9) "max" 100.0 h.Metrics.h_max
+  | _ -> Alcotest.fail "expected exactly the q histogram");
+  Metrics.reset ()
 
 (* ---- formation decision log -------------------------------------------- *)
 
@@ -296,6 +579,14 @@ let suite =
       Alcotest.test_case "trace json is stable" `Quick test_trace_json_stable;
       Alcotest.test_case "trace cell tagging" `Quick test_trace_cell_tagging;
       Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+      Alcotest.test_case "span api" `Quick test_span_api;
+      Alcotest.test_case "chrome trace is valid json" `Quick
+        test_chrome_trace_valid;
+      Alcotest.test_case "stage timers ride spans" `Quick
+        test_stage_time_uses_span;
+      Alcotest.test_case "metrics multi-domain golden" `Quick
+        test_metrics_multidomain_golden;
+      Alcotest.test_case "metrics quantiles" `Quick test_metrics_quantiles;
       Alcotest.test_case "structural failure never retried" `Quick
         test_structural_failure_not_retried;
       Alcotest.test_case "trace agrees with stats" `Quick

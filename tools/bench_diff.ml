@@ -1,0 +1,168 @@
+(* bench_diff — compare a freshly generated BENCH_*.json against the
+   committed baseline, with tolerance.
+
+     bench_diff BASELINE FRESH [TOLERANCE]
+
+   Wall clocks vary across machines, so this is a warn-only gate: it
+   always exits 0 unless the files are unreadable or structurally
+   incomparable (different key sequences — which means the bench shape
+   changed and the baseline must be regenerated, exit 3).
+
+   Rules, keyed on field names (no JSON library in the tree, so scalar
+   "key": value pairs are extracted positionally with a regex — the
+   bench writers emit a fixed field order, which also makes positional
+   pairing sound):
+
+   - timings (keys ending in [_s] or named [wall_s]): warn when the
+     fresh value exceeds baseline * (1 + tolerance); default tolerance
+     0.5, override with the third argument.
+   - speedups / rates: warn when fresh < baseline / (1 + tolerance).
+   - counters (everything else numeric): warn when a nonzero baseline
+     collapsed to zero — a fast path that stopped firing is a
+     regression even when the wall clock looks fine.
+   - booleans (e.g. identical_outputs): warn when the fresh run turned
+     a true into a false. *)
+
+type value =
+  | Num of float
+  | Bool of bool
+
+(* latest "name": "..." string seen before a scalar, for readable
+   warnings (the BENCH files label each config with a name field) *)
+type scalar = { context : string; key : string; v : value }
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    Some s
+  with Sys_error _ -> None
+
+let scalar_re =
+  Re.compile
+    (Re.alt
+       [
+         Re.seq
+           [
+             Re.char '"';
+             Re.group (Re.rep1 (Re.alt [ Re.alnum; Re.char '_' ]));
+             Re.char '"';
+             Re.rep Re.space;
+             Re.char ':';
+             Re.rep Re.space;
+             Re.group
+               (Re.alt
+                  [
+                    Re.seq
+                      [
+                        Re.opt (Re.char '-');
+                        Re.rep1 (Re.alt [ Re.digit; Re.char '.' ]);
+                      ];
+                    Re.str "true";
+                    Re.str "false";
+                  ]);
+           ];
+         Re.seq
+           [
+             Re.str "\"name\"";
+             Re.rep Re.space;
+             Re.char ':';
+             Re.rep Re.space;
+             Re.char '"';
+             Re.group (Re.rep (Re.compl [ Re.char '"' ]));
+             Re.char '"';
+           ];
+       ])
+
+let scalars src =
+  let context = ref "top-level" in
+  Re.all scalar_re src
+  |> List.filter_map (fun g ->
+         if Re.Group.test g 3 then begin
+           context := Re.Group.get g 3;
+           None
+         end
+         else
+           let key = Re.Group.get g 1 in
+           let raw = Re.Group.get g 2 in
+           let v =
+             match raw with
+             | "true" -> Bool true
+             | "false" -> Bool false
+             | n -> Num (float_of_string n)
+           in
+           Some { context = !context; key; v })
+
+let is_timing key =
+  key = "wall_s"
+  || (String.length key > 2 && Filename.check_suffix key "_s")
+
+let is_higher_better key =
+  let contains sub =
+    Re.execp (Re.compile (Re.str sub)) key
+  in
+  contains "speedup" || contains "rate"
+
+let () =
+  let usage () =
+    prerr_endline "usage: bench_diff BASELINE FRESH [TOLERANCE]";
+    exit 2
+  in
+  let baseline_path, fresh_path, tol =
+    match Array.to_list Sys.argv with
+    | [ _; b; f ] -> (b, f, 0.5)
+    | [ _; b; f; t ] -> (b, f, float_of_string t)
+    | _ -> usage ()
+  in
+  let load path =
+    match read_file path with
+    | Some s -> s
+    | None ->
+      Fmt.epr "bench-diff: cannot read %s@." path;
+      exit 2
+  in
+  let base = scalars (load baseline_path) in
+  let fresh = scalars (load fresh_path) in
+  if List.map (fun s -> s.key) base <> List.map (fun s -> s.key) fresh then begin
+    Fmt.epr
+      "bench-diff: %s and %s have different field sequences — the bench \
+       shape changed; regenerate the committed baseline@."
+      baseline_path fresh_path;
+    exit 3
+  end;
+  let warnings = ref 0 in
+  let warn fmt =
+    incr warnings;
+    Fmt.epr ("bench-diff: WARNING: " ^^ fmt ^^ "@.")
+  in
+  List.iter2
+    (fun b f ->
+      match (b.v, f.v) with
+      | Bool bb, Bool fb ->
+        if bb && not fb then
+          warn "%s/%s flipped true -> false" f.context f.key
+      | Num bn, Num fn ->
+        if is_timing b.key then begin
+          if fn > (bn *. (1.0 +. tol)) +. 0.05 then
+            warn "%s/%s slowed: %.3f -> %.3f (tolerance %.0f%%)" f.context
+              f.key bn fn (100.0 *. tol)
+        end
+        else if is_higher_better b.key then begin
+          if fn < (bn /. (1.0 +. tol)) -. 0.05 then
+            warn "%s/%s dropped: %.3f -> %.3f (tolerance %.0f%%)" f.context
+              f.key bn fn (100.0 *. tol)
+        end
+        else if bn > 0.0 && fn = 0.0 then
+          warn "%s/%s counter collapsed to 0 (baseline %.0f)" f.context f.key
+            bn
+      | _ ->
+        warn "%s/%s changed type" f.context f.key)
+    base fresh;
+  if !warnings = 0 then
+    Fmt.pr "bench-diff: %s vs %s: %d field(s) within tolerance@."
+      baseline_path fresh_path (List.length base)
+  else
+    Fmt.pr "bench-diff: %s vs %s: %d warning(s) (warn-only, not failing)@."
+      baseline_path fresh_path !warnings

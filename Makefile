@@ -1,8 +1,9 @@
 # Convenience targets; everything is plain dune underneath.
 
 CHAOS_SEED ?= 42
+FUZZ_SEED ?= 42
 
-.PHONY: all build test chaos trace-check equiv-check report-check \
+.PHONY: all build test chaos fuzz-smoke trace-check equiv-check report-check \
 	bench-diff check bench bench-formation bench-all clean
 
 all: build
@@ -17,6 +18,14 @@ test: build
 chaos: build
 	dune exec bin/chfc.exe -- chaos $(CHAOS_SEED) --workload sieve
 	dune exec bin/chfc.exe -- chaos $(CHAOS_SEED) --workload gzip_1 --ordering upio
+
+# Fuzz smoke: a fixed-seed ~200-case adversarial campaign (exits non-zero
+# on any finding) plus a replay of the committed regression corpus, whose
+# pass rate must be 100%.  The time budget keeps a pathological machine
+# from wedging the gate; early-stopped campaigns still report.
+fuzz-smoke: build
+	dune exec bin/chfc.exe -- fuzz --seed $(FUZZ_SEED) --count 200 --time-budget 120
+	dune exec bin/chfc.exe -- fuzz --replay test/corpus
 
 # Trace determinism: the formation decision log of a table-1 cell must be
 # identical under -j 1 and -j 4 (two workloads, so -j 4 actually runs the
@@ -53,7 +62,7 @@ bench-diff: build
 	TRIPS_BENCH_DIR=_build/bench dune exec bench/main.exe -- formation > /dev/null
 	dune exec tools/bench_diff.exe -- BENCH_formation.json _build/bench/BENCH_formation.json
 
-check: build test chaos trace-check equiv-check report-check bench-diff
+check: build test chaos fuzz-smoke trace-check equiv-check report-check bench-diff
 
 # Full-sweep benchmark of the staged engine (writes BENCH_sweep.json).
 bench: build

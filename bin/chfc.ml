@@ -449,6 +449,95 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc)
     Term.(const chaos_run $ seed_arg $ workload $ ordering $ policy)
 
+(* ---- fuzz -------------------------------------------------------------- *)
+
+let fuzz_run seed count time_budget minimize case_deadline json_out corpus_out
+    replay_dir =
+  let open Trips_fuzz in
+  let finish report =
+    Fmt.pr "%a" Fuzzer.pp_report report;
+    (match json_out with
+    | Some path -> write_text_file path (Fuzzer.report_json report ^ "\n")
+    | None -> ());
+    if report.Fuzzer.r_findings <> [] then exit 1
+  in
+  match replay_dir with
+  | Some dir -> (
+    match Fuzzer.replay ~dir with
+    | Error m ->
+      Fmt.epr "chfc: fuzz: %s@." m;
+      exit 2
+    | Ok report -> finish report)
+  | None ->
+    let progress i =
+      if count >= 200 && (i + 1) mod 100 = 0 then
+        Fmt.epr "fuzz: %d/%d cases...@." (i + 1) count
+    in
+    finish
+      (Fuzzer.run ~seed ~count ?time_budget_s:time_budget ~minimize
+         ?corpus_out ~case_deadline_s:case_deadline ~progress ())
+
+let fuzz_cmd =
+  let doc =
+    "Adversarial CFG fuzzing with a differential oracle: generated hard \
+     cases run through the full pipeline, every phase is verified, the \
+     fast path is checked against the all-hatches-off path, and the \
+     compiled result must match the input's functional checksum.  \
+     Failures are bucketed by triage fingerprint; exits non-zero when any \
+     bucket is non-empty."
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.") in
+  let count =
+    Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc:"Cases to run.")
+  in
+  let time_budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:"Stop generating new cases once this much wall-clock has elapsed.")
+  in
+  let minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:"Shrink each bucket's first failing case to a minimal reproducer.")
+  in
+  let case_deadline =
+    Arg.(
+      value & opt float 10.0
+      & info [ "case-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-case watchdog deadline; a case that exceeds it becomes a \
+             timeout:* finding instead of wedging the campaign.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the campaign report as JSON to $(docv).")
+  in
+  let corpus_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-out" ] ~docv:"DIR"
+          ~doc:"Write a (minimized) reproducer per bucket to $(docv).")
+  in
+  let replay_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "Instead of generating cases, replay every reproducer in $(docv) \
+             through the oracle; any failure is a regression.")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const fuzz_run $ seed $ count $ time_budget $ minimize $ case_deadline
+      $ json_out $ corpus_out $ replay_dir)
+
 (* ---- experiment commands ---------------------------------------------- *)
 
 let workloads_arg =
@@ -482,6 +571,22 @@ let cache_stats_arg =
           "After the sweep, print prefix-cache hit/miss counters and \
            cumulative per-stage wall-clock.")
 
+let stage_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stage-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Bound every pipeline stage of every cell with a $(docv) watchdog \
+           deadline.  A cell whose stage exceeds it reports a structured \
+           timed-out failure in the table while the other cells complete.  \
+           Without this flag no watchdog runs and output is byte-identical \
+           to earlier releases.")
+
+let apply_stage_deadline = function
+  | None -> ()
+  | Some d -> Trips_obs.Watchdog.set_stage_policy ~deadline_s:d ()
+
 (* every experiment shares the jobs/cache plumbing: resolve the flags to
    an engine width and a cache, and optionally report the cache verdict *)
 let sweep_env jobs no_cache =
@@ -506,7 +611,9 @@ let micro_selection names =
 
 let table1_cmd =
   let doc = "Reproduce Table 1 (phase orderings, cycle counts)." in
-  let run names jobs no_cache cache_stats trace chrome metrics metrics_json =
+  let run names jobs no_cache cache_stats deadline trace chrome metrics
+      metrics_json =
+    apply_stage_deadline deadline;
     with_obs trace chrome metrics metrics_json (fun () ->
         let jobs, cache = sweep_env jobs no_cache in
         Table1.render Fmt.stdout
@@ -516,11 +623,14 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc)
     Term.(
       const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
-      $ trace_arg $ chrome_trace_arg $ metrics_arg $ metrics_json_arg)
+      $ stage_deadline_arg $ trace_arg $ chrome_trace_arg $ metrics_arg
+      $ metrics_json_arg)
 
 let table2_cmd =
   let doc = "Reproduce Table 2 (block-selection heuristics)." in
-  let run names jobs no_cache cache_stats trace chrome metrics metrics_json =
+  let run names jobs no_cache cache_stats deadline trace chrome metrics
+      metrics_json =
+    apply_stage_deadline deadline;
     with_obs trace chrome metrics metrics_json (fun () ->
         let jobs, cache = sweep_env jobs no_cache in
         Table2.render Fmt.stdout
@@ -530,16 +640,19 @@ let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc)
     Term.(
       const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
-      $ trace_arg $ chrome_trace_arg $ metrics_arg $ metrics_json_arg)
+      $ stage_deadline_arg $ trace_arg $ chrome_trace_arg $ metrics_arg
+      $ metrics_json_arg)
 
 let table3_cmd =
   let doc = "Reproduce Table 3 (SPEC-like block counts)." in
-  let run names jobs no_cache cache_stats trace chrome metrics metrics_json =
+  let run names jobs no_cache cache_stats deadline trace chrome metrics
+      metrics_json =
     let workloads =
       match names with
       | [] -> Spec_like.all
       | names -> List.filter_map Spec_like.by_name names
     in
+    apply_stage_deadline deadline;
     with_obs trace chrome metrics metrics_json (fun () ->
         let jobs, cache = sweep_env jobs no_cache in
         Table3.render Fmt.stdout (Table3.run ~cache ~jobs ~workloads ());
@@ -548,11 +661,14 @@ let table3_cmd =
   Cmd.v (Cmd.info "table3" ~doc)
     Term.(
       const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
-      $ trace_arg $ chrome_trace_arg $ metrics_arg $ metrics_json_arg)
+      $ stage_deadline_arg $ trace_arg $ chrome_trace_arg $ metrics_arg
+      $ metrics_json_arg)
 
 let figure7_cmd =
   let doc = "Reproduce Figure 7 (cycle vs block count reduction)." in
-  let run names jobs no_cache cache_stats trace chrome metrics metrics_json =
+  let run names jobs no_cache cache_stats deadline trace chrome metrics
+      metrics_json =
+    apply_stage_deadline deadline;
     with_obs trace chrome metrics metrics_json (fun () ->
         let jobs, cache = sweep_env jobs no_cache in
         Figure7.render Fmt.stdout
@@ -562,7 +678,8 @@ let figure7_cmd =
   Cmd.v (Cmd.info "figure7" ~doc)
     Term.(
       const run $ workloads_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
-      $ trace_arg $ chrome_trace_arg $ metrics_arg $ metrics_json_arg)
+      $ stage_deadline_arg $ trace_arg $ chrome_trace_arg $ metrics_arg
+      $ metrics_json_arg)
 
 (* ---- report ------------------------------------------------------------ *)
 
@@ -598,14 +715,15 @@ let report_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Write the text report to $(docv) instead of stdout.")
   in
-  let run names ordering policy jobs no_cache cache_stats json out no_provenance
-      trace chrome metrics metrics_json =
+  let run names ordering policy jobs no_cache cache_stats deadline json out
+      no_provenance trace chrome metrics metrics_json =
     match (ordering_of_string ordering, policy_of_string policy) with
     | Error (`Msg m), _ | _, Error (`Msg m) ->
       Fmt.epr "chfc: %s@." m;
       exit 2
     | Ok ordering, Ok config ->
       apply_provenance no_provenance;
+      apply_stage_deadline deadline;
       with_obs trace chrome metrics metrics_json (fun () ->
           let jobs, cache = sweep_env jobs no_cache in
           let o =
@@ -626,8 +744,9 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ workloads_arg $ ordering $ policy $ jobs_arg $ no_cache_arg
-      $ cache_stats_arg $ json_arg $ out_arg $ no_provenance_arg $ trace_arg
-      $ chrome_trace_arg $ metrics_arg $ metrics_json_arg)
+      $ cache_stats_arg $ stage_deadline_arg $ json_arg $ out_arg
+      $ no_provenance_arg $ trace_arg $ chrome_trace_arg $ metrics_arg
+      $ metrics_json_arg)
 
 let () =
   let doc = "convergent hyperblock formation for TRIPS (MICRO 2006 reproduction)" in
@@ -636,6 +755,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; compile_cmd; compile_file_cmd; chaos_cmd; report_cmd;
-            table1_cmd; table2_cmd; table3_cmd; figure7_cmd;
+            list_cmd; compile_cmd; compile_file_cmd; chaos_cmd; fuzz_cmd;
+            report_cmd; table1_cmd; table2_cmd; table3_cmd; figure7_cmd;
           ]))

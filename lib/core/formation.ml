@@ -701,6 +701,12 @@ let expand_block st seed =
           drain ~progress:false
         end
       | Some c ->
+        (* watchdog: one poll per drained candidate — the convergent
+           loop's unit of work.  A pathological input that makes the
+           retry pool churn for seconds trips the stage deadline (or
+           fuel budget) here and surfaces as a structured [Timed_out]
+           cell failure instead of a hung sweep. *)
+        Trips_obs.Watchdog.check ();
         if !merge_budget <= 0 then drain_budget c
         else begin
           decr merge_budget;
@@ -803,6 +809,7 @@ let run config cfg profile : stats =
     in
     match List.find_opt (fun id -> not (Hashtbl.mem st.finalized id)) order with
     | Some seed ->
+      Trips_obs.Watchdog.check ();
       expand_block st seed;
       Hashtbl.replace st.finalized seed ();
       loop ()

@@ -1,0 +1,337 @@
+(* Textual reproducer corpus: a stable, diffable, line-oriented
+   rendering of one fuzz case.  Writer and parser round-trip exactly
+   (asserted in the tests), so minimized reproducers commit as
+   regression files and replay across sessions. *)
+
+open Trips_ir
+
+type entry = { bucket : string option; case : Gen.case }
+
+(* ---- rendering --------------------------------------------------------- *)
+
+let all_binops =
+  Opcode.
+    [ Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr; Asr ]
+
+let all_cmpops = Opcode.[ Eq; Ne; Lt; Le; Gt; Ge ]
+
+let binop_of_string s =
+  List.find_opt (fun b -> Opcode.binop_to_string b = s) all_binops
+
+let cmpop_of_string s =
+  List.find_opt (fun c -> Opcode.cmpop_to_string c = s) all_cmpops
+
+let operand_str = function
+  | Instr.Reg r -> Fmt.str "reg %d" r
+  | Instr.Imm k -> Fmt.str "imm %d" k
+
+let op_str = function
+  | Instr.Binop (b, d, x, y) ->
+    Fmt.str "%s %d %s %s" (Opcode.binop_to_string b) d (operand_str x)
+      (operand_str y)
+  | Instr.Cmp (c, d, x, y) ->
+    Fmt.str "cmp %s %d %s %s" (Opcode.cmpop_to_string c) d (operand_str x)
+      (operand_str y)
+  | Instr.Mov (d, x) -> Fmt.str "mov %d %s" d (operand_str x)
+  | Instr.Load (d, a, o) -> Fmt.str "load %d %s %d" d (operand_str a) o
+  | Instr.Store (v, a, o) -> Fmt.str "store %s %s %d" (operand_str v) (operand_str a) o
+  | Instr.Nullw r -> Fmt.str "nullw %d" r
+
+let guard_str = function
+  | None -> ""
+  | Some { Instr.greg; sense } -> Fmt.str "g %d %d " greg (if sense then 1 else 0)
+
+let render ?bucket (case : Gen.case) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "# chfc fuzz reproducer";
+  line "shape %s" (Gen.shape_name case.Gen.shape);
+  line "seed %d" case.Gen.seed;
+  Option.iter (fun b -> line "bucket %s" b) bucket;
+  (match case.Gen.payload with
+  | Gen.Lang_case r ->
+    line "recipe-name %s" r.Trips_workloads.Spec_like.name;
+    line "recipe-seed %d" r.Trips_workloads.Spec_like.seed;
+    line "recipe-outer %d" r.Trips_workloads.Spec_like.outer_iters;
+    line "recipe-segments %d" r.Trips_workloads.Spec_like.segments;
+    line "recipe-density %f" r.Trips_workloads.Spec_like.branch_density;
+    line "recipe-bias %f" r.Trips_workloads.Spec_like.branch_bias;
+    line "recipe-while %f" r.Trips_workloads.Spec_like.while_fraction;
+    line "recipe-nest %f" r.Trips_workloads.Spec_like.nest_prob;
+    line "recipe-stmts %d" r.Trips_workloads.Spec_like.stmts_per_block;
+    line "recipe-trips %s"
+      (String.concat ","
+         (List.map string_of_int r.Trips_workloads.Spec_like.trip_choices))
+  | Gen.Cfg_case { cfg; registers; mem_words } ->
+    line "name %s" cfg.Cfg.name;
+    line "mem %d" mem_words;
+    List.iter (fun (r, v) -> line "reg %d %d" r v) registers;
+    line "entry %d" cfg.Cfg.entry;
+    List.iter
+      (fun id ->
+        let b = Cfg.block cfg id in
+        line "block %d" id;
+        List.iter
+          (fun (i : Instr.t) ->
+            line "  i %d %s%s" i.Instr.id (guard_str i.Instr.guard)
+              (op_str i.Instr.op))
+          b.Block.instrs;
+        List.iter
+          (fun (e : Block.exit_) ->
+            let tgt =
+              match e.Block.target with
+              | Block.Goto d -> Fmt.str "goto %d" d
+              | Block.Ret None -> "ret none"
+              | Block.Ret (Some o) -> Fmt.str "ret %s" (operand_str o)
+            in
+            line "  x %s%s" (guard_str e.Block.eguard) tgt)
+          b.Block.exits;
+        line "end")
+      (Cfg.block_ids cfg));
+  Buffer.contents buf
+
+(* ---- parsing ----------------------------------------------------------- *)
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+exception Bad of string
+
+let int_of w = match int_of_string_opt w with
+  | Some n -> n
+  | None -> raise (Bad ("expected integer, got " ^ w))
+
+let float_of w = match float_of_string_opt w with
+  | Some f -> f
+  | None -> raise (Bad ("expected float, got " ^ w))
+
+let parse_operand = function
+  | "reg" :: r :: rest -> (Instr.Reg (int_of r), rest)
+  | "imm" :: k :: rest -> (Instr.Imm (int_of k), rest)
+  | w :: _ -> raise (Bad ("expected operand, got " ^ w))
+  | [] -> raise (Bad "expected operand, got end of line")
+
+let parse_guard = function
+  | "g" :: r :: s :: rest ->
+    (Some { Instr.greg = int_of r; sense = int_of s <> 0 }, rest)
+  | rest -> (None, rest)
+
+let parse_op ws =
+  match ws with
+  | "cmp" :: c :: d :: rest ->
+    let c = match cmpop_of_string c with
+      | Some c -> c
+      | None -> raise (Bad ("unknown cmp op " ^ c))
+    in
+    let x, rest = parse_operand rest in
+    let y, rest = parse_operand rest in
+    if rest <> [] then raise (Bad "trailing tokens");
+    Instr.Cmp (c, int_of d, x, y)
+  | "mov" :: d :: rest ->
+    let x, rest = parse_operand rest in
+    if rest <> [] then raise (Bad "trailing tokens");
+    Instr.Mov (int_of d, x)
+  | "load" :: d :: rest ->
+    let a, rest = parse_operand rest in
+    (match rest with
+    | [ o ] -> Instr.Load (int_of d, a, int_of o)
+    | _ -> raise (Bad "load: expected offset"))
+  | "store" :: rest ->
+    let v, rest = parse_operand rest in
+    let a, rest = parse_operand rest in
+    (match rest with
+    | [ o ] -> Instr.Store (v, a, int_of o)
+    | _ -> raise (Bad "store: expected offset"))
+  | [ "nullw"; r ] -> Instr.Nullw (int_of r)
+  | b :: d :: rest -> (
+    match binop_of_string b with
+    | None -> raise (Bad ("unknown op " ^ b))
+    | Some b ->
+      let x, rest = parse_operand rest in
+      let y, rest = parse_operand rest in
+      if rest <> [] then raise (Bad "trailing tokens");
+      Instr.Binop (b, int_of d, x, y))
+  | _ -> raise (Bad "malformed instruction")
+
+let parse_target = function
+  | [ "goto"; d ] -> Block.Goto (int_of d)
+  | [ "ret"; "none" ] -> Block.Ret None
+  | "ret" :: rest ->
+    let o, rest = parse_operand rest in
+    if rest <> [] then raise (Bad "trailing tokens");
+    Block.Ret (Some o)
+  | _ -> raise (Bad "malformed exit target")
+
+type st = {
+  mutable shape : Gen.shape option;
+  mutable seed : int option;
+  mutable bucket : string option;
+  mutable name : string;
+  mutable mem : int;
+  mutable regs : (int * int) list;
+  mutable entry : int option;
+  mutable blocks : (int * Instr.t list * Block.exit_ list) list;
+  (* recipe fields, only meaningful for lang cases *)
+  mutable r_name : string;
+  mutable r_seed : int;
+  mutable r_outer : int;
+  mutable r_segments : int;
+  mutable r_density : float;
+  mutable r_bias : float;
+  mutable r_while : float;
+  mutable r_nest : float;
+  mutable r_stmts : int;
+  mutable r_trips : int list;
+}
+
+let parse text =
+  let st =
+    {
+      shape = None; seed = None; bucket = None; name = "corpus"; mem = 256;
+      regs = []; entry = None; blocks = [];
+      r_name = "corpus"; r_seed = 1; r_outer = 1; r_segments = 1;
+      r_density = 0.0; r_bias = 0.5; r_while = 0.0; r_nest = 0.0;
+      r_stmts = 1; r_trips = [ 1 ];
+    }
+  in
+  let cur : (int * Instr.t list ref * Block.exit_ list ref) option ref = ref None in
+  let lineno = ref 0 in
+  try
+    String.split_on_char '\n' text
+    |> List.iter (fun raw ->
+           incr lineno;
+           let l = String.trim raw in
+           if l = "" || l.[0] = '#' then ()
+           else
+             match (words l, !cur) with
+             | "i" :: id :: rest, Some (_, instrs, _) ->
+               let guard, rest = parse_guard rest in
+               instrs := Instr.make ?guard (int_of id) (parse_op rest) :: !instrs
+             | "x" :: rest, Some (_, _, exits) ->
+               let eguard, rest = parse_guard rest in
+               exits := { Block.eguard; target = parse_target rest } :: !exits
+             | [ "end" ], Some (id, instrs, exits) ->
+               st.blocks <- (id, List.rev !instrs, List.rev !exits) :: st.blocks;
+               cur := None
+             | [ "block"; id ], None -> cur := Some (int_of id, ref [], ref [])
+             | [ "shape"; s ], None -> (
+               match Gen.shape_of_name s with
+               | Some sh -> st.shape <- Some sh
+               | None -> raise (Bad ("unknown shape " ^ s)))
+             | [ "seed"; n ], None -> st.seed <- Some (int_of n)
+             | "bucket" :: rest, None -> st.bucket <- Some (String.concat " " rest)
+             | [ "name"; n ], None -> st.name <- n
+             | [ "mem"; n ], None -> st.mem <- int_of n
+             | [ "reg"; r; v ], None -> st.regs <- (int_of r, int_of v) :: st.regs
+             | [ "entry"; n ], None -> st.entry <- Some (int_of n)
+             | [ "recipe-name"; n ], None -> st.r_name <- n
+             | [ "recipe-seed"; n ], None -> st.r_seed <- int_of n
+             | [ "recipe-outer"; n ], None -> st.r_outer <- int_of n
+             | [ "recipe-segments"; n ], None -> st.r_segments <- int_of n
+             | [ "recipe-density"; f ], None -> st.r_density <- float_of f
+             | [ "recipe-bias"; f ], None -> st.r_bias <- float_of f
+             | [ "recipe-while"; f ], None -> st.r_while <- float_of f
+             | [ "recipe-nest"; f ], None -> st.r_nest <- float_of f
+             | [ "recipe-stmts"; n ], None -> st.r_stmts <- int_of n
+             | [ "recipe-trips"; ts ], None ->
+               st.r_trips <-
+                 String.split_on_char ',' ts |> List.map int_of
+             | _ -> raise (Bad ("unrecognized line: " ^ l)));
+    if !cur <> None then raise (Bad "unterminated block");
+    let shape = match st.shape with
+      | Some s -> s
+      | None -> raise (Bad "missing shape")
+    in
+    let seed = match st.seed with
+      | Some s -> s
+      | None -> raise (Bad "missing seed")
+    in
+    let case =
+      match shape with
+      | Gen.Lang_program ->
+        {
+          Gen.shape; seed;
+          payload =
+            Gen.Lang_case
+              {
+                Trips_workloads.Spec_like.name = st.r_name;
+                seed = st.r_seed;
+                outer_iters = st.r_outer;
+                segments = st.r_segments;
+                branch_density = st.r_density;
+                branch_bias = st.r_bias;
+                while_fraction = st.r_while;
+                trip_choices = st.r_trips;
+                nest_prob = st.r_nest;
+                stmts_per_block = st.r_stmts;
+              };
+        }
+      | _ ->
+        let entry = match st.entry with
+          | Some e -> e
+          | None -> raise (Bad "missing entry")
+        in
+        let cfg = Cfg.create ~name:st.name () in
+        let max_block = ref 0 and max_instr = ref 0 and max_reg = ref 0 in
+        List.iter
+          (fun (id, instrs, exits) ->
+            max_block := max !max_block id;
+            List.iter
+              (fun (i : Instr.t) ->
+                max_instr := max !max_instr i.Instr.id;
+                List.iter (fun r -> max_reg := max !max_reg r)
+                  (Instr.defs i @ Instr.uses i))
+              instrs;
+            Cfg.set_block cfg (Block.make id instrs exits))
+          (List.rev st.blocks);
+        cfg.Cfg.entry <- entry;
+        cfg.Cfg.next_block <- !max_block + 1;
+        cfg.Cfg.next_instr <- !max_instr + 1;
+        cfg.Cfg.next_reg <- max (!max_reg + 1) Machine.first_virtual_reg;
+        Cfg.validate cfg;
+        {
+          Gen.shape; seed;
+          payload =
+            Gen.Cfg_case
+              { cfg; registers = List.rev st.regs; mem_words = st.mem };
+        }
+    in
+    Ok { bucket = st.bucket; case }
+  with
+  | Bad msg -> Error (Fmt.str "line %d: %s" !lineno msg)
+  | Cfg.Ill_formed msg -> Error ("ill-formed CFG: " ^ msg)
+
+(* ---- filesystem -------------------------------------------------------- *)
+
+let save ~dir ~name ?bucket case =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".chfz") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?bucket case));
+  path
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then Ok []
+  else
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".chfz")
+      |> List.sort compare
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest -> (
+        let path = Filename.concat dir f in
+        let ic = open_in_bin path in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match parse text with
+        | Ok e -> go ((f, e) :: acc) rest
+        | Error msg -> Error (Fmt.str "%s: %s" path msg))
+    in
+    go [] files

@@ -1,0 +1,25 @@
+(** Textual reproducer corpus under [test/corpus/].
+
+    A corpus file is a self-contained, line-oriented rendering of one
+    fuzz case — either a full CFG (blocks, instructions, guards, exits,
+    initial registers and memory size) or a mini-language recipe — plus
+    the bucket it was filed under.  The format is stable and diffable,
+    so minimized reproducers commit as regression tests and replay
+    byte-for-byte across sessions ([chfc fuzz --corpus DIR]). *)
+
+type entry = { bucket : string option; case : Gen.case }
+
+val render : ?bucket:string -> Gen.case -> string
+(** Serialize a case to the corpus text format. *)
+
+val parse : string -> (entry, string) result
+(** Parse a corpus file's contents; [Error] carries a message with the
+    offending line. *)
+
+val save : dir:string -> name:string -> ?bucket:string -> Gen.case -> string
+(** Write the case to [dir/name.chfz] (creating [dir] if needed) and
+    return the path. *)
+
+val load_dir : string -> ((string * entry) list, string) result
+(** Parse every [*.chfz] file in the directory, sorted by filename; the
+    first unparsable file fails the whole load. *)

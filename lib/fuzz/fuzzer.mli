@@ -1,0 +1,58 @@
+(** The fuzzing campaign driver.
+
+    Generates cases ({!Gen}), runs the differential oracle ({!Oracle})
+    under a per-case watchdog scope, buckets failures ({!Triage}),
+    optionally minimizes each first-of-bucket finding ({!Shrink}) and
+    writes reproducers to a corpus directory ({!Corpus}).  Also replays
+    an existing corpus as a regression suite.  Everything is
+    deterministic per seed except wall-clock fields. *)
+
+type finding = {
+  fd_index : int;  (** campaign position of the first case in the bucket *)
+  fd_seed : int;
+  fd_shape : Gen.shape;
+  fd_stage : string;
+  fd_bucket : string;
+  fd_reason : string;
+  fd_count : int;  (** cases that landed in this bucket *)
+  fd_min : Gen.case option;  (** minimized reproducer, when [minimize] *)
+  fd_repro : string option;  (** corpus path written, when [corpus_out] *)
+}
+
+type report = {
+  r_seed : int;
+  r_requested : int;
+  r_executed : int;
+  r_passed : int;
+  r_findings : finding list;  (** one per bucket, first occurrence order *)
+  r_elapsed_s : float;
+  r_early_stop : bool;  (** the time budget expired before [count] cases *)
+}
+
+val run :
+  ?count:int ->
+  ?time_budget_s:float ->
+  ?minimize:bool ->
+  ?corpus_out:string ->
+  ?case_deadline_s:float ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  unit ->
+  report
+(** Run a campaign of [count] (default 200) cases from [seed].
+    [time_budget_s] (default none) stops early once exceeded;
+    [case_deadline_s] (default 10) bounds each case via the watchdog, so
+    a formation hang becomes a [timeout:*] finding instead of a wedge;
+    [minimize] shrinks each bucket's first case; [corpus_out] writes
+    (minimized) reproducers there.  [progress] is called per case. *)
+
+val replay : dir:string -> (report, string) result
+(** Run the oracle over every corpus file in [dir] (sorted); a corpus
+    case that no longer passes is a finding.  [Error] for an unreadable
+    or unparsable corpus. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable campaign summary with per-bucket findings. *)
+
+val report_json : report -> string
+(** The same report as a single JSON object. *)

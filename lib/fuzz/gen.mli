@@ -1,0 +1,54 @@
+(** Seeded adversarial case generator for the fuzzer.
+
+    Every shape targets a hard case of hyperblock formation: irreducible
+    regions that defeat loop-based head duplication, blocks sitting
+    exactly at the 32-store budget, deep dataflow-predicate chains,
+    switch-style indirect fanout, register-bank pressure near the 32
+    read/write budgets, degenerate single blocks near the 128-slot cap,
+    random strict CFGs, and whole mini-language programs with
+    adversarial control-flow knobs.
+
+    All generated CFGs are valid inputs by construction: structurally
+    well formed ({!Trips_ir.Cfg.validate} and
+    {!Trips_verify.Cfg_verify.check} clean), self-contained (no
+    parameter registers), and terminating (every loop counts down a
+    counter initialized in the entry block), so any oracle failure
+    indicts the pipeline, never the case.  Generation is deterministic
+    per seed. *)
+
+open Trips_ir
+
+type shape =
+  | Irreducible  (** a two-entry loop: head duplication cannot normalize it *)
+  | Nested_loops  (** a depth-2..4 counted loop nest *)
+  | Store_dense  (** chained blocks at exactly the 32-store budget *)
+  | Predicate_chain  (** a deep chain of guarded computes and compares *)
+  | Fanout  (** a switch-style dispatch with 6..10 one-hot guarded exits *)
+  | Bank_pressure  (** cross-block value sets near the 32 read/write budgets *)
+  | Giant_block  (** one block near the 128-instruction cap, self-looping *)
+  | Random_cfg  (** a random connected strict CFG, forward-progress execution *)
+  | Lang_program  (** a mini-language program with adversarial recipe knobs *)
+
+val all_shapes : shape list
+val shape_name : shape -> string
+val shape_of_name : string -> shape option
+
+type payload =
+  | Cfg_case of {
+      cfg : Cfg.t;
+      registers : (int * int) list;  (** parameter preloads (usually empty) *)
+      mem_words : int;
+    }
+  | Lang_case of Trips_workloads.Spec_like.recipe
+
+type case = { shape : shape; seed : int; payload : payload }
+
+val memory_of : mem_words:int -> int array
+(** The deterministic initial memory image every CFG-case run uses. *)
+
+val generate : shape -> seed:int -> case
+(** Build one case; deterministic per [(shape, seed)]. *)
+
+val generate_nth : base_seed:int -> int -> case
+(** Case [i] of a campaign: shapes round-robin so every campaign covers
+    all of them, with a per-case seed derived from [base_seed] and [i]. *)

@@ -1,0 +1,169 @@
+(* Greedy reproducer minimization: try reductions, keep those that stay
+   valid and keep failing in the same bucket. *)
+
+open Trips_ir
+
+(* ---- CFG reductions ---------------------------------------------------- *)
+
+(* Delete block [victim], rerouting every edge into it: to its own first
+   Goto successor when that is a different block, else to a Ret.  The
+   entry block is never deleted. *)
+let drop_block cfg victim =
+  if victim = cfg.Cfg.entry then None
+  else
+    match Cfg.block_opt cfg victim with
+    | None -> None
+    | Some vb ->
+      let cfg = Cfg.copy cfg in
+      let replacement =
+        List.find_map
+          (fun (e : Block.exit_) ->
+            match e.Block.target with
+            | Block.Goto d when d <> victim -> Some (Block.Goto d)
+            | _ -> None)
+          vb.Block.exits
+        |> Option.value ~default:(Block.Ret None)
+      in
+      List.iter
+        (fun (b : Block.t) ->
+          if b.Block.id <> victim then begin
+            let exits =
+              List.map
+                (fun (e : Block.exit_) ->
+                  match e.Block.target with
+                  | Block.Goto d when d = victim -> { e with Block.target = replacement }
+                  | _ -> e)
+                b.Block.exits
+            in
+            Cfg.set_block cfg { b with Block.exits }
+          end)
+        (Cfg.blocks cfg);
+      Cfg.remove_block cfg victim;
+      Some cfg
+
+let drop_instr cfg block_id instr_idx =
+  match Cfg.block_opt cfg block_id with
+  | None -> None
+  | Some b when List.length b.Block.instrs <= instr_idx -> None
+  | Some b ->
+    let cfg = Cfg.copy cfg in
+    let instrs = List.filteri (fun i _ -> i <> instr_idx) b.Block.instrs in
+    Cfg.set_block cfg { b with Block.instrs };
+    Some cfg
+
+(* Collapse a block's exits to just the first arm, unguarded. *)
+let collapse_exits cfg block_id =
+  match Cfg.block_opt cfg block_id with
+  | None -> None
+  | Some b when List.length b.Block.exits <= 1 -> None
+  | Some b ->
+    let cfg = Cfg.copy cfg in
+    let first = List.hd b.Block.exits in
+    Cfg.set_block cfg
+      { b with Block.exits = [ { first with Block.eguard = None } ] };
+    Some cfg
+
+(* A reduced CFG is admissible as a fuzz input only if it is
+   structurally valid, verifier-clean, and terminates quickly. *)
+let admissible ~registers ~mem_words cfg =
+  match Cfg.validate cfg with
+  | exception Cfg.Ill_formed _ -> false
+  | () -> (
+    let params = IntSet.of_list (List.map fst registers) in
+    match
+      Trips_verify.Cfg_verify.check ~allow_unreachable:false ~params cfg
+    with
+    | _ :: _ -> false
+    | [] -> (
+      match
+        Trips_obs.Watchdog.run ~fuel:200_000 ~stage:"shrink-sim" (fun () ->
+            Trips_sim.Func_sim.run ~fuel:2_000_000 ~registers
+              ~memory:(Gen.memory_of ~mem_words) cfg)
+      with
+      | exception _ -> false
+      | _ -> true))
+
+let cfg_candidates (case : Gen.case) cfg registers mem_words =
+  let remake cfg =
+    { case with Gen.payload = Gen.Cfg_case { cfg; registers; mem_words } }
+  in
+  let ids = Cfg.block_ids cfg in
+  let blocks = List.map (fun id -> (id, Cfg.block cfg id)) ids in
+  List.concat
+    [
+      (* coarsest first: whole blocks, then exits, then instructions *)
+      List.filter_map (fun id -> drop_block cfg id) ids;
+      List.filter_map (fun (id, _) -> collapse_exits cfg id) blocks;
+      List.concat_map
+        (fun (id, b) ->
+          List.init (List.length b.Block.instrs) (fun i -> drop_instr cfg id i)
+          |> List.filter_map Fun.id)
+        blocks;
+    ]
+  |> List.filter (admissible ~registers ~mem_words)
+  |> List.map remake
+
+(* ---- recipe reductions ------------------------------------------------- *)
+
+let recipe_candidates (case : Gen.case) (r : Trips_workloads.Spec_like.recipe) =
+  let open Trips_workloads.Spec_like in
+  let remake r = { case with Gen.payload = Gen.Lang_case r } in
+  let shrink_int v lo = if v > lo then [ lo; (v + lo) / 2 ] else [] in
+  let shrink_float v = if v > 0.0 then [ 0.0; v /. 2.0 ] else [] in
+  List.concat
+    [
+      List.map (fun v -> { r with outer_iters = v }) (shrink_int r.outer_iters 1);
+      List.map (fun v -> { r with segments = v }) (shrink_int r.segments 1);
+      List.map (fun v -> { r with stmts_per_block = v }) (shrink_int r.stmts_per_block 1);
+      List.map (fun v -> { r with nest_prob = v }) (shrink_float r.nest_prob);
+      List.map (fun v -> { r with branch_density = v }) (shrink_float r.branch_density);
+      List.map (fun v -> { r with while_fraction = v }) (shrink_float r.while_fraction);
+      (if List.length r.trip_choices > 1 then
+         [ { r with trip_choices = [ List.hd r.trip_choices ] } ]
+       else []);
+    ]
+  |> List.sort_uniq compare
+  |> List.filter (fun r' -> r' <> r)
+  |> List.map remake
+
+let size_of (case : Gen.case) =
+  match case.Gen.payload with
+  | Gen.Cfg_case { cfg; _ } -> (Cfg.num_blocks cfg * 1000) + Cfg.total_instrs cfg
+  | Gen.Lang_case r ->
+    let open Trips_workloads.Spec_like in
+    (r.outer_iters * 100) + (r.segments * 50) + (r.stmts_per_block * 10)
+    + int_of_float ((r.nest_prob +. r.branch_density +. r.while_fraction) *. 30.)
+
+let candidates (case : Gen.case) =
+  match case.Gen.payload with
+  | Gen.Cfg_case { cfg; registers; mem_words } ->
+    cfg_candidates case cfg registers mem_words
+  | Gen.Lang_case r -> recipe_candidates case r
+
+let shrink ?(max_oracle_calls = 300) ~oracle ~bucket case =
+  let calls = ref 0 in
+  let still_fails c =
+    if !calls >= max_oracle_calls then false
+    else begin
+      incr calls;
+      match oracle c with
+      | Oracle.Fail { bucket = b; _ } -> b = bucket
+      | Oracle.Pass -> false
+      | exception _ -> false
+    end
+  in
+  (* greedy first-improvement: take the first smaller candidate that
+     still fails the same way, restart from it *)
+  let rec go current =
+    if !calls >= max_oracle_calls then current
+    else
+      let smaller =
+        candidates current
+        |> List.filter (fun c -> size_of c < size_of current)
+        |> List.sort (fun a b -> compare (size_of a) (size_of b))
+      in
+      match List.find_opt still_fails smaller with
+      | Some better -> go better
+      | None -> current
+  in
+  go case

@@ -1,0 +1,20 @@
+(** Greedy reproducer minimization.
+
+    Given a failing case and the bucket it failed in, repeatedly try
+    structure-removing reductions — drop a block (rerouting its
+    predecessors), drop one instruction, collapse a multi-way exit to
+    its first arm — and keep any reduction that (a) still yields a
+    valid, terminating input and (b) still fails the oracle {e in the
+    same bucket}.  Mini-language cases shrink their recipe knobs
+    instead.  Greedy first-improvement, bounded by an oracle-call
+    budget, so minimization always terminates. *)
+
+val shrink :
+  ?max_oracle_calls:int ->
+  oracle:(Gen.case -> Oracle.verdict) ->
+  bucket:string ->
+  Gen.case ->
+  Gen.case
+(** Smallest same-bucket failing case found within the budget (default
+    300 oracle calls); the input case itself if nothing smaller fails
+    the same way. *)

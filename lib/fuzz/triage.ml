@@ -1,0 +1,99 @@
+(* Crash bucketing: stable fingerprints for oracle failures, so the
+   fuzzer reports one bucket per distinct breakage rather than one
+   finding per case. *)
+
+open Trips_verify
+
+let slug s =
+  let buf = Buffer.create (String.length s) in
+  let last_dash = ref true in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as c ->
+        Buffer.add_char buf c;
+        last_dash := false
+      | _ ->
+        if not !last_dash then Buffer.add_char buf '-';
+        last_dash := true)
+    s;
+  let s = Buffer.contents buf in
+  (* trim a trailing dash left by non-alphanumeric suffixes *)
+  if s <> "" && s.[String.length s - 1] = '-' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+(* Over_budget is refined by the exceeded axes: blowing the instruction
+   budget and blowing the LSID budget are different bugs. *)
+let violation_atom = function
+  | Cfg_verify.Missing_entry _ -> "missing-entry"
+  | Cfg_verify.No_exit _ -> "no-exit"
+  | Cfg_verify.Multiple_unguarded_exits _ -> "multi-unguarded"
+  | Cfg_verify.Dangling_edge _ -> "dangling-edge"
+  | Cfg_verify.Unreachable_block _ -> "unreachable"
+  | Cfg_verify.Duplicate_instr_id _ -> "dup-instr-id"
+  | Cfg_verify.Undefined_use { in_guard; _ } ->
+    if in_guard then "undefined-guard" else "undefined-use"
+  | Cfg_verify.Over_budget { estimate = e; limits = l; _ } ->
+    let axes =
+      List.filter_map
+        (fun (name, got, cap) -> if got > cap then Some name else None)
+        [
+          ("instrs", e.Chf.Constraints.instrs, l.Chf.Constraints.max_instrs);
+          ("ls", e.Chf.Constraints.loads_stores, l.Chf.Constraints.max_load_store);
+          ("reads", e.Chf.Constraints.reads, l.Chf.Constraints.max_reads);
+          ("writes", e.Chf.Constraints.writes, l.Chf.Constraints.max_writes);
+        ]
+    in
+    "over-budget[" ^ String.concat "," axes ^ "]"
+
+let of_violations viols =
+  let atoms = List.sort_uniq compare (List.map violation_atom viols) in
+  String.concat "+" atoms
+
+let of_exn ~stage exn =
+  match exn with
+  | Trips_obs.Watchdog.Timed_out { wd_stage; _ } -> "timeout:" ^ slug wd_stage
+  | Cfg_verify.Invalid (_, viols) -> stage ^ ":invalid:" ^ of_violations viols
+  | Trips_ir.Cfg.Ill_formed _ -> stage ^ ":ill-formed"
+  | Trips_sim.Func_sim.Out_of_fuel _ -> stage ^ ":out-of-fuel"
+  | Trips_sim.Func_sim.Exit_invariant_violated _ -> stage ^ ":exit-invariant"
+  | Trips_harness.Pipeline.Miscompiled _ -> stage ^ ":miscompiled"
+  | Stack_overflow -> stage ^ ":stack-overflow"
+  | Failure _ -> stage ^ ":failure"
+  | Invalid_argument _ -> stage ^ ":invalid-argument"
+  | Not_found -> stage ^ ":not-found"
+  | Assert_failure _ -> stage ^ ":assert"
+  | e ->
+    (* fall back to the constructor: the head of the printed form,
+       payload stripped, so messages that embed per-case data still
+       bucket together *)
+    let s = Printexc.to_string e in
+    let head =
+      match String.index_opt s '(' with
+      | Some i -> String.sub s 0 i
+      | None -> ( match String.index_opt s ' ' with
+        | Some i -> String.sub s 0 i
+        | None -> s)
+    in
+    stage ^ ":" ^ slug head
+
+let of_diff_failure (f : Diff_check.failure) =
+  let kind =
+    match f.Diff_check.kind with
+    | Diff_check.Structural viols -> "invalid:" ^ of_violations viols
+    | Diff_check.Diverged _ -> "diverged"
+    | Diff_check.Crashed msg ->
+      (* a watchdog trip inside a phase step surfaces here as a crash
+         string; keep it in the timeout bucket family *)
+      let contains sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      if contains "Timed_out" msg then "timeout:phase"
+      else "crash:" ^ slug (String.sub msg 0 (min 24 (String.length msg)))
+  in
+  "formation:" ^ slug f.Diff_check.phase ^ ":" ^ kind
+
+let divergence ~stage = stage ^ ":diverged"

@@ -1,0 +1,30 @@
+(** Crash bucketing: map an oracle failure to a stable fingerprint.
+
+    Two failing fuzz cases land in the same bucket when they broke the
+    same way: the same pipeline stage, the same exception constructor or
+    verifier violation set, the same over-budget axes.  Buckets are what
+    the fuzzer deduplicates, shrinks and reports on — a thousand cases
+    tripping one formation bug is one bucket with a count, not a
+    thousand findings. *)
+
+val slug : string -> string
+(** Collapse a free-form message to a filename-safe fingerprint atom:
+    lowercase, [[a-z0-9]] runs kept, everything else a single dash. *)
+
+val of_violations : Trips_verify.Cfg_verify.violation list -> string
+(** Fingerprint of a structural-violation set: the sorted, deduplicated
+    constructor names, with {!Trips_verify.Cfg_verify.Over_budget}
+    refined by which budget axes are exceeded (an instruction-count
+    blowout and an LSID blowout are different bugs). *)
+
+val of_exn : stage:string -> exn -> string
+(** Fingerprint of an escaped exception: the constructor (not the
+    payload, which varies per case), prefixed by the stage. A
+    {!Trips_obs.Watchdog.Timed_out} becomes [timeout:<scope>]. *)
+
+val of_diff_failure : Trips_verify.Diff_check.failure -> string
+(** Fingerprint of a per-phase differential failure: the failing phase
+    plus the kind (structural fingerprint, divergence, or crash). *)
+
+val divergence : stage:string -> string
+(** Fingerprint for an end-to-end checksum mismatch at [stage]. *)

@@ -38,11 +38,20 @@ exception
     vf_failure : Trips_verify.Diff_check.failure;
   }
 
+type failure_kind =
+  | Crash
+  | Timed_out of {
+      to_stage : string;
+      to_reason : Trips_obs.Watchdog.reason;
+      to_spent_s : float;
+    }
+
 type failure = {
   fail_workload : string;
   fail_ordering : Chf.Phases.ordering option;
   fail_phase : string;
   fail_reason : string;
+  fail_kind : failure_kind;
 }
 
 let pp_divergence fmt d =
@@ -52,9 +61,12 @@ let pp_divergence fmt d =
     d.div_phase d.div_got d.div_expected
 
 let pp_failure fmt f =
-  Fmt.pf fmt "%s%a failed in %s: %s" f.fail_workload
+  let verb =
+    match f.fail_kind with Crash -> "failed" | Timed_out _ -> "timed out"
+  in
+  Fmt.pf fmt "%s%a %s in %s: %s" f.fail_workload
     Fmt.(option (using Chf.Phases.name (fmt " under %s")))
-    f.fail_ordering f.fail_phase f.fail_reason
+    f.fail_ordering verb f.fail_phase f.fail_reason
 
 type compiled = {
   workload : Workload.t;
@@ -163,12 +175,18 @@ let compile ?cache ?(config = Chf.Policy.edge_default) ?(backend = true)
     else
       match run_backend cfg with
       | report -> (cfg, registers, stats, Some report, 0, false)
+      | exception (Trips_obs.Watchdog.Timed_out _ as e) ->
+        (* a timeout is a budget verdict, not a structural rejection:
+           retrying would spend the remaining sweep budget re-running
+           the same slow cell, so surface it as a failure immediately *)
+        raise e
       | exception _ -> (
         (* the back end may have partially rewritten the CFG: rebuild
            from scratch, split every over-budget hyperblock, retry *)
         let cfg, registers, stats, splits = build ~presplit:true in
         match run_backend cfg with
         | report -> (cfg, registers, stats, Some report, splits, true)
+        | exception (Trips_obs.Watchdog.Timed_out _ as e) -> raise e
         | exception _ ->
           (* still rejected: last resort is to skip the back end *)
           let cfg, registers, stats, _ = build ~presplit:false in
@@ -245,8 +263,19 @@ let verify_against ~(baseline : Func_sim.result) (c : compiled) =
 
 (** Structured failure report for an exception escaping the pipeline. *)
 let failure_of_exn ~(workload : Workload.t) ~ordering exn =
+  let kind =
+    match exn with
+    | Trips_obs.Watchdog.Timed_out { wd_stage; wd_reason; wd_spent_s } ->
+      Timed_out
+        { to_stage = wd_stage; to_reason = wd_reason; to_spent_s = wd_spent_s }
+    | _ -> Crash
+  in
   let phase, reason =
     match exn with
+    | Trips_obs.Watchdog.Timed_out { wd_stage; wd_reason; wd_spent_s } ->
+      ( wd_stage,
+        Fmt.str "%a" Trips_obs.Watchdog.pp_timed_out
+          (wd_stage, wd_reason, wd_spent_s) )
     | Verify_failed { vf_failure; _ } ->
       ( vf_failure.Trips_verify.Diff_check.phase,
         Fmt.str "%a" Trips_verify.Diff_check.pp_failure vf_failure )
@@ -268,6 +297,7 @@ let failure_of_exn ~(workload : Workload.t) ~ordering exn =
     fail_ordering = ordering;
     fail_phase = phase;
     fail_reason = reason;
+    fail_kind = kind;
   }
 
 (** [compile], but an unrecoverable workload becomes a structured

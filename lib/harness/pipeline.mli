@@ -42,11 +42,22 @@ exception
 (** Raised by [compile ~verify:true] when a phase breaks a structural
     invariant or changes observable behavior. *)
 
+type failure_kind =
+  | Crash  (** an exception classified by phase (the historical kind) *)
+  | Timed_out of {
+      to_stage : string;  (** the watchdog scope that expired *)
+      to_reason : Trips_obs.Watchdog.reason;
+      to_spent_s : float;
+    }
+      (** a per-stage watchdog budget expired: the cell was slow or
+          hung, not wrong — siblings in the sweep are unaffected *)
+
 type failure = {
   fail_workload : string;
   fail_ordering : Chf.Phases.ordering option;
   fail_phase : string;  (** "lower", "formation", "verify", "backend", ... *)
   fail_reason : string;
+  fail_kind : failure_kind;
 }
 (** A structured per-workload failure report; sweeps record these and
     continue instead of aborting. *)

@@ -73,6 +73,18 @@ let timings () =
    durations come off the same clock, exceptions still account. *)
 let time stage f =
   let name = stage_name stage in
+  (* watchdog: when a global stage policy is installed (sweep harness,
+     [chfc --stage-deadline], the fuzzer), the stage body runs under a
+     deadline/fuel scope; a cooperative check inside the stage then
+     raises [Watchdog.Timed_out], which the pipeline's failure machinery
+     reports per cell.  With no policy (the default) the wrapper is the
+     identity and timed output is byte-identical to pre-watchdog runs. *)
+  let f =
+    match Trips_obs.Watchdog.stage_policy name with
+    | None -> f
+    | Some (deadline_s, fuel) ->
+      fun () -> Trips_obs.Watchdog.run ?deadline_s ?fuel ~stage:name f
+  in
   Trips_obs.Trace.span ("stage." ^ name)
     ~on_close:(fun dt ->
       Mutex.protect timing_mutex (fun () ->

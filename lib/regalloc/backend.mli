@@ -16,3 +16,9 @@ type report = {
 
 val run : ?max_rounds:int -> Cfg.t -> report
 (** Run the back end on a formed CFG, in place. *)
+
+val reject_for_tests : int ref
+(** Test-only fault injection: while positive, each {!run} decrements
+    the counter and raises instead of allocating, exercising the
+    pipeline's split-and-retry and backend-off degradation paths
+    ([0] in production). *)

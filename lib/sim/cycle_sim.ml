@@ -144,6 +144,10 @@ let issue_at m ~ready =
    run total exactly) and any flush its branch resolution caused. *)
 let retire ?attribution m ~next =
   if m.started then begin
+    (* watchdog: the retire loop runs once per dynamic block instance;
+       polling here bounds the timing model independently of the
+       functional driver (whose own poll covers the fetch side) *)
+    Trips_obs.Watchdog.check ();
     let t = m.t in
     let events = List.rev m.cur_events in
     let n_instrs = List.length events in

@@ -102,6 +102,11 @@ let run ?(fuel = 50_000_000) ?(strict_exits = true) ?(hooks = no_hooks)
   let instrs_executed = ref 0 in
   let instrs_fetched = ref 0 in
   let rec step id =
+    (* watchdog: one poll per dynamic block.  Fuel only bounds dynamic
+       *instructions*, so an empty self-looping block would spin forever
+       without this; under an active scope the spin becomes a structured
+       [Watchdog.Timed_out] instead. *)
+    Trips_obs.Watchdog.check ();
     let b = Cfg.block cfg id in
     incr blocks_executed;
     hooks.on_block id;

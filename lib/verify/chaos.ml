@@ -16,12 +16,14 @@ type fault =
   | Oversubscribe_loads
   | Orphan_block
   | Corrupt_arithmetic
+  | Stall_spin
+  | Alloc_spike
 
 let all_faults =
   [
     Drop_entry; Dangle_edge; Strip_exits; Double_unguarded; Clone_instr_id;
     Undefined_use; Corrupt_predicate; Oversubscribe_loads; Orphan_block;
-    Corrupt_arithmetic;
+    Corrupt_arithmetic; Stall_spin; Alloc_spike;
   ]
 
 let fault_name = function
@@ -35,6 +37,8 @@ let fault_name = function
   | Oversubscribe_loads -> "oversubscribe-loads"
   | Orphan_block -> "orphan-block"
   | Corrupt_arithmetic -> "corrupt-arithmetic"
+  | Stall_spin -> "stall-spin"
+  | Alloc_spike -> "alloc-spike"
 
 type injection = { fault : fault; cfg : Cfg.t; note : string }
 
@@ -196,11 +200,51 @@ let inject rng fault victim =
       in
       Cfg.set_block cfg { b with Block.instrs };
       install (Fmt.str "i%d in b%d immediate bumped" i.Instr.id b.Block.id))
+  | Stall_spin ->
+    (* A fresh empty block that jumps to itself, with every return exit
+       retargeted into it: structurally legal, and with zero instructions
+       per iteration the simulator's instruction-count fuel never ticks —
+       only the block-level watchdog poll can catch it. *)
+    let spin = Cfg.fresh_block_id cfg in
+    Cfg.set_block cfg
+      (Block.make spin [] [ { Block.eguard = None; target = Block.Goto spin } ]);
+    let retargeted = ref 0 in
+    List.iter
+      (fun (b : Block.t) ->
+        let exits =
+          List.map
+            (fun (e : Block.exit_) ->
+              match e.Block.target with
+              | Block.Ret _ ->
+                incr retargeted;
+                { e with Block.target = Block.Goto spin }
+              | Block.Goto _ -> e)
+            b.Block.exits
+        in
+        Cfg.set_block cfg { b with Block.exits })
+      blocks;
+    if !retargeted = 0 then None
+    else install (Fmt.str "%d returns retargeted to empty spin b%d" !retargeted spin)
+  | Alloc_spike -> (
+    (* An allocation spike: one block inflated far past the 128-instr
+       budget, the way a runaway duplication pass would. *)
+    match pick rng blocks with
+    | None -> None
+    | Some b ->
+      let n = 40 * Machine.max_instrs in
+      let movs =
+        List.init n (fun k -> Cfg.instr cfg (Instr.Mov (Cfg.fresh_reg cfg, Instr.Imm k)))
+      in
+      Cfg.set_block cfg { b with Block.instrs = b.Block.instrs @ movs };
+      install
+        (Fmt.str "b%d inflated with %d movs (instr budget %d)" b.Block.id n
+           Machine.max_instrs))
 
 type detection =
   | Structural of Cfg_verify.violation
   | Behavioral of { got : int; expected : int }
   | Crashed of string
+  | Hung of { reason : Trips_obs.Watchdog.reason; spent_s : float }
 
 type outcome = { o_fault : fault; o_note : string; o_detection : detection option }
 
@@ -215,14 +259,23 @@ let pp_outcome fmt o =
   | Some (Crashed msg) ->
     Fmt.pf fmt "%-20s DETECTED by simulator: %s  [%s]" (fault_name o.o_fault)
       msg o.o_note
+  | Some (Hung { reason; spent_s }) ->
+    Fmt.pf fmt "%-20s DETECTED by watchdog: %a after %.3fs  [%s]"
+      (fault_name o.o_fault) Trips_obs.Watchdog.pp_reason reason spent_s o.o_note
   | None ->
     Fmt.pf fmt "%-20s UNDETECTED  [%s]" (fault_name o.o_fault) o.o_note
 
-let detect ~limits ~fuel ~registers ~params ~fresh_memory ~expected (inj : injection) =
+let detect ~limits ~fuel ~wd_fuel ~registers ~params ~fresh_memory ~expected
+    (inj : injection) =
   match Cfg_verify.check ~allow_unreachable:false ~params ~limits inj.cfg with
   | v :: _ -> Some (Structural v)
   | [] -> (
-    match Func_sim.run ~fuel ~registers ~memory:(fresh_memory ()) inj.cfg with
+    match
+      Trips_obs.Watchdog.run ~fuel:wd_fuel ~stage:"chaos-sim" (fun () ->
+          Func_sim.run ~fuel ~registers ~memory:(fresh_memory ()) inj.cfg)
+    with
+    | exception Trips_obs.Watchdog.Timed_out { wd_reason; wd_spent_s; _ } ->
+      Some (Hung { reason = wd_reason; spent_s = wd_spent_s })
     | exception e -> Some (Crashed (Printexc.to_string e))
     | r ->
       if r.Func_sim.checksum <> expected then
@@ -232,9 +285,12 @@ let detect ~limits ~fuel ~registers ~params ~fresh_memory ~expected (inj : injec
 let run_suite ?(faults = all_faults) ?(limits = Chf.Constraints.trips_limits)
     ?(attempts = 8) ?(fuel = 10_000_000) ~seed ~registers ~fresh_memory victim =
   let rng = Random.State.make [| seed |] in
-  let expected =
-    (Func_sim.run ~fuel ~registers ~memory:(fresh_memory ()) victim).Func_sim.checksum
-  in
+  let baseline = Func_sim.run ~fuel ~registers ~memory:(fresh_memory ()) victim in
+  let expected = baseline.Func_sim.checksum in
+  (* Block-count watchdog budget: the victim's own dynamic block count
+     with a wide margin, so a mutant that loops through zero-instruction
+     blocks (invisible to instruction fuel) still trips deterministically. *)
+  let wd_fuel = (4 * baseline.Func_sim.blocks_executed) + 4096 in
   let params =
     IntSet.union
       (IntSet.of_list (List.map fst registers))
@@ -248,7 +304,10 @@ let run_suite ?(faults = all_faults) ?(limits = Chf.Constraints.trips_limits)
           match inject rng fault victim with
           | None -> last  (* no applicable site in this CFG *)
           | Some inj -> (
-            match detect ~limits ~fuel ~registers ~params ~fresh_memory ~expected inj with
+            match
+              detect ~limits ~fuel ~wd_fuel ~registers ~params ~fresh_memory
+                ~expected inj
+            with
             | Some d ->
               Some { o_fault = fault; o_note = inj.note; o_detection = Some d }
             | None ->

@@ -21,6 +21,11 @@ type fault =
   | Oversubscribe_loads  (** blow the 32-LSID budget of one block *)
   | Orphan_block  (** add a block unreachable from the entry *)
   | Corrupt_arithmetic  (** perturb an immediate operand *)
+  | Stall_spin
+      (** retarget every return into an empty self-looping block: a hang
+          invisible to instruction-count fuel, catchable only by the
+          block-level watchdog *)
+  | Alloc_spike  (** inflate one block far past the 128-instr budget *)
 
 val all_faults : fault list
 val fault_name : fault -> string
@@ -36,6 +41,9 @@ type detection =
   | Structural of Cfg_verify.violation  (** caught by {!Cfg_verify} *)
   | Behavioral of { got : int; expected : int }  (** functional divergence *)
   | Crashed of string  (** the simulator rejected it (e.g. exit invariant) *)
+  | Hung of { reason : Trips_obs.Watchdog.reason; spent_s : float }
+      (** the per-run watchdog tripped: the mutant spins without
+          retiring instructions (e.g. {!Stall_spin}) *)
 
 type outcome = { o_fault : fault; o_note : string; o_detection : detection option }
 
@@ -56,8 +64,10 @@ val run_suite :
     if every site escapes both the structural checker and the
     differential functional check, an outcome with [o_detection = None]
     (a verifier gap).  [limits] defaults to {!Chf.Constraints.trips_limits};
-    [fuel] (default 10M) bounds each simulation, so a fault that turns
-    the CFG into an infinite loop is detected as a crash rather than a
-    hang. *)
+    [fuel] (default 10M) bounds each simulation's instruction count, and
+    a block-count watchdog (4x the victim's dynamic block count) bounds
+    its block count, so a fault that turns the CFG into an infinite loop
+    — even through zero-instruction blocks — is detected as a crash or a
+    hang rather than wedging the suite. *)
 
 val undetected : outcome list -> outcome list

@@ -18,5 +18,6 @@ let () =
       Test_engine.suite;
       Test_obs.suite;
       Test_provenance.suite;
+      Test_fuzz.suite;
       Test_integration.suite;
     ]

@@ -304,6 +304,71 @@ let test_chaos_all_faults_detected () =
         outcomes)
     [ 7; 42; 1234 ]
 
+(* Every chaos class must not only be detected but produce a *distinct*
+   structured failure: the triage fingerprint (verifier constructor,
+   Over_budget refined by axes, or the detection kind) names the fault
+   class that caused it.  Classes whose detection depends on the random
+   injection site (a corrupted value may diverge or crash) list every
+   admissible fingerprint; the single-fingerprint classes must be
+   pairwise distinct. *)
+let chaos_fingerprint (o : Chaos.outcome) =
+  match o.Chaos.o_detection with
+  | None -> "undetected"
+  | Some (Chaos.Structural v) ->
+    "structural:" ^ Trips_fuzz.Triage.of_violations [ v ]
+  | Some (Chaos.Behavioral _) -> "behavioral:diverged"
+  | Some (Chaos.Crashed _) -> "crashed"
+  | Some (Chaos.Hung { reason = Trips_obs.Watchdog.Fuel _; _ }) -> "hung:fuel"
+  | Some (Chaos.Hung { reason = Trips_obs.Watchdog.Deadline _; _ }) ->
+    "hung:deadline"
+
+let test_chaos_classes_distinct () =
+  let w = Option.get (Micro.by_name "sieve") in
+  let c = Pipeline.compile ~backend:false Chf.Phases.Iupo_merged w in
+  let outcomes =
+    Chaos.run_suite ~seed:42 ~registers:c.Pipeline.registers
+      ~fresh_memory:(fun () -> Workload.memory w)
+      c.Pipeline.cfg
+  in
+  check Alcotest.int "every fault class reachable"
+    (List.length Chaos.all_faults) (List.length outcomes);
+  let expected =
+    [
+      (Chaos.Drop_entry, [ "structural:missing-entry" ]);
+      (Chaos.Dangle_edge, [ "structural:dangling-edge" ]);
+      (Chaos.Strip_exits, [ "structural:no-exit" ]);
+      (Chaos.Double_unguarded, [ "structural:multi-unguarded" ]);
+      (Chaos.Clone_instr_id, [ "structural:dup-instr-id" ]);
+      ( Chaos.Undefined_use,
+        [ "structural:undefined-use"; "structural:undefined-guard" ] );
+      (Chaos.Corrupt_predicate, [ "behavioral:diverged"; "crashed" ]);
+      (Chaos.Oversubscribe_loads, [ "structural:over-budget[ls]" ]);
+      (Chaos.Orphan_block, [ "structural:unreachable" ]);
+      (Chaos.Corrupt_arithmetic, [ "behavioral:diverged"; "crashed" ]);
+      (Chaos.Stall_spin, [ "hung:fuel"; "hung:deadline" ]);
+      (Chaos.Alloc_spike, [ "structural:over-budget[instrs]" ]);
+    ]
+  in
+  List.iter
+    (fun (o : Chaos.outcome) ->
+      let fp = chaos_fingerprint o in
+      let allowed = List.assoc o.Chaos.o_fault expected in
+      check Alcotest.bool
+        (Fmt.str "%s -> %s (allowed: %s)"
+           (Chaos.fault_name o.Chaos.o_fault)
+           fp
+           (String.concat " | " allowed))
+        true (List.mem fp allowed))
+    outcomes;
+  let deterministic =
+    List.filter_map
+      (fun (_, fps) -> match fps with [ fp ] -> Some fp | _ -> None)
+      expected
+  in
+  check Alcotest.int "single-fingerprint classes pairwise distinct"
+    (List.length deterministic)
+    (List.length (List.sort_uniq compare deterministic))
+
 let test_chaos_deterministic () =
   let w = Option.get (Micro.by_name "vadd") in
   let c = Pipeline.compile ~backend:false Chf.Phases.Iupo_merged w in
@@ -404,6 +469,8 @@ let suite =
       Alcotest.test_case "chaos: all faults detected" `Slow
         test_chaos_all_faults_detected;
       Alcotest.test_case "chaos: deterministic" `Quick test_chaos_deterministic;
+      Alcotest.test_case "chaos: classes distinct" `Slow
+        test_chaos_classes_distinct;
       Alcotest.test_case "sweep survives poisoned workload" `Quick
         test_sweep_survives_poisoned_workload;
       Alcotest.test_case "compile_checked reports poisoned" `Quick

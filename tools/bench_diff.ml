@@ -126,6 +126,33 @@ let () =
   let base = scalars (load baseline_path) in
   let fresh = scalars (load fresh_path) in
   if List.map (fun s -> s.key) base <> List.map (fun s -> s.key) fresh then begin
+    (* Name every key that exists in only one file, so the offending
+       metric is obvious from the log instead of a generic shape error. *)
+    let count xs =
+      List.fold_left
+        (fun acc s ->
+          let l = s.context ^ "/" ^ s.key in
+          let n = try List.assoc l acc with Not_found -> 0 in
+          (l, n + 1) :: List.remove_assoc l acc)
+        [] xs
+    in
+    let bc = count base and fc = count fresh in
+    let missing_from other = List.filter (fun (l, n) ->
+        (try List.assoc l other with Not_found -> 0) < n)
+    in
+    let only_base = missing_from fc bc and only_fresh = missing_from bc fc in
+    List.iter
+      (fun (l, _) ->
+        Fmt.epr "bench-diff: ERROR: key %s present only in baseline %s@." l
+          baseline_path)
+      (List.rev only_base);
+    List.iter
+      (fun (l, _) ->
+        Fmt.epr "bench-diff: ERROR: key %s present only in fresh %s@." l
+          fresh_path)
+      (List.rev only_fresh);
+    if only_base = [] && only_fresh = [] then
+      Fmt.epr "bench-diff: ERROR: same keys, different order@.";
     Fmt.epr
       "bench-diff: %s and %s have different field sequences — the bench \
        shape changed; regenerate the committed baseline@."

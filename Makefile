@@ -4,7 +4,8 @@ CHAOS_SEED ?= 42
 FUZZ_SEED ?= 42
 
 .PHONY: all build test chaos fuzz-smoke trace-check equiv-check report-check \
-	bench-diff check bench bench-formation bench-all clean
+	serve-smoke bench-diff check bench bench-formation bench-serve \
+	bench-all clean
 
 all: build
 
@@ -53,16 +54,28 @@ report-check: build
 	cmp _build/report-j1.txt test/golden/report_check.txt
 	@echo "report-check: reports identical across -j 1 / -j 4 and match the golden"
 
-# Fresh formation bench vs the committed BENCH_formation.json baseline.
-# Warn-only: wall clocks vary across machines; counters that collapse to
-# zero or outputs that diverge are called out.  The fresh run writes to
-# _build/bench so the committed baseline is never clobbered.
+# End-to-end gate for the resident compile service: boots a daemon on a
+# private socket, replays good / chaos-poisoned / past-deadline requests
+# over real connections, byte-compares a served compile against the
+# one-shot pipeline, checks the stats accounting, and asserts a clean
+# drain-and-unlink shutdown.
+serve-smoke: build
+	dune exec tools/serve_smoke.exe
+
+# Fresh formation + serve benches vs the committed BENCH_*.json
+# baselines.  Warn-only: wall clocks vary across machines; counters that
+# collapse to zero or outputs that diverge are called out.  The fresh
+# runs write to _build/bench so the committed baselines are never
+# clobbered.
 bench-diff: build
 	mkdir -p _build/bench
 	TRIPS_BENCH_DIR=_build/bench dune exec bench/main.exe -- formation > /dev/null
 	dune exec tools/bench_diff.exe -- BENCH_formation.json _build/bench/BENCH_formation.json
+	TRIPS_BENCH_DIR=_build/bench dune exec bench/main.exe -- serve > /dev/null
+	dune exec tools/bench_diff.exe -- BENCH_serve.json _build/bench/BENCH_serve.json
 
-check: build test chaos fuzz-smoke trace-check equiv-check report-check bench-diff
+check: build test chaos fuzz-smoke trace-check equiv-check report-check \
+	serve-smoke bench-diff
 
 # Full-sweep benchmark of the staged engine (writes BENCH_sweep.json).
 bench: build
@@ -73,6 +86,13 @@ bench: build
 # with an identical-output assertion (writes BENCH_formation.json).
 bench-formation: build
 	dune exec bench/main.exe -- formation
+
+# Resident-service load test: boots a daemon, replays hundreds of
+# concurrent requests from persistent client connections, and records
+# throughput, latency quantiles, store hit rates and shed/timeout/crash
+# accounting (writes BENCH_serve.json).
+bench-serve: build
+	dune exec bench/main.exe -- serve
 
 # Every experiment: tables, figure, ablations, Bechamel micro-benchmarks.
 bench-all: build

@@ -449,6 +449,195 @@ let run_formation () =
   close_out oc;
   Fmt.pr "wrote %s@." path
 
+(* The resident service under concurrent load: an in-process daemon on a
+   real Unix socket, hammered by client threads replaying a repeated-
+   source workload.  Warmup requests populate the shared stores first
+   (standard steady-state discipline: measure the service, not its cold
+   start), then every measured latency goes through both a Welford
+   running stat and the Metrics histogram (nearest-rank p50/p90/p99).
+   An overload burst past the admission bound and a past-deadline
+   request exercise the shed and timeout paths so BENCH_serve.json
+   records nonzero structured-degradation counters, and one served
+   compile is byte-compared against the one-shot pipeline. *)
+let run_serve () =
+  section "Serve — resident compile service under concurrent load";
+  let module C = Trips_serve.Client in
+  let module P = Trips_serve.Protocol in
+  let module S = Trips_serve.Server in
+  Trips_obs.Metrics.reset ();
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ()) "chfc-bench-serve.sock"
+  in
+  let workers = min 4 (Engine.default_jobs ()) in
+  let queue_depth = 6 in
+  let srv = S.start ~workers ~queue_depth ~quiet:true ~socket () in
+  let names = [| "sieve"; "matrix_1"; "gzip_1"; "vadd" |] in
+  let compile ?deadline ?chaos name =
+    P.Compile
+      {
+        P.cs_workload = name;
+        cs_ordering = "iupo-merged";
+        cs_policy = "bf";
+        cs_backend = true;
+        cs_verify = false;
+        cs_deadline_s = deadline;
+        cs_chaos_seed = chaos;
+      }
+  in
+  (* warmup: populate the prefix and output stores for each source *)
+  Array.iter
+    (fun n -> ignore (C.with_conn ~socket (fun c -> C.rpc c (compile n))))
+    names;
+  (* measured phase: [clients] threads, persistent connections, every
+     request drawn round-robin from the repeated-source pool *)
+  let clients = queue_depth in
+  let per_client = 50 in
+  let latencies = Array.make clients [] in
+  let failures = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun tid ->
+        Thread.create
+          (fun () ->
+            C.with_conn ~socket (fun conn ->
+                for i = 0 to per_client - 1 do
+                  let name = names.(((tid * per_client) + i) mod Array.length names) in
+                  let r0 = Unix.gettimeofday () in
+                  (match C.rpc conn (compile name) with
+                  | Ok _ -> ()
+                  | Error _ -> Atomic.incr failures);
+                  let dt = Unix.gettimeofday () -. r0 in
+                  latencies.(tid) <- dt :: latencies.(tid)
+                done))
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let requests = clients * per_client in
+  (* merge per-thread samples on the main thread: Welford running stat
+     plus the histogram that supplies nearest-rank quantiles *)
+  let n = ref 0 and mean = ref 0.0 and m2 = ref 0.0 in
+  let mn = ref infinity and mx = ref neg_infinity in
+  Array.iter
+    (List.iter (fun x ->
+         incr n;
+         let d = x -. !mean in
+         mean := !mean +. (d /. float_of_int !n);
+         m2 := !m2 +. (d *. (x -. !mean));
+         if x < !mn then mn := x;
+         if x > !mx then mx := x;
+         Trips_obs.Metrics.observe "serve.request_s" x))
+    latencies;
+  let stddev =
+    if !n > 1 then sqrt (!m2 /. float_of_int (!n - 1)) else 0.0
+  in
+  let hist =
+    List.assoc "serve.request_s" (Trips_obs.Metrics.snapshot ()).Trips_obs.Metrics.histograms
+  in
+  (* a past-deadline request on a source the stores have not seen: the
+     cooperative watchdog must trip inside the pipeline *)
+  let timed_out_ok =
+    match
+      C.with_conn ~socket (fun c ->
+          C.rpc c (compile ~deadline:1e-6 "bzip2_3"))
+    with
+    | Error (P.Timed_out _) -> true
+    | Ok _ | Error _ -> false
+  in
+  (* overload burst: more simultaneous uncacheable (chaos-poisoned)
+     requests than the admission bound — the excess must shed *)
+  let burst = 16 in
+  let shed_replies = Atomic.make 0 in
+  let burst_threads =
+    List.init burst (fun tid ->
+        Thread.create
+          (fun () ->
+            match
+              C.with_conn ~socket (fun c ->
+                  C.rpc c (compile ~chaos:(tid + 1) "sieve"))
+            with
+            | Error (P.Overloaded _) -> Atomic.incr shed_replies
+            | Ok _ | Error _ -> ())
+          ())
+  in
+  List.iter Thread.join burst_threads;
+  (* served output vs the one-shot pipeline, same bytes required *)
+  let served_identical =
+    let served =
+      C.with_conn ~socket (fun c -> C.rpc c (compile "sieve"))
+    in
+    let oneshot =
+      match Micro.by_name "sieve" with
+      | None -> Error "no sieve"
+      | Some w ->
+        Result.map snd
+          (Trips_serve.Worker.compile_report ~ordering:Chf.Phases.Iupo_merged
+             ~config:Chf.Policy.edge_default ~backend:true ~verify:false w)
+    in
+    match (served, oneshot) with
+    | Ok a, Ok b -> a = b
+    | _ -> false
+  in
+  let stats = C.with_conn ~socket (fun c -> C.rpc c P.Stats) in
+  C.with_conn ~socket (fun c -> C.rpc c P.Shutdown);
+  S.wait srv;
+  let throughput = float_of_int requests /. wall in
+  let store name =
+    List.find (fun s -> s.P.sc_name = name) stats.P.st_stores
+  in
+  let prefix = store "serve.prefix" and output = store "serve.output" in
+  let rate s =
+    let total = s.P.sc_hits + s.P.sc_misses in
+    if total = 0 then 0.0 else float_of_int s.P.sc_hits /. float_of_int total
+  in
+  Fmt.pr "requests: %d over %d client(s), %d worker domain(s), depth %d@."
+    requests clients workers queue_depth;
+  Fmt.pr "wall %.2fs, throughput %.0f req/s, failures %d@." wall throughput
+    (Atomic.get failures);
+  Fmt.pr "latency: mean %.4fs (stddev %.4f), p50 %.4fs, p90 %.4fs, p99 %.4fs@."
+    !mean stddev hist.Trips_obs.Metrics.h_p50 hist.Trips_obs.Metrics.h_p90
+    hist.Trips_obs.Metrics.h_p99;
+  Fmt.pr "stores: prefix %.0f%% hits, output %.0f%% hits@."
+    (100.0 *. rate prefix) (100.0 *. rate output);
+  Fmt.pr "shed %d (replies %d), timed out %d, crashed %d, deadline trip: %b, \
+          served output identical: %b@."
+    stats.P.st_shed (Atomic.get shed_replies) stats.P.st_timed_out
+    stats.P.st_crashed timed_out_ok served_identical;
+  let json =
+    Fmt.str
+      "{@\n\
+      \  \"requests\": %d,@\n\
+      \  \"clients\": %d,@\n\
+      \  \"workers\": %d,@\n\
+      \  \"queue_depth\": %d,@\n\
+      \  \"wall_s\": %.3f,@\n\
+      \  \"throughput_rps\": %.1f,@\n\
+      \  \"latency\": { \"mean_s\": %.6f, \"stddev_s\": %.6f, \"min_s\": \
+       %.6f, \"max_s\": %.6f, \"p50_s\": %.6f, \"p90_s\": %.6f, \"p99_s\": \
+       %.6f },@\n\
+      \  \"prefix_store\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f \
+       },@\n\
+      \  \"output_store\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f \
+       },@\n\
+      \  \"shed\": %d,@\n\
+      \  \"timed_out\": %d,@\n\
+      \  \"crashed\": %d,@\n\
+      \  \"deadline_trips\": %b,@\n\
+      \  \"served_identical\": %b@\n\
+       }@\n"
+      requests clients workers queue_depth wall throughput !mean stddev !mn
+      !mx hist.Trips_obs.Metrics.h_p50 hist.Trips_obs.Metrics.h_p90
+      hist.Trips_obs.Metrics.h_p99 prefix.P.sc_hits prefix.P.sc_misses
+      (rate prefix) output.P.sc_hits output.P.sc_misses (rate output)
+      stats.P.st_shed stats.P.st_timed_out stats.P.st_crashed timed_out_ok
+      served_identical
+  in
+  let path = bench_out "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
 let experiments =
   [
     ("table1", run_table1);
@@ -461,6 +650,7 @@ let experiments =
     ("verify", run_verify);
     ("sweep", run_sweep);
     ("formation", run_formation);
+    ("serve", run_serve);
   ]
 
 let () =

@@ -17,40 +17,11 @@ open Trips_harness
 
 (* keep the alias: Workload.make is used by compile-file *)
 
-let find_workload name =
-  match Micro.by_name name with
-  | Some w -> Ok w
-  | None -> (
-    match Spec_like.by_name name with
-    | Some w -> Ok w
-    | None ->
-      Error
-        (`Msg
-          (Fmt.str "unknown workload %S; try `chfc list`" name)))
-
-let ordering_of_string = function
-  | "bb" -> Ok Chf.Phases.Basic_blocks
-  | "upio" -> Ok Chf.Phases.Upio
-  | "iupo" -> Ok Chf.Phases.Iupo
-  | "iup-o" -> Ok Chf.Phases.Iup_o
-  | "iupo-merged" | "convergent" -> Ok Chf.Phases.Iupo_merged
-  | s -> Error (`Msg (Fmt.str "unknown ordering %S" s))
-
-let policy_of_string = function
-  | "bf" -> Ok Chf.Policy.edge_default
-  | "df" ->
-    Ok
-      {
-        Chf.Policy.edge_default with
-        Chf.Policy.heuristic = Chf.Policy.Depth_first { min_merge_prob = 0.12 };
-      }
-  | "vliw" ->
-    Ok
-      {
-        Chf.Policy.edge_default with
-        Chf.Policy.heuristic = Chf.Policy.Vliw Chf.Policy.default_vliw;
-      }
-  | s -> Error (`Msg (Fmt.str "unknown policy %S (bf|df|vliw)" s))
+(* name resolution lives with the serve worker role, so the daemon and
+   the one-shot CLI accept exactly the same names *)
+let find_workload = Trips_serve.Worker.find_workload
+let ordering_of_string = Trips_serve.Worker.ordering_of_name
+let policy_of_string = Trips_serve.Worker.policy_of_name
 
 (* ---- observability plumbing ------------------------------------------- *)
 
@@ -178,15 +149,20 @@ let write_file path content =
   output_string oc content;
   close_out oc
 
+(* The report text itself is rendered by the serve worker
+   (Trips_serve.Worker.compile_report) and printed verbatim, so the
+   daemon's served replies and the one-shot CLI output are the same
+   bytes by construction.  Only the side outputs (dump, emit-asm,
+   emit-dot) live here. *)
 let compile_workload_report w ordering config dump backend verify emit_asm
     emit_dot =
-  try
-    let bb = Pipeline.compile ~config ~backend Chf.Phases.Basic_blocks w in
-    let baseline = Pipeline.run_functional bb in
-    let bb_cycles = Pipeline.run_cycles bb in
-    let c = Pipeline.compile ~config ~backend ~verify ordering w in
-    let r = Pipeline.verify_against ~baseline c in
-    let cycles = Pipeline.run_cycles c in
+  match
+    Trips_serve.Worker.compile_report ~ordering ~config ~backend ~verify w
+  with
+  | Error msg ->
+    Fmt.epr "chfc: %s@." msg;
+    exit 1
+  | Ok (c, text) ->
     if dump then Fmt.pr "%a@.@." Trips_ir.Cfg.pp c.Pipeline.cfg;
     (match emit_asm with
     | Some path ->
@@ -198,41 +174,7 @@ let compile_workload_report w ordering config dump backend verify emit_asm
       write_file path (Trips_ir.Dot.to_string c.Pipeline.cfg);
       Fmt.pr "dot graph       : written to %s@." path
     | None -> ());
-    Fmt.pr "workload        : %s (%s)@." w.Workload.name w.Workload.description;
-    Fmt.pr "ordering        : %s@." (Chf.Phases.name ordering);
-    Fmt.pr "merges m/t/u/p  : %a@." Chf.Formation.pp_stats c.Pipeline.stats;
-    Fmt.pr "static          : %d blocks, %d instructions@." c.Pipeline.static_blocks
-      c.Pipeline.static_instrs;
-    (match c.Pipeline.backend with
-    | Some rep ->
-      Fmt.pr "back end        : %d cross-block values, %d fanout movs, %d splits@."
-        rep.Trips_regalloc.Backend.cross_block_values
-        rep.Trips_regalloc.Backend.fanout_movs rep.Trips_regalloc.Backend.splits
-    | None -> ());
-    Fmt.pr "functional      : ret=%a, %d blocks, %d instructions executed@."
-      Fmt.(option int)
-      r.Trips_sim.Func_sim.ret r.Trips_sim.Func_sim.blocks_executed
-      r.Trips_sim.Func_sim.instrs_executed;
-    Fmt.pr "cycles          : %d (basic blocks: %d, %+.1f%%)@."
-      cycles.Trips_sim.Cycle_sim.cycles bb_cycles.Trips_sim.Cycle_sim.cycles
-      (Stats.percent_improvement ~base:bb_cycles.Trips_sim.Cycle_sim.cycles
-         ~v:cycles.Trips_sim.Cycle_sim.cycles);
-    Fmt.pr "mispredictions  : %d (accuracy %.1f%%), D-cache miss rate %.1f%%@."
-      cycles.Trips_sim.Cycle_sim.mispredictions
-      (100.0 *. cycles.Trips_sim.Cycle_sim.predictor_accuracy)
-      (100.0 *. cycles.Trips_sim.Cycle_sim.cache_miss_rate);
-    Fmt.pr "verified        : functional checksum matches basic-block baseline@.";
-    if verify then
-      Fmt.pr "per-phase       : structural + differential checks passed@."
-  with
-  | Pipeline.Verify_failed { vf_workload; vf_ordering; vf_failure } ->
-    Fmt.epr "chfc: %s/%s: phase verification failed: %a@." vf_workload
-      (Chf.Phases.name vf_ordering) Trips_verify.Diff_check.pp_failure
-      vf_failure;
-    exit 1
-  | Pipeline.Miscompiled d ->
-    Fmt.epr "chfc: miscompiled: %a@." Pipeline.pp_divergence d;
-    exit 1
+    print_string text
 
 let compile_run name ordering policy dump backend verify emit_asm emit_dot
     no_provenance trace chrome metrics metrics_json =
@@ -601,6 +543,12 @@ let report_cache cache cache_stats =
     Fmt.pr "@.prefix cache : %d hit(s), %d miss(es), %.0f%% hit rate@."
       s.Stage.cache_hits s.Stage.cache_misses
       (100.0 *. Stage.hit_rate s);
+    let k = Stage.store_counters cache in
+    Fmt.pr "shared store : %d hit(s), %d miss(es), %d eviction(s), %d/%d \
+            entries@."
+      k.Trips_store.Store.hits k.Trips_store.Store.misses
+      k.Trips_store.Store.evictions k.Trips_store.Store.entries
+      k.Trips_store.Store.capacity;
     Fmt.pr "stage timings: %a@." Stage.pp_timings (Stage.timings ())
   end
 
@@ -748,6 +696,225 @@ let report_cmd =
       $ no_provenance_arg $ trace_arg $ chrome_trace_arg $ metrics_arg
       $ metrics_json_arg)
 
+(* ---- serve / submit / stats / shutdown --------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/chfc-serve.sock"
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let with_daemon socket f =
+  try Trips_serve.Client.with_conn ~socket f with
+  | Unix.Unix_error (e, _, _) ->
+    Fmt.epr "chfc: cannot reach daemon at %s: %s@." socket
+      (Unix.error_message e);
+    exit 2
+  | Trips_serve.Protocol.Protocol_error m ->
+    Fmt.epr "chfc: protocol error: %s@." m;
+    exit 2
+  | End_of_file ->
+    Fmt.epr "chfc: daemon at %s hung up mid-reply@." socket;
+    exit 2
+
+let serve_cmd =
+  let doc =
+    "Run the resident compilation service: a daemon holding a worker-domain \
+     pool and shared content-addressed artifact stores (lower+profile \
+     prefixes, rendered outputs), serving compile/report/sweep requests over \
+     a Unix-domain socket.  Submit work with $(b,chfc submit); stop it with \
+     $(b,chfc shutdown)."
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Resident worker domains (0 = one per core).")
+  in
+  let queue_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Bound on jobs in flight; excess submissions are shed with a \
+             structured overload reply (default: 4x workers).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Default per-job watchdog deadline; a request may override it. \
+             An expired job answers timed-out without wedging the pool.")
+  in
+  let store_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "store-capacity" ] ~docv:"N"
+          ~doc:"LRU capacity of each shared artifact store.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress daemon log lines.")
+  in
+  let run socket workers queue_depth deadline store_capacity quiet =
+    let workers = if workers <= 0 then None else Some workers in
+    let t =
+      Trips_serve.Server.start ?workers ?queue_depth
+        ?default_deadline_s:deadline ?store_capacity ~quiet ~socket ()
+    in
+    Trips_serve.Server.wait t
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ workers $ queue_depth $ deadline
+      $ store_capacity $ quiet)
+
+let submit_cmd =
+  let doc =
+    "Submit work to a running $(b,chfc serve) daemon.  By default compiles \
+     one workload and prints the same report $(b,chfc compile) would; \
+     $(b,--report) requests a utilization report and $(b,--table) a rendered \
+     experiment table over the given (or default) workloads."
+  in
+  let workloads = Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD") in
+  let ordering =
+    Arg.(
+      value
+      & opt string "iupo-merged"
+      & info [ "ordering"; "o" ] ~docv:"ORDERING"
+          ~doc:"Phase ordering: bb, upio, iupo, iup-o, iupo-merged.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "bf"
+      & info [ "policy"; "p" ] ~docv:"POLICY" ~doc:"bf, df or vliw.")
+  in
+  let backend =
+    Arg.(
+      value & opt bool true
+      & info [ "backend" ] ~docv:"BOOL" ~doc:"Run the back end.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-request watchdog deadline override.")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"N"
+          ~doc:
+            "Poison the request: fault-inject the compiled CFG so the job \
+             fails inside the worker.  Exercises the daemon's per-job crash \
+             isolation; sibling requests are unaffected.")
+  in
+  let table =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "table" ] ~docv:"TABLE"
+          ~doc:"Request a rendered table: table1, table2, table3 or figure7.")
+  in
+  let report =
+    Arg.(
+      value & flag
+      & info [ "report" ] ~doc:"Request a per-block utilization report.")
+  in
+  let run socket names ordering policy backend verify deadline chaos_seed
+      table report =
+    let module C = Trips_serve.Client in
+    let module P = Trips_serve.Protocol in
+    let outcome =
+      with_daemon socket (fun conn ->
+          match (table, report) with
+          | Some t, _ ->
+            C.rpc conn
+              (P.Sweep_cell
+                 {
+                   P.ss_table = t;
+                   ss_workloads = names;
+                   ss_deadline_s = deadline;
+                 })
+          | None, true ->
+            C.rpc conn
+              (P.Report
+                 {
+                   P.rs_workloads = names;
+                   rs_ordering = ordering;
+                   rs_policy = policy;
+                   rs_deadline_s = deadline;
+                 })
+          | None, false -> (
+            match names with
+            | [ name ] ->
+              C.rpc conn
+                (P.Compile
+                   {
+                     P.cs_workload = name;
+                     cs_ordering = ordering;
+                     cs_policy = policy;
+                     cs_backend = backend;
+                     cs_verify = verify;
+                     cs_deadline_s = deadline;
+                     cs_chaos_seed = chaos_seed;
+                   })
+            | _ ->
+              Fmt.epr
+                "chfc: submit: exactly one WORKLOAD expected (or use \
+                 --report / --table)@.";
+              exit 2))
+    in
+    match outcome with
+    | Ok text -> print_string text
+    | Error e ->
+      Fmt.epr "chfc: submit: %a@." P.pp_served_error e;
+      exit 1
+  in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ socket_arg $ workloads $ ordering $ policy $ backend
+      $ verify_arg $ deadline $ chaos_seed $ table $ report)
+
+let stats_cmd =
+  let doc = "Print a running daemon's scheduler and artifact-store counters." in
+  let run socket =
+    let module P = Trips_serve.Protocol in
+    let s = with_daemon socket (fun conn -> Trips_serve.Client.rpc conn P.Stats) in
+    Fmt.pr "daemon      : protocol v%d, up %.1fs, %d worker domain(s)@."
+      s.P.st_version s.P.st_uptime_s s.P.st_workers;
+    Fmt.pr
+      "scheduler   : depth %d, pending %d, submitted %d, completed %d, shed \
+       %d, timed out %d, crashed %d@."
+      s.P.st_queue_depth s.P.st_pending s.P.st_submitted s.P.st_completed
+      s.P.st_shed s.P.st_timed_out s.P.st_crashed;
+    List.iter
+      (fun k ->
+        Fmt.pr "%-12s: %d hit(s), %d miss(es), %d eviction(s), %d/%d entries@."
+          k.P.sc_name k.P.sc_hits k.P.sc_misses k.P.sc_evictions k.P.sc_entries
+          k.P.sc_capacity)
+      s.P.st_stores
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ socket_arg)
+
+let shutdown_cmd =
+  let doc =
+    "Gracefully stop a running daemon: admitted jobs finish, the pool is \
+     joined, the socket removed."
+  in
+  let run socket =
+    with_daemon socket (fun conn ->
+        Trips_serve.Client.rpc conn Trips_serve.Protocol.Shutdown);
+    Fmt.pr "daemon at %s shutting down@." socket
+  in
+  Cmd.v (Cmd.info "shutdown" ~doc) Term.(const run $ socket_arg)
+
 let () =
   let doc = "convergent hyperblock formation for TRIPS (MICRO 2006 reproduction)" in
   let info = Cmd.info "chfc" ~version:"1.0.0" ~doc in
@@ -757,4 +924,5 @@ let () =
           [
             list_cmd; compile_cmd; compile_file_cmd; chaos_cmd; fuzz_cmd;
             report_cmd; table1_cmd; table2_cmd; table3_cmd; figure7_cmd;
+            serve_cmd; submit_cmd; stats_cmd; shutdown_cmd;
           ]))

@@ -170,28 +170,36 @@ let instantiate (p : prefix) : lowered =
 
 (* ---- content-keyed memo cache ----------------------------------------- *)
 
-type cache = {
-  enabled : bool;
-  table : (string, prefix) Hashtbl.t;
-  mutex : Mutex.t;
-  mutable hits : int;
-  mutable misses : int;
-}
+(* The cache is a thin front over the shared content-addressed artifact
+   store (Trips_store.Store): the store owns the mutex, the LRU bound and
+   the hit/miss/eviction counters, so a cache handed out by [of_store]
+   shares entries with every other consumer of that store — including
+   concurrent `chfc serve` requests.  The historical [cache_stats] view
+   and the [stage.cache.*] metrics are preserved on top. *)
+
+module Store = Trips_store.Store
+
+type cache = { enabled : bool; store : prefix Store.t }
 
 type cache_stats = { cache_hits : int; cache_misses : int }
 
+let store_key key = { Store.src = key; stage = "prefix"; config = "" }
+
 let create () =
-  { enabled = true; table = Hashtbl.create 64; mutex = Mutex.create ();
-    hits = 0; misses = 0 }
+  { enabled = true; store = Store.create ~name:"stage.prefix" () }
 
 (* A cache that never stores: every lookup recomputes (and counts as a
    miss), which is how cache-on and cache-off sweeps share one code
    path. *)
 let disabled () = { (create ()) with enabled = false }
 
+let of_store store = { enabled = true; store }
+
+let store_counters c = Store.counters c.store
+
 let stats c =
-  Mutex.protect c.mutex (fun () ->
-      { cache_hits = c.hits; cache_misses = c.misses })
+  let k = Store.counters c.store in
+  { cache_hits = k.Store.hits; cache_misses = k.Store.misses }
 
 let hit_rate s =
   let total = s.cache_hits + s.cache_misses in
@@ -201,18 +209,13 @@ let hit_rate s =
 let prefix ?cache (w : Workload.t) : prefix =
   match cache with
   | None -> compute_prefix w (content_key w)
+  | Some c when not c.enabled ->
+    Store.record_miss c.store;
+    Trips_obs.Metrics.incr "stage.cache.miss";
+    compute_prefix w (content_key w)
   | Some c -> (
     let key = content_key w in
-    match
-      Mutex.protect c.mutex (fun () ->
-          match if c.enabled then Hashtbl.find_opt c.table key else None with
-          | Some p ->
-            c.hits <- c.hits + 1;
-            Some p
-          | None ->
-            c.misses <- c.misses + 1;
-            None)
-    with
+    match Store.find c.store (store_key key) with
     | Some p ->
       Trips_obs.Metrics.incr "stage.cache.hit";
       p
@@ -220,6 +223,5 @@ let prefix ?cache (w : Workload.t) : prefix =
       Trips_obs.Metrics.incr "stage.cache.miss";
       (* compute outside the lock so other domains' lookups proceed *)
       let p = compute_prefix w key in
-      if c.enabled then
-        Mutex.protect c.mutex (fun () -> Hashtbl.replace c.table key p);
+      Store.add c.store (store_key key) p;
       p)

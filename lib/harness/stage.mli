@@ -74,7 +74,14 @@ val profile : Workload.t -> lowered -> profiled
 val instantiate : prefix -> lowered
 (** A fresh deep copy of the master lowering, safe to mutate. *)
 
-(** {1 Content-keyed memo cache} *)
+(** {1 Content-keyed memo cache}
+
+    The cache is a front over the shared content-addressed artifact
+    store ({!Trips_store.Store}): {!of_store} hands out a cache view of a
+    store owned by someone else (the [chfc serve] daemon shares one
+    across every request), while {!create} makes a private store.  Either
+    way the store owns the mutex, the LRU bound and the
+    hit/miss/eviction counters. *)
 
 type cache
 
@@ -85,6 +92,14 @@ val create : unit -> cache
 val disabled : unit -> cache
 (** A cache that never stores: every lookup recomputes and counts as a
     miss.  Lets cache-on and cache-off sweeps share one code path. *)
+
+val of_store : prefix Trips_store.Store.t -> cache
+(** A cache view over a shared store; entries (and counters) are shared
+    with every other view of the same store. *)
+
+val store_counters : cache -> Trips_store.Store.counters
+(** The backing store's counters, including evictions and population —
+    the extended [--cache-stats] view. *)
 
 val stats : cache -> cache_stats
 val hit_rate : cache_stats -> float

@@ -1,0 +1,30 @@
+(* The client role: one Unix-domain socket connection, typed RPCs.
+
+   [rpc] is the session from the client's side: frame the typed request,
+   read exactly one reply frame, and decode it against the request's
+   type index — a daemon answering with the wrong shape is a structured
+   Protocol_error, not a segfault-by-Marshal. *)
+
+type conn = { ic : in_channel; oc : out_channel }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let rpc conn (type a) (req : a Protocol.request) : a =
+  Protocol.write_request conn.oc (Protocol.wire_of_request req);
+  Protocol.reply_of_wire req (Protocol.read_reply conn.ic)
+
+let close conn =
+  (* both channels share the socket fd; closing the out channel flushes
+     and closes it, so the in channel is torn down without the fd *)
+  (try close_out conn.oc with Sys_error _ | Unix.Unix_error _ -> ());
+  try close_in_noerr conn.ic with Sys_error _ -> ()
+
+let with_conn ~socket f =
+  let conn = connect ~socket in
+  Fun.protect ~finally:(fun () -> close conn) (fun () -> f conn)

@@ -1,0 +1,183 @@
+(* Bounded async job scheduler over the resident Engine pool.
+
+   Admission control lives here, execution lives in Engine.Pool, and
+   the boundary is deliberate: the pool knows nothing about deadlines or
+   load, the scheduler knows nothing about domains or queues.  Every
+   overload mode is a structured outcome —
+
+     shed          -> Overloaded {pending; depth}   (at admission)
+     deadline      -> Timed_out {deadline; spent}   (cooperative watchdog)
+     job raised    -> Crashed exn                   (confined to the job)
+     shutting down -> Draining                      (at admission)
+
+   — so a flooded, poisoned or stuck-client daemon degrades request by
+   request instead of wedging.
+
+   Counters are classified on the worker domain, in the job wrapper
+   itself, which keeps them truthful even when an awaiting client has
+   gone away: pending is decremented and completed/timed_out/crashed
+   bumped the moment the job finishes, not when somebody looks. *)
+
+module Engine = Trips_harness.Engine
+module Watchdog = Trips_obs.Watchdog
+
+type 'r outcome =
+  | Done of 'r
+  | Overloaded of { ov_pending : int; ov_depth : int }
+  | Timed_out of { to_deadline_s : float; to_spent_s : float }
+  | Crashed of exn
+  | Draining
+
+type counters = {
+  k_workers : int;
+  k_queue_depth : int;
+  k_pending : int;
+  k_submitted : int;
+  k_completed : int;
+  k_shed : int;
+  k_timed_out : int;
+  k_crashed : int;
+}
+
+type ('j, 'r) t = {
+  pool : Engine.Pool.t;
+  run : 'j -> 'r;
+  deadline_of : 'j -> float option;
+  default_deadline_s : float option;
+  queue_depth : int;
+  m : Mutex.t;
+  idle : Condition.t;  (* signaled when pending returns to 0 *)
+  mutable pending : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable shed : int;
+  mutable timed_out : int;
+  mutable crashed : int;
+  mutable draining : bool;
+}
+
+type 'r ticket = 'r outcome Engine.Pool.job
+
+let create ?queue_depth ?default_deadline_s ?deadline_of ~workers ~run () =
+  let queue_depth =
+    match queue_depth with Some d -> max 1 d | None -> 4 * max 1 workers
+  in
+  {
+    pool = Engine.Pool.create ~workers ();
+    run;
+    deadline_of = Option.value deadline_of ~default:(fun _ -> None);
+    default_deadline_s;
+    queue_depth;
+    m = Mutex.create ();
+    idle = Condition.create ();
+    pending = 0;
+    submitted = 0;
+    completed = 0;
+    shed = 0;
+    timed_out = 0;
+    crashed = 0;
+    draining = false;
+  }
+
+(* Run one job on a worker domain and classify its ending.  The watchdog
+   scope is installed here — on the executing domain — so the pipeline's
+   cooperative [Watchdog.check] polls see it; a [Timed_out] raised by a
+   nested stage scope is classified identically. *)
+let execute t job =
+  let deadline_s =
+    match t.deadline_of job with
+    | Some _ as d -> d
+    | None -> t.default_deadline_s
+  in
+  let finish outcome counter =
+    Mutex.protect t.m (fun () ->
+        t.pending <- t.pending - 1;
+        counter ();
+        if t.pending = 0 then Condition.broadcast t.idle);
+    outcome
+  in
+  match
+    match deadline_s with
+    | None -> t.run job
+    | Some d -> Watchdog.run ~deadline_s:d ~stage:"serve" (fun () -> t.run job)
+  with
+  | r -> finish (Done r) (fun () -> t.completed <- t.completed + 1)
+  | exception Watchdog.Timed_out { wd_reason; wd_spent_s; _ } ->
+    let to_deadline_s =
+      match wd_reason with
+      | Watchdog.Deadline d -> d
+      | Watchdog.Fuel _ -> Option.value deadline_s ~default:0.0
+    in
+    finish
+      (Timed_out { to_deadline_s; to_spent_s = wd_spent_s })
+      (fun () ->
+        t.timed_out <- t.timed_out + 1;
+        Trips_obs.Metrics.incr "serve.timed_out")
+  | exception e ->
+    finish (Crashed e)
+      (fun () ->
+        t.crashed <- t.crashed + 1;
+        Trips_obs.Metrics.incr "serve.crashed")
+
+let submit t job =
+  (* admission and the in-flight count move together under the mutex, so
+     the depth bound is exact under concurrent submitters *)
+  let admitted =
+    Mutex.protect t.m (fun () ->
+        if t.draining then Error Draining
+        else if t.pending >= t.queue_depth then begin
+          t.shed <- t.shed + 1;
+          Trips_obs.Metrics.incr "serve.shed";
+          Error
+            (Overloaded { ov_pending = t.pending; ov_depth = t.queue_depth })
+        end
+        else begin
+          t.pending <- t.pending + 1;
+          t.submitted <- t.submitted + 1;
+          Ok ()
+        end)
+  in
+  match admitted with
+  | Error _ as e -> e
+  | Ok () -> (
+    (* the wrapper never raises, so the pool job always carries an
+       outcome; Pool.submit itself can refuse only after shutdown, which
+       admission already excluded — but a racing drain loses gracefully *)
+    match Engine.Pool.submit t.pool (fun () -> execute t job) with
+    | ticket -> Ok ticket
+    | exception Invalid_argument _ ->
+      Mutex.protect t.m (fun () ->
+          t.pending <- t.pending - 1;
+          t.submitted <- t.submitted - 1;
+          if t.pending = 0 then Condition.broadcast t.idle);
+      Error Draining)
+
+let await t ticket =
+  match Engine.Pool.await ~help:false t.pool ticket with
+  | Ok outcome -> outcome
+  | Error e -> Crashed e (* unreachable: [execute] never raises *)
+
+let run_sync t job =
+  match submit t job with Error o -> o | Ok ticket -> await t ticket
+
+let counters t =
+  Mutex.protect t.m (fun () ->
+      {
+        k_workers = Engine.Pool.size t.pool;
+        k_queue_depth = t.queue_depth;
+        k_pending = t.pending;
+        k_submitted = t.submitted;
+        k_completed = t.completed;
+        k_shed = t.shed;
+        k_timed_out = t.timed_out;
+        k_crashed = t.crashed;
+      })
+
+let drain t =
+  Mutex.lock t.m;
+  t.draining <- true;
+  while t.pending > 0 do
+    Condition.wait t.idle t.m
+  done;
+  Mutex.unlock t.m;
+  Engine.Pool.shutdown t.pool

@@ -1,0 +1,294 @@
+(* The worker role: execute serve jobs against shared artifact stores.
+
+   Two stores back every worker domain:
+
+   - the lower+profile prefix store, shared with the one-shot sweeps
+     through Stage.of_store, so concurrent requests for the same source
+     share the expensive front half of the pipeline;
+
+   - a rendered-output store keyed by (workload content digest, job
+     kind, configuration): a repeated request is answered from the store
+     without compiling at all.  Outputs are deterministic, so a stored
+     reply is byte-identical to a recomputed one — the same argument that
+     makes the prefix cache sound.
+
+   The compile report text lives here (not in bin/chfc.ml) and the CLI
+   prints it verbatim, so "served output = one-shot output" holds by
+   construction. *)
+
+open Trips_workloads
+open Trips_harness
+module Store = Trips_store.Store
+
+(* ---- name resolution (shared with the chfc CLI) ------------------------ *)
+
+let find_workload name =
+  match Micro.by_name name with
+  | Some w -> Ok w
+  | None -> (
+    match Spec_like.by_name name with
+    | Some w -> Ok w
+    | None ->
+      Error (`Msg (Fmt.str "unknown workload %S; try `chfc list`" name)))
+
+let ordering_of_name = function
+  | "bb" -> Ok Chf.Phases.Basic_blocks
+  | "upio" -> Ok Chf.Phases.Upio
+  | "iupo" -> Ok Chf.Phases.Iupo
+  | "iup-o" -> Ok Chf.Phases.Iup_o
+  | "iupo-merged" | "convergent" -> Ok Chf.Phases.Iupo_merged
+  | s -> Error (`Msg (Fmt.str "unknown ordering %S" s))
+
+let policy_of_name = function
+  | "bf" -> Ok Chf.Policy.edge_default
+  | "df" ->
+    Ok
+      {
+        Chf.Policy.edge_default with
+        Chf.Policy.heuristic = Chf.Policy.Depth_first { min_merge_prob = 0.12 };
+      }
+  | "vliw" ->
+    Ok
+      {
+        Chf.Policy.edge_default with
+        Chf.Policy.heuristic = Chf.Policy.Vliw Chf.Policy.default_vliw;
+      }
+  | s -> Error (`Msg (Fmt.str "unknown policy %S (bf|df|vliw)" s))
+
+(* ---- the one-shot compile report --------------------------------------- *)
+
+(* The exact report the CLI has always printed, rendered to a string.
+   Line for line the format strings match the historical [Fmt.pr] calls;
+   none contains a break hint, so rendering through a buffer formatter
+   cannot re-flow them and the bytes are identical. *)
+let compile_report ?cache ~ordering ~config ~backend ~verify w =
+  try
+    let bb =
+      Pipeline.compile ?cache ~config ~backend Chf.Phases.Basic_blocks w
+    in
+    let baseline = Pipeline.run_functional bb in
+    let bb_cycles = Pipeline.run_cycles bb in
+    let c = Pipeline.compile ?cache ~config ~backend ~verify ordering w in
+    let r = Pipeline.verify_against ~baseline c in
+    let cycles = Pipeline.run_cycles c in
+    let buf = Buffer.create 512 in
+    let fmt = Format.formatter_of_buffer buf in
+    Fmt.pf fmt "workload        : %s (%s)@." w.Workload.name
+      w.Workload.description;
+    Fmt.pf fmt "ordering        : %s@." (Chf.Phases.name ordering);
+    Fmt.pf fmt "merges m/t/u/p  : %a@." Chf.Formation.pp_stats c.Pipeline.stats;
+    Fmt.pf fmt "static          : %d blocks, %d instructions@."
+      c.Pipeline.static_blocks c.Pipeline.static_instrs;
+    (match c.Pipeline.backend with
+    | Some rep ->
+      Fmt.pf fmt
+        "back end        : %d cross-block values, %d fanout movs, %d splits@."
+        rep.Trips_regalloc.Backend.cross_block_values
+        rep.Trips_regalloc.Backend.fanout_movs rep.Trips_regalloc.Backend.splits
+    | None -> ());
+    Fmt.pf fmt "functional      : ret=%a, %d blocks, %d instructions executed@."
+      Fmt.(option int)
+      r.Trips_sim.Func_sim.ret r.Trips_sim.Func_sim.blocks_executed
+      r.Trips_sim.Func_sim.instrs_executed;
+    Fmt.pf fmt "cycles          : %d (basic blocks: %d, %+.1f%%)@."
+      cycles.Trips_sim.Cycle_sim.cycles bb_cycles.Trips_sim.Cycle_sim.cycles
+      (Stats.percent_improvement ~base:bb_cycles.Trips_sim.Cycle_sim.cycles
+         ~v:cycles.Trips_sim.Cycle_sim.cycles);
+    Fmt.pf fmt
+      "mispredictions  : %d (accuracy %.1f%%), D-cache miss rate %.1f%%@."
+      cycles.Trips_sim.Cycle_sim.mispredictions
+      (100.0 *. cycles.Trips_sim.Cycle_sim.predictor_accuracy)
+      (100.0 *. cycles.Trips_sim.Cycle_sim.cache_miss_rate);
+    Fmt.pf fmt
+      "verified        : functional checksum matches basic-block baseline@.";
+    if verify then
+      Fmt.pf fmt "per-phase       : structural + differential checks passed@.";
+    Format.pp_print_flush fmt ();
+    Ok (c, Buffer.contents buf)
+  with
+  | Pipeline.Verify_failed { vf_workload; vf_ordering; vf_failure } ->
+    Error
+      (Fmt.str "%s/%s: phase verification failed: %a" vf_workload
+         (Chf.Phases.name vf_ordering) Trips_verify.Diff_check.pp_failure
+         vf_failure)
+  | Pipeline.Miscompiled d ->
+    Error (Fmt.str "miscompiled: %a" Pipeline.pp_divergence d)
+
+(* ---- the worker role ---------------------------------------------------- *)
+
+type t = {
+  prefix_store : Stage.prefix Store.t;
+  outputs : string Store.t;
+}
+
+let create ?prefix_store ?output_store () =
+  {
+    prefix_store =
+      (match prefix_store with
+      | Some s -> s
+      | None -> Store.create ~name:"serve.prefix" ());
+    outputs =
+      (match output_store with
+      | Some s -> s
+      | None -> Store.create ~name:"serve.output" ());
+  }
+
+let prefix_cache t = Stage.of_store t.prefix_store
+let output_store t = t.outputs
+
+(* A chaos-poisoned compile: inject the Strip_exits fault into a copy of
+   the compiled CFG, confirm the structural verifier sees the damage,
+   and raise.  The raise is the point — the request must surface as a
+   crash outcome confined to its own job. *)
+let poison ~seed cfg =
+  let rng = Random.State.make [| seed |] in
+  let rec attempt k =
+    if k = 0 then failwith (Fmt.str "chaos(seed %d): no injection site" seed)
+    else
+      match Trips_verify.Chaos.inject rng Trips_verify.Chaos.Strip_exits cfg with
+      | Some inj -> inj
+      | None -> attempt (k - 1)
+  in
+  let inj = attempt 8 in
+  match Trips_verify.Cfg_verify.check inj.Trips_verify.Chaos.cfg with
+  | [] ->
+    failwith
+      (Fmt.str "chaos(seed %d): injection escaped the structural verifier"
+         seed)
+  | v :: _ ->
+    failwith
+      (Fmt.str "chaos(seed %d): %s: %a" seed inj.Trips_verify.Chaos.note
+         Trips_verify.Cfg_verify.pp_violation v)
+
+let bad_request msg = Error (Protocol.Bad_request msg)
+
+(* Rendered outputs are cached under (content digest, kind, config).
+   Chaos-poisoned requests bypass the store entirely: they raise. *)
+let with_output_cache t ~src ~kind ~config compute =
+  let key = { Store.src; stage = "output." ^ kind; config } in
+  match Store.find t.outputs key with
+  | Some text -> Ok text
+  | None -> (
+    match compute () with
+    | Ok text ->
+      Store.add t.outputs key text;
+      Ok text
+    | Error _ as e -> e)
+
+let w_compile t (s : Protocol.compile_spec) : Protocol.output =
+  match
+    ( find_workload s.Protocol.cs_workload,
+      ordering_of_name s.Protocol.cs_ordering,
+      policy_of_name s.Protocol.cs_policy )
+  with
+  | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
+    bad_request m
+  | Ok w, Ok ordering, Ok config -> (
+    let cache = Stage.of_store t.prefix_store in
+    let compile () =
+      match
+        compile_report ~cache ~ordering ~config ~backend:s.Protocol.cs_backend
+          ~verify:s.Protocol.cs_verify w
+      with
+      | Ok (c, text) -> Ok (c, text)
+      | Error m -> Error (Protocol.Compile_failed m)
+    in
+    match s.Protocol.cs_chaos_seed with
+    | Some seed -> (
+      (* poisoned: compile, inject, raise — never cached *)
+      match compile () with
+      | Error _ as e -> e
+      | Ok (c, _) -> poison ~seed c.Pipeline.cfg)
+    | None ->
+      let config_key =
+        Fmt.str "%s/%s/backend=%b/verify=%b" s.Protocol.cs_ordering
+          s.Protocol.cs_policy s.Protocol.cs_backend s.Protocol.cs_verify
+      in
+      with_output_cache t ~src:(Stage.content_key w) ~kind:"compile"
+        ~config:config_key (fun () -> Result.map snd (compile ())))
+
+let micro_selection = function
+  | [] -> Ok Micro.all
+  | names ->
+    List.fold_right
+      (fun name acc ->
+        Result.bind acc (fun ws ->
+            Result.map (fun w -> w :: ws) (find_workload name)))
+      names (Ok [])
+
+(* one digest covering the whole workload selection, in order *)
+let selection_key ws =
+  Digest.to_hex (Digest.string (String.concat ";" (List.map Stage.content_key ws)))
+
+let w_report t (s : Protocol.report_spec) : Protocol.output =
+  match
+    ( micro_selection s.Protocol.rs_workloads,
+      ordering_of_name s.Protocol.rs_ordering,
+      policy_of_name s.Protocol.rs_policy )
+  with
+  | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
+    bad_request m
+  | Ok workloads, Ok ordering, Ok config ->
+    let config_key =
+      Fmt.str "%s/%s" s.Protocol.rs_ordering s.Protocol.rs_policy
+    in
+    with_output_cache t ~src:(selection_key workloads) ~kind:"report"
+      ~config:config_key (fun () ->
+        let cache = Stage.of_store t.prefix_store in
+        let o = Reporter.run ~config ~cache ~jobs:1 ~ordering ~workloads () in
+        Ok (Fmt.str "%a" Reporter.render o))
+
+let w_sweep_cell t (s : Protocol.sweep_spec) : Protocol.output =
+  let spec_selection = function
+    | [] -> Ok Spec_like.all
+    | names ->
+      List.fold_right
+        (fun name acc ->
+          Result.bind acc (fun ws ->
+              Result.map (fun w -> w :: ws) (find_workload name)))
+        names (Ok [])
+  in
+  let render =
+    match s.Protocol.ss_table with
+    | "table1" ->
+      Result.map
+        (fun ws cache ->
+          Fmt.str "%a" Table1.render (Table1.run ~cache ~jobs:1 ~workloads:ws ()))
+        (micro_selection s.Protocol.ss_workloads)
+    | "table2" ->
+      Result.map
+        (fun ws cache ->
+          Fmt.str "%a" Table2.render (Table2.run ~cache ~jobs:1 ~workloads:ws ()))
+        (micro_selection s.Protocol.ss_workloads)
+    | "table3" ->
+      Result.map
+        (fun ws cache ->
+          Fmt.str "%a" Table3.render (Table3.run ~cache ~jobs:1 ~workloads:ws ()))
+        (spec_selection s.Protocol.ss_workloads)
+    | "figure7" ->
+      Result.map
+        (fun ws cache ->
+          Fmt.str "%a" Figure7.render (Table1.run ~cache ~jobs:1 ~workloads:ws ()))
+        (micro_selection s.Protocol.ss_workloads)
+    | t -> Error (`Msg (Fmt.str "unknown table %S (table1|table2|table3|figure7)" t))
+  in
+  match render with
+  | Error (`Msg m) -> bad_request m
+  | Ok render ->
+    let selection =
+      match s.Protocol.ss_table with
+      | "table3" -> spec_selection s.Protocol.ss_workloads
+      | _ -> micro_selection s.Protocol.ss_workloads
+    in
+    let src =
+      match selection with Ok ws -> selection_key ws | Error _ -> "?"
+    in
+    with_output_cache t ~src ~kind:"sweep" ~config:s.Protocol.ss_table
+      (fun () -> Ok (render (Stage.of_store t.prefix_store)))
+
+let handlers t =
+  {
+    Protocol.w_compile = w_compile t;
+    w_report = w_report t;
+    w_sweep_cell = w_sweep_cell t;
+  }

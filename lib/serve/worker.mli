@@ -1,0 +1,60 @@
+(** The worker role: execute serve jobs against shared artifact stores.
+
+    One {!t} is shared by every worker domain of the daemon: it carries
+    the shared lower+profile prefix cache (a {!Trips_harness.Stage.cache}
+    view over a {!Trips_store.Store}) and a second store of rendered
+    outputs keyed by (workload content digest, job kind, configuration).
+    Repeated requests for the same source under the same configuration
+    are served from the store; everything in both stores is immutable and
+    produced deterministically, so a stored reply is byte-identical to a
+    recomputed one.
+
+    The compile text is rendered by {!compile_report}, which the one-shot
+    [chfc compile] prints verbatim — served output equals CLI output by
+    construction, not by parallel maintenance of two printers. *)
+
+open Trips_workloads
+open Trips_harness
+
+(** {1 Name resolution (shared with the [chfc] CLI)} *)
+
+val find_workload : string -> (Workload.t, [ `Msg of string ]) result
+val ordering_of_name : string -> (Chf.Phases.ordering, [ `Msg of string ]) result
+val policy_of_name : string -> (Chf.Policy.config, [ `Msg of string ]) result
+
+(** {1 The one-shot compile report} *)
+
+val compile_report :
+  ?cache:Stage.cache ->
+  ordering:Chf.Phases.ordering ->
+  config:Chf.Policy.config ->
+  backend:bool ->
+  verify:bool ->
+  Workload.t ->
+  (Pipeline.compiled * string, string) result
+(** Compile a workload and render the [chfc compile] report text
+    (workload/ordering/merges/static/back end/functional/cycles/
+    mispredictions/verified lines, one per line, exactly as the CLI
+    prints them).  [Error msg] carries the rendered verification or
+    miscompilation failure. *)
+
+(** {1 The worker role} *)
+
+type t
+
+val create :
+  ?prefix_store:Stage.prefix Trips_store.Store.t ->
+  ?output_store:string Trips_store.Store.t ->
+  unit ->
+  t
+(** Fresh stores by default; the daemon passes its shared ones. *)
+
+val prefix_cache : t -> Stage.cache
+val output_store : t -> string Trips_store.Store.t
+
+val handlers : t -> Protocol.worker
+(** The closed handler record: compile, report, sweep-cell.  Handlers
+    return structured {!Protocol.served_error}s for bad names and
+    pipeline failures; a chaos-poisoned compile ([cs_chaos_seed]) raises
+    after fault injection — deliberately, to exercise the scheduler's
+    per-job crash isolation end to end. *)

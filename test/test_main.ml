@@ -19,5 +19,6 @@ let () =
       Test_obs.suite;
       Test_provenance.suite;
       Test_fuzz.suite;
+      Test_serve.suite;
       Test_integration.suite;
     ]

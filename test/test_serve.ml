@@ -1,0 +1,417 @@
+(* Tests for the resident compilation service: wire protocol framing and
+   session-type enforcement, the shared content-addressed store (LRU +
+   counters + thread safety), the bounded scheduler's structured overload
+   modes, end-to-end byte identity over a real socket, and the
+   resident-pool-vs-legacy Engine.map equivalence property behind
+   TRIPS_NO_RESIDENT_POOL. *)
+
+module P = Trips_serve.Protocol
+module Scheduler = Trips_serve.Scheduler
+module Store = Trips_store.Store
+module Engine = Trips_harness.Engine
+module Watchdog = Trips_obs.Watchdog
+
+let spec =
+  {
+    P.cs_workload = "sieve";
+    cs_ordering = "iupo-merged";
+    cs_policy = "bf";
+    cs_backend = true;
+    cs_verify = false;
+    cs_deadline_s = None;
+    cs_chaos_seed = None;
+  }
+
+(* Run [k] with a connected (in_channel, out_channel) pair over a pipe —
+   enough to exercise the real framed readers/writers without a socket. *)
+let with_pipe k =
+  let r, w = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr r and oc = Unix.out_channel_of_descr w in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      close_in_noerr ic)
+    (fun () -> k ic oc)
+
+(* ---- protocol ---------------------------------------------------------- *)
+
+let test_request_round_trip () =
+  let reqs =
+    [
+      P.Packed (P.Compile spec);
+      P.Packed
+        (P.Report
+           {
+             P.rs_workloads = [ "sieve"; "vadd" ];
+             rs_ordering = "iupo-merged";
+             rs_policy = "bf";
+             rs_deadline_s = Some 1.5;
+           });
+      P.Packed
+        (P.Sweep_cell
+           { P.ss_table = "table1"; ss_workloads = []; ss_deadline_s = None });
+      P.Packed P.Stats;
+      P.Packed P.Shutdown;
+    ]
+  in
+  List.iter
+    (fun (P.Packed req) ->
+      with_pipe (fun ic oc ->
+          P.write_request oc (P.wire_of_request req);
+          let (P.Packed decoded) = P.request_of_wire (P.read_request ic) in
+          let same =
+            match (req, decoded) with
+            | P.Compile a, P.Compile b -> a = b
+            | P.Report a, P.Report b -> a = b
+            | P.Sweep_cell a, P.Sweep_cell b -> a = b
+            | P.Stats, P.Stats -> true
+            | P.Shutdown, P.Shutdown -> true
+            | _ -> false
+          in
+          Alcotest.(check bool) "request survives the wire" true same))
+    reqs
+
+let test_reply_round_trip () =
+  with_pipe (fun ic oc ->
+      let req = P.Compile spec in
+      P.write_reply oc (P.reply_to_wire req (Ok "report text"));
+      (match P.reply_of_wire req (P.read_reply ic) with
+      | Ok text -> Alcotest.(check string) "payload" "report text" text
+      | Error _ -> Alcotest.fail "expected Ok");
+      P.write_reply oc
+        (P.reply_to_wire req (Error (P.Overloaded { ov_pending = 3; ov_depth = 3 })));
+      match P.reply_of_wire req (P.read_reply ic) with
+      | Error (P.Overloaded { ov_pending = 3; ov_depth = 3 }) -> ()
+      | _ -> Alcotest.fail "expected Overloaded")
+
+let test_version_mismatch () =
+  with_pipe (fun ic oc ->
+      output_string oc "CHFS";
+      output_char oc (Char.chr (P.version + 1));
+      output_string oc "junk that must never be unmarshaled";
+      flush oc;
+      match P.read_request ic with
+      | _ -> Alcotest.fail "version skew accepted"
+      | exception P.Protocol_error _ -> ())
+
+let test_bad_magic () =
+  with_pipe (fun ic oc ->
+      output_string oc "HTTP/";
+      flush oc;
+      match P.read_request ic with
+      | _ -> Alcotest.fail "bad magic accepted"
+      | exception P.Protocol_error _ -> ())
+
+let test_session_type_enforced () =
+  (* A reply whose shape contradicts the request's type index must be a
+     structured protocol error, not a crash or a silent misread. *)
+  let wrong = P.reply_to_wire (P.Compile spec) (Ok "text") in
+  (match P.reply_of_wire P.Stats wrong with
+  | _ -> Alcotest.fail "stats request accepted an output reply"
+  | exception P.Protocol_error _ -> ());
+  match P.reply_of_wire (P.Compile spec) (P.error_reply "boom") with
+  | _ -> Alcotest.fail "error frame decoded as a payload"
+  | exception P.Protocol_error _ -> ()
+
+(* ---- content-addressed store ------------------------------------------- *)
+
+let k src = { Store.src; stage = "compile"; config = "cfg" }
+
+let test_store_counters () =
+  let s = Store.create ~capacity:8 ~name:"t.counters" () in
+  Alcotest.(check (option string)) "miss" None (Store.find s (k "a"));
+  Store.add s (k "a") "A";
+  Alcotest.(check (option string)) "hit" (Some "A") (Store.find s (k "a"));
+  Store.record_miss s;
+  let c = Store.counters s in
+  Alcotest.(check int) "hits" 1 c.Store.hits;
+  Alcotest.(check int) "misses" 2 c.Store.misses;
+  Alcotest.(check int) "entries" 1 c.Store.entries;
+  Alcotest.(check int) "capacity" 8 c.Store.capacity;
+  Alcotest.(check (float 1e-9))
+    "hit rate" (1.0 /. 3.0) (Store.hit_rate c)
+
+let test_store_lru_eviction () =
+  let s = Store.create ~capacity:2 ~name:"t.lru" () in
+  Store.add s (k "a") "A";
+  Store.add s (k "b") "B";
+  (* touching [a] refreshes its recency, so the next insert evicts [b] *)
+  ignore (Store.find s (k "a"));
+  Store.add s (k "c") "C";
+  Alcotest.(check (option string)) "a survives" (Some "A") (Store.find s (k "a"));
+  Alcotest.(check (option string)) "b evicted" None (Store.find s (k "b"));
+  Alcotest.(check (option string)) "c present" (Some "C") (Store.find s (k "c"));
+  let c = Store.counters s in
+  Alcotest.(check int) "one eviction" 1 c.Store.evictions;
+  Alcotest.(check int) "bounded" 2 c.Store.entries
+
+let test_store_key_separation () =
+  (* the key is the full (src, stage, config) triple: any differing
+     component addresses a distinct artifact *)
+  let s = Store.create ~capacity:8 ~name:"t.keys" () in
+  Store.add s { Store.src = "s"; stage = "compile"; config = "c1" } "one";
+  Store.add s { Store.src = "s"; stage = "compile"; config = "c2" } "two";
+  Store.add s { Store.src = "s"; stage = "prefix"; config = "c1" } "three";
+  Alcotest.(check (option string))
+    "config digest discriminates" (Some "one")
+    (Store.find s { Store.src = "s"; stage = "compile"; config = "c1" });
+  Alcotest.(check (option string))
+    "stage discriminates" (Some "three")
+    (Store.find s { Store.src = "s"; stage = "prefix"; config = "c1" });
+  Alcotest.(check int) "three entries" 3 (Store.counters s).Store.entries
+
+let test_store_concurrent () =
+  let s = Store.create ~capacity:4 ~name:"t.concurrent" () in
+  let threads = 4 and per_thread = 200 and keyspace = 8 in
+  let bad = Atomic.make 0 in
+  let worker tid =
+    Thread.create
+      (fun tid ->
+        for i = 0 to per_thread - 1 do
+          let src = Printf.sprintf "w%d" ((i + tid) mod keyspace) in
+          let v = Store.find_or_add s (k src) (fun key -> "v:" ^ key.Store.src) in
+          if v <> "v:" ^ src then Atomic.incr bad
+        done)
+      tid
+  in
+  List.init threads worker |> List.iter Thread.join;
+  Alcotest.(check int) "every lookup returned its own key's value" 0
+    (Atomic.get bad);
+  let c = Store.counters s in
+  Alcotest.(check int) "every lookup counted" (threads * per_thread)
+    (c.Store.hits + c.Store.misses);
+  Alcotest.(check bool) "population bounded" true (c.Store.entries <= 4)
+
+(* ---- scheduler --------------------------------------------------------- *)
+
+let test_scheduler_concurrent_determinism () =
+  let sched = Scheduler.create ~workers:2 ~run:(fun n -> n * n) () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.drain sched)
+    (fun () ->
+      let bad = Atomic.make 0 in
+      let client tid =
+        Thread.create
+          (fun tid ->
+            for i = 0 to 24 do
+              let n = (tid * 100) + i in
+              match Scheduler.run_sync sched n with
+              | Scheduler.Done r when r = n * n -> ()
+              | _ -> Atomic.incr bad
+            done)
+          tid
+      in
+      List.init 4 client |> List.iter Thread.join;
+      Alcotest.(check int) "every job got its own answer" 0 (Atomic.get bad);
+      let c = Scheduler.counters sched in
+      Alcotest.(check int) "completed" 100 c.Scheduler.k_completed;
+      Alcotest.(check int) "pending" 0 c.Scheduler.k_pending)
+
+let test_scheduler_crash_isolation () =
+  let run n = if n = 13 then failwith "boom" else n in
+  let sched = Scheduler.create ~workers:1 ~run () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.drain sched)
+    (fun () ->
+      (match Scheduler.run_sync sched 13 with
+      | Scheduler.Crashed (Failure m) when m = "boom" -> ()
+      | _ -> Alcotest.fail "expected Crashed");
+      (* the crash is confined: the same pool keeps answering *)
+      (match Scheduler.run_sync sched 7 with
+      | Scheduler.Done 7 -> ()
+      | _ -> Alcotest.fail "pool wedged after a crash");
+      let c = Scheduler.counters sched in
+      Alcotest.(check int) "one crash" 1 c.Scheduler.k_crashed;
+      (* completed counts successes only; the crash has its own counter *)
+      Alcotest.(check int) "one success" 1 c.Scheduler.k_completed;
+      Alcotest.(check int) "nothing pending" 0 c.Scheduler.k_pending)
+
+let test_scheduler_sheds_overflow () =
+  let m = Mutex.create () and cv = Condition.create () in
+  let released = ref false in
+  let gate () =
+    Mutex.lock m;
+    while not !released do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m
+  in
+  let sched =
+    Scheduler.create ~workers:1 ~queue_depth:2
+      ~run:(fun n ->
+        if n < 0 then gate ();
+        n)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.drain sched)
+    (fun () ->
+      let t1 =
+        match Scheduler.submit sched (-1) with
+        | Ok t -> t
+        | Error _ -> Alcotest.fail "first admit refused"
+      in
+      let t2 =
+        match Scheduler.submit sched (-2) with
+        | Ok t -> t
+        | Error _ -> Alcotest.fail "second admit refused"
+      in
+      (* in-flight = depth: the next submission must shed, structurally *)
+      (match Scheduler.submit sched 3 with
+      | Error (Scheduler.Overloaded { ov_pending = 2; ov_depth = 2 }) -> ()
+      | Ok _ -> Alcotest.fail "overflow admitted"
+      | Error _ -> Alcotest.fail "expected Overloaded");
+      Mutex.lock m;
+      released := true;
+      Condition.broadcast cv;
+      Mutex.unlock m;
+      (match (Scheduler.await sched t1, Scheduler.await sched t2) with
+      | Scheduler.Done -1, Scheduler.Done -2 -> ()
+      | _ -> Alcotest.fail "gated jobs lost");
+      let c = Scheduler.counters sched in
+      Alcotest.(check int) "one shed" 1 c.Scheduler.k_shed;
+      Alcotest.(check int) "sheds are not submissions" 2 c.Scheduler.k_submitted)
+
+let test_scheduler_deadline () =
+  let deadline_of n = if n < 0 then Some 0.005 else None in
+  let run n =
+    if n < 0 then
+      let rec spin () : int =
+        Watchdog.check ();
+        spin ()
+      in
+      spin ()
+    else n * 2
+  in
+  let sched = Scheduler.create ~workers:1 ~deadline_of ~run () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.drain sched)
+    (fun () ->
+      (match Scheduler.run_sync sched (-1) with
+      | Scheduler.Timed_out { to_deadline_s; to_spent_s } ->
+        Alcotest.(check (float 1e-9)) "deadline echoed" 0.005 to_deadline_s;
+        Alcotest.(check bool) "spent at least the budget" true
+          (to_spent_s >= 0.005)
+      | _ -> Alcotest.fail "expected Timed_out");
+      (* the expiry did not poison the worker domain *)
+      (match Scheduler.run_sync sched 21 with
+      | Scheduler.Done 42 -> ()
+      | _ -> Alcotest.fail "pool wedged after a timeout");
+      let c = Scheduler.counters sched in
+      Alcotest.(check int) "one timeout" 1 c.Scheduler.k_timed_out)
+
+let test_scheduler_drain_refuses () =
+  let sched = Scheduler.create ~workers:1 ~run:(fun n -> n) () in
+  (match Scheduler.run_sync sched 1 with
+  | Scheduler.Done 1 -> ()
+  | _ -> Alcotest.fail "warm-up job failed");
+  Scheduler.drain sched;
+  Scheduler.drain sched;
+  (* idempotent *)
+  match Scheduler.submit sched 2 with
+  | Error Scheduler.Draining -> ()
+  | Ok _ -> Alcotest.fail "drained scheduler admitted a job"
+  | Error _ -> Alcotest.fail "expected Draining"
+
+(* ---- end-to-end byte identity ------------------------------------------ *)
+
+let test_served_byte_identity () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ()) "chfc-test-serve.sock"
+  in
+  let srv =
+    Trips_serve.Server.start ~workers:1 ~quiet:true ~socket ()
+  in
+  let served =
+    Trips_serve.Client.with_conn ~socket (fun c ->
+        Trips_serve.Client.rpc c
+          (P.Compile { spec with P.cs_workload = "vadd" }))
+  in
+  let stats =
+    Trips_serve.Client.with_conn ~socket (fun c ->
+        Trips_serve.Client.rpc c P.Stats)
+  in
+  Trips_serve.Client.with_conn ~socket (fun c ->
+      Trips_serve.Client.rpc c P.Shutdown);
+  Trips_serve.Server.wait srv;
+  let oneshot =
+    match Trips_workloads.Micro.by_name "vadd" with
+    | None -> Alcotest.fail "workload vadd missing"
+    | Some w -> (
+      match
+        Trips_serve.Worker.compile_report ~ordering:Chf.Phases.Iupo_merged
+          ~config:Chf.Policy.edge_default ~backend:true ~verify:false w
+      with
+      | Ok (_, text) -> text
+      | Error m -> Alcotest.fail ("one-shot compile failed: " ^ m))
+  in
+  (match served with
+  | Ok text ->
+    Alcotest.(check string) "served = one-shot, byte for byte" oneshot text
+  | Error _ -> Alcotest.fail "served compile failed");
+  Alcotest.(check int) "daemon answered with its protocol version" P.version
+    stats.P.st_version;
+  Alcotest.(check bool) "the compile was counted" true
+    (stats.P.st_completed >= 1)
+
+(* ---- resident pool vs legacy spawn-per-call map ------------------------ *)
+
+let with_hatch name k =
+  Unix.putenv name "1";
+  Fun.protect ~finally:(fun () -> Unix.putenv name "") k
+
+let normalize rs =
+  List.map
+    (function Ok v -> Ok v | Error e -> Error (Printexc.to_string e))
+    rs
+
+let pool_equivalence_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"Engine.map: resident pool = legacy spawn-per-call (slots, errors)"
+       ~count:40
+       QCheck2.Gen.(list_size (int_bound 24) (int_bound 1000))
+       (fun xs ->
+         let f x = if x mod 7 = 0 then failwith "seven" else (x * x) + 1 in
+         let fast = normalize (Engine.map ~jobs:4 f xs) in
+         let legacy =
+           with_hatch "TRIPS_NO_RESIDENT_POOL" (fun () ->
+               normalize (Engine.map ~jobs:4 f xs))
+         in
+         fast = legacy))
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "protocol: request wire round-trip" `Quick
+        test_request_round_trip;
+      Alcotest.test_case "protocol: reply wire round-trip" `Quick
+        test_reply_round_trip;
+      Alcotest.test_case "protocol: version skew is a structured error" `Quick
+        test_version_mismatch;
+      Alcotest.test_case "protocol: bad magic is a structured error" `Quick
+        test_bad_magic;
+      Alcotest.test_case "protocol: reply shape checked against the session type"
+        `Quick test_session_type_enforced;
+      Alcotest.test_case "store: hit/miss/eviction counters" `Quick
+        test_store_counters;
+      Alcotest.test_case "store: LRU eviction respects recency" `Quick
+        test_store_lru_eviction;
+      Alcotest.test_case "store: (src, stage, config) triple addresses" `Quick
+        test_store_key_separation;
+      Alcotest.test_case "store: concurrent find_or_add is consistent" `Quick
+        test_store_concurrent;
+      Alcotest.test_case "scheduler: concurrent submits, deterministic answers"
+        `Quick test_scheduler_concurrent_determinism;
+      Alcotest.test_case "scheduler: a crash is confined to its job" `Quick
+        test_scheduler_crash_isolation;
+      Alcotest.test_case "scheduler: overflow sheds with Overloaded" `Quick
+        test_scheduler_sheds_overflow;
+      Alcotest.test_case "scheduler: deadline expiry does not wedge the pool"
+        `Quick test_scheduler_deadline;
+      Alcotest.test_case "scheduler: drain refuses new work, idempotently"
+        `Quick test_scheduler_drain_refuses;
+      Alcotest.test_case "serve: socket round-trip is byte-identical" `Quick
+        test_served_byte_identity;
+      pool_equivalence_prop;
+    ] )

@@ -103,7 +103,8 @@ let is_higher_better key =
   let contains sub =
     Re.execp (Re.compile (Re.str sub)) key
   in
-  contains "speedup" || contains "rate"
+  contains "speedup" || contains "rate" || contains "rps"
+  || contains "throughput"
 
 let () =
   let usage () =

@@ -1,0 +1,119 @@
+(* serve_smoke — end-to-end gate for the resident compile service.
+
+   Starts a daemon on a private socket, then asserts, over real client
+   connections:
+
+   - N compile requests (repeated sources) all succeed, and repeats are
+     byte-identical to the first answer (the output store may not change
+     bytes);
+   - a served compile equals the one-shot pipeline's report text
+     byte for byte;
+   - a chaos-poisoned request fails with a structured compile error
+     naming the injection, and its crash is confined (the next request
+     on the same connection succeeds);
+   - a past-deadline request on a source the stores have not seen
+     answers timed-out without wedging the pool;
+   - the stats reply accounts for all of the above (completions, one
+     crash, one timeout, output-store hits);
+   - shutdown acks, drains, removes the socket, and refuses new
+     connections.
+
+   Exit 0 on success, 1 with a message on the first violated check. *)
+
+module C = Trips_serve.Client
+module P = Trips_serve.Protocol
+module S = Trips_serve.Server
+
+let fail fmt = Fmt.kstr (fun m -> Fmt.epr "serve-smoke: FAIL: %s@." m; exit 1) fmt
+
+let compile ?deadline ?chaos name =
+  P.Compile
+    {
+      P.cs_workload = name;
+      cs_ordering = "iupo-merged";
+      cs_policy = "bf";
+      cs_backend = true;
+      cs_verify = false;
+      cs_deadline_s = deadline;
+      cs_chaos_seed = chaos;
+    }
+
+let () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ()) "chfc-serve-smoke.sock"
+  in
+  let srv = S.start ~workers:2 ~queue_depth:4 ~quiet:true ~socket () in
+  let names = [ "sieve"; "vadd"; "matrix_1"; "sieve"; "vadd"; "sieve" ] in
+  let first : (string, string) Hashtbl.t = Hashtbl.create 4 in
+  List.iteri
+    (fun i name ->
+      match C.with_conn ~socket (fun c -> C.rpc c (compile name)) with
+      | Error e -> fail "request %d (%s): %a" i name P.pp_served_error e
+      | Ok text -> (
+        match Hashtbl.find_opt first name with
+        | None -> Hashtbl.replace first name text
+        | Some prev ->
+          if prev <> text then
+            fail "repeat of %s is not byte-identical to its first answer"
+              name))
+    names;
+  (* served bytes = one-shot pipeline bytes *)
+  (match Trips_workloads.Micro.by_name "sieve" with
+  | None -> fail "workload sieve missing"
+  | Some w -> (
+    match
+      Trips_serve.Worker.compile_report ~ordering:Chf.Phases.Iupo_merged
+        ~config:Chf.Policy.edge_default ~backend:true ~verify:false w
+    with
+    | Error m -> fail "one-shot compile failed: %s" m
+    | Ok (_, oneshot) ->
+      if Hashtbl.find first "sieve" <> oneshot then
+        fail "served sieve differs from the one-shot compile"));
+  (* chaos-poisoned request: structured failure, confined to its job *)
+  C.with_conn ~socket (fun c ->
+      (match C.rpc c (compile ~chaos:3 "sieve") with
+      | Ok _ -> fail "chaos-poisoned request succeeded"
+      | Error (P.Compile_failed m) ->
+        let has_chaos = Re.execp (Re.compile (Re.str "chaos")) m in
+        if not has_chaos then fail "chaos failure does not name chaos: %s" m
+      | Error e -> fail "chaos-poisoned request: %a" P.pp_served_error e);
+      (* same connection, next request must be fine *)
+      match C.rpc c (compile "sieve") with
+      | Ok text ->
+        if text <> Hashtbl.find first "sieve" then
+          fail "request after a crash is not byte-identical"
+      | Error e -> fail "request after a crash: %a" P.pp_served_error e);
+  (* past-deadline request on an unseen source *)
+  (match
+     C.with_conn ~socket (fun c -> C.rpc c (compile ~deadline:1e-6 "gzip_1"))
+   with
+  | Error (P.Timed_out _) -> ()
+  | Ok _ -> fail "past-deadline request succeeded"
+  | Error e -> fail "past-deadline request: %a" P.pp_served_error e);
+  (* the pool is not wedged: the timed-out source compiles when allowed *)
+  (match C.with_conn ~socket (fun c -> C.rpc c (compile "gzip_1")) with
+  | Ok _ -> ()
+  | Error e -> fail "compile after a timeout: %a" P.pp_served_error e);
+  (* the stats reply accounts for the above *)
+  let st = C.with_conn ~socket (fun c -> C.rpc c P.Stats) in
+  if st.P.st_version <> P.version then fail "stats version mismatch";
+  if st.P.st_crashed < 1 then fail "stats: no crash recorded";
+  if st.P.st_timed_out < 1 then fail "stats: no timeout recorded";
+  if st.P.st_pending <> 0 then fail "stats: %d jobs still pending" st.P.st_pending;
+  let output =
+    List.find (fun s -> s.P.sc_name = "serve.output") st.P.st_stores
+  in
+  if output.P.sc_hits = 0 then fail "output store never hit on repeats";
+  (* graceful shutdown: ack, drain, socket removed, connections refused *)
+  C.with_conn ~socket (fun c -> C.rpc c P.Shutdown);
+  S.wait srv;
+  if Sys.file_exists socket then fail "socket %s survived shutdown" socket;
+  (match C.connect ~socket with
+  | conn ->
+    C.close conn;
+    fail "daemon still accepting after shutdown"
+  | exception Unix.Unix_error _ -> ());
+  Fmt.pr
+    "serve-smoke: %d requests, crash isolation, deadline, stats, byte \
+     identity, clean shutdown: OK@."
+    (List.length names)

@@ -5,7 +5,7 @@ FUZZ_SEED ?= 42
 
 .PHONY: all build test chaos fuzz-smoke trace-check equiv-check report-check \
 	serve-smoke bench-diff check bench bench-formation bench-serve \
-	bench-all clean
+	bench-sim bench-all clean
 
 all: build
 
@@ -40,9 +40,12 @@ trace-check: build
 
 # Fast-path equivalence: the formation suite includes the property test
 # that formation with every TRIPS_NO_* escape hatch engaged produces
-# byte-identical CFGs, stats and traces to the default fast paths.
+# byte-identical CFGs, stats and traces to the default fast paths; the
+# sim suite does the same for the cycle model's ring/memo fast paths
+# (results, attribution rows and timing traces, all byte-compared).
 equiv-check: build
 	dune exec test/test_main.exe -- test formation
+	dune exec test/test_main.exe -- test sim
 
 # Report determinism: the per-block utilization report on two fixed
 # workloads must be byte-identical under -j 1 and -j 4 (the cycle model
@@ -73,6 +76,8 @@ bench-diff: build
 	dune exec tools/bench_diff.exe -- BENCH_formation.json _build/bench/BENCH_formation.json
 	TRIPS_BENCH_DIR=_build/bench dune exec bench/main.exe -- serve > /dev/null
 	dune exec tools/bench_diff.exe -- BENCH_serve.json _build/bench/BENCH_serve.json
+	TRIPS_BENCH_DIR=_build/bench dune exec bench/main.exe -- sim > /dev/null
+	dune exec tools/bench_diff.exe -- BENCH_sim.json _build/bench/BENCH_sim.json
 
 check: build test chaos fuzz-smoke trace-check equiv-check report-check \
 	serve-smoke bench-diff
@@ -93,6 +98,13 @@ bench-formation: build
 # accounting (writes BENCH_serve.json).
 bench-serve: build
 	dune exec bench/main.exe -- serve
+
+# Cycle-model fast-path attribution: legacy per-cycle hashtable path vs
+# the ring issue core, the timing memo and sampled simulation, with a
+# byte-identity assertion across every exact configuration and a
+# measured error bound for the sampled one (writes BENCH_sim.json).
+bench-sim: build
+	dune exec bench/main.exe -- sim
 
 # Every experiment: tables, figure, ablations, Bechamel micro-benchmarks.
 bench-all: build

@@ -122,11 +122,14 @@ val run_functional : compiled -> Func_sim.result
 
 val run_cycles :
   ?timing:Cycle_sim.timing ->
+  ?sample:int ->
   ?attribution:Attribution.t ->
   compiled ->
   Cycle_sim.result
-(** [attribution] collects per-block lineage attribution
-    ({!Trips_sim.Attribution}) without affecting timing. *)
+(** [sample >= 2] runs the timing model in sampled mode (see
+    {!Trips_sim.Cycle_sim.run}).  [attribution] collects per-block
+    lineage attribution ({!Trips_sim.Attribution}) without affecting
+    timing. *)
 
 val verify_against : baseline:Func_sim.result -> compiled -> Func_sim.result
 (** @raise Miscompiled unless the compiled workload reproduces the

@@ -26,7 +26,44 @@
    Cross-block dependences flow through [reg_ready]: a consumer of a
    register written by an earlier block waits for the producing write,
    which keeps loop-carried dependence chains serial no matter how many
-   blocks are in flight. *)
+   blocks are in flight.
+
+   Two fast paths (DESIGN.md §16) make this the cheap stage of a sweep
+   without changing a single output byte:
+
+   - an *event-driven issue core*: block events land in flat machine
+     buffers straight from the functional hooks (no per-instruction
+     allocation), cache probes and the fired bitmask fold into that same
+     pass, and issue-slot occupancy lives in a bounded ring whose slots
+     are tagged with the absolute cycle they represent.  Cycles below
+     the current block's dispatch point are dead by construction (every
+     future probe starts at or after it), so stale slots are reclaimed
+     lazily by tag comparison and the ring only ever spans the
+     in-flight window, not the whole simulated time axis.  Operand
+     wakeup is batched: the per-block availability table is seeded once
+     with every external input's effective readiness (max of the
+     register-read latency and the producer's completion plus a network
+     hop — a lossless clamp, since every early-enough producer
+     collapses to the same effective time) instead of consulting two
+     hash tables per operand use;
+   - *memoized block timing*: a block instance is keyed by its
+     signature (block id, firing exit's guard register, fired bitmask)
+     plus the clamped external-input readiness deltas and the load
+     miss pattern.  On a key repeat, the recorded timing replays —
+     commit/branch offsets, register exports and issue-slot
+     insertions — after verifying that the pre-existing issue
+     occupancy over the block's span matches the recording, which
+     makes the replay bit-exact (every absolute quantity enters the
+     computation only as a difference from the dispatch point).
+
+   [TRIPS_NO_SIM_FAST] (any non-empty value) routes issue allocation
+   back through the legacy per-cycle hashtable; [TRIPS_NO_SIM_MEMO]
+   disables the memo; with both engaged the original per-instruction
+   code path runs verbatim.  A sampled mode ([sample] >= 2, default
+   off) additionally extrapolates converged block instances from their
+   memo entries without re-timing issue contention, reporting a
+   measured drift bound — the only mode allowed to deviate from the
+   exact path. *)
 
 open Trips_ir
 
@@ -75,18 +112,136 @@ type result = {
   mispredictions : int;
   predictor_accuracy : float;
   cache_miss_rate : float;
+  sample_error_bound : float option;
   ret : int option;
   checksum : int;
 }
 
+(* ---- fast-path configuration ------------------------------------------- *)
+
+(* [TRIPS_NO_X] convention: any non-empty value disables the feature. *)
+let hatch_enabled name =
+  match Sys.getenv_opt name with None | Some "" -> false | Some _ -> true
+
+type fast_config = {
+  fc_fast : bool;  (* ring issue core + batched operand wakeup *)
+  fc_memo : bool;  (* repeated-block timing memo *)
+  fc_sample : int;  (* >= 2: re-time every Nth converged instance *)
+}
+
+(* a signature must repeat this many times before sampling may skip it *)
+let sample_converge = 4
+
+(* memo guards: blocks whose issue span outruns the window bound are not
+   worth replaying, and a runaway key population stops growing *)
+let memo_max_span = 4096
+let memo_max_entries = 16384
+
+let config_of_env ~sample =
+  let sample = if sample >= 2 then sample else 0 in
+  {
+    fc_fast = not (hatch_enabled "TRIPS_NO_SIM_FAST");
+    (* sampled mode extrapolates from memo entries, so it implies the
+       memo machinery even when the hatch is engaged *)
+    fc_memo = (not (hatch_enabled "TRIPS_NO_SIM_MEMO")) || sample > 0;
+    fc_sample = sample;
+  }
+
+(* ---- memo tables -------------------------------------------------------- *)
+
+(* Instance signature: everything structural — block id, the firing
+   exit's guard register (-1 for none) and the fired bitmask; the mask
+   determines the instruction/def/use sequence and the guard the branch
+   resolution input, both per-dynamic-instance (predication).  Stored as
+   a per-block list probed with inline integer comparisons against the
+   live event buffers, so a lookup allocates nothing. *)
+type sig_cell = { sc_guard : int; sc_mask : int array; sc_info : sig_info }
+
+(* Instance key under a signature: the numeric inputs.  Deltas are the
+   external inputs' effective readiness relative to dispatch-end — the
+   clamp at [reg_read_latency] is lossless quantization (any producer
+   finishing earlier yields the same effective time).  Miss bits carry
+   the load hit/miss pattern the event pass resolved.  Entries live in
+   an int-hashed bucket table probed with reusable scratch buffers;
+   keys are snapshotted only when a new entry is stored. *)
+and inst_key = { ik_deltas : int array; ik_miss : int array }
+
+(* Recorded timing, all relative to dispatch-end: replaying under equal
+   keys and equal pre-existing issue occupancy is exact because the
+   computation is translation-invariant in absolute time. *)
+and memo_entry = {
+  e_span : int;  (* issue-occupancy span length *)
+  e_pre : int array;  (* pre-existing occupancy over the span *)
+  e_iss : int array;  (* this instance's issue insertions *)
+  e_done_off : int;  (* block_done - dispatch_end *)
+  e_branch_off : int;  (* branch_time - dispatch_end *)
+  e_exports : (int * int) array;  (* reg, completion - dispatch_end *)
+}
+
+(* Per-signature static analysis.  Registers are renumbered into dense
+   slots [0, si_nregs), so the per-instance operand-availability table
+   is a pair of flat arrays instead of a hashtable; [si_names] maps a
+   slot back to its architectural register for the export side. *)
+and sig_info = {
+  si_ext : int array;  (* external input registers, first-use order *)
+  si_ext_slots : int array;  (* their dense slots, aligned with si_ext *)
+  si_names : int array;  (* slot -> architectural register *)
+  si_nregs : int;
+  si_guard_slot : int;  (* firing exit's guard slot, -1 for none *)
+  si_uses : int array array;  (* use slots per fired instruction *)
+  si_defs : int array array;  (* def slots per fired instruction *)
+  si_entries : (int, (inst_key * memo_entry) list) Hashtbl.t;
+      (* int-hashed buckets; collisions resolved by full key compare *)
+  mutable si_seen : int;  (* dynamic instances of this signature *)
+  mutable si_tick : int;  (* sampling phase counter *)
+  mutable si_skipped : int;  (* skips since the last measurement *)
+}
+
+let dummy_instr = Instr.make 0 (Instr.Mov (0, Instr.Imm 0))
+
 (* Mutable per-run machine state. *)
 type machine = {
   t : timing;
-  trace : int ref;  (* block instances still to trace to stderr *)
+  fc : fast_config;
+  trace : int ref;  (* block instances still to trace *)
+  trace_ppf : Format.formatter;
   predictor : Predictor.t;
   cache : Cache.t;
   reg_ready : (int, int) Hashtbl.t;  (* register -> producer completion *)
-  issue_load : (int, int) Hashtbl.t;  (* cycle -> instructions issued *)
+  issue_load : (int, int) Hashtbl.t;  (* legacy allocator: cycle -> issued *)
+  (* ring allocator: slot [c land ring_mask] holds cycle [ring_tags],
+     occupancy [ring_used]; tags below the current dispatch point are
+     dead and reclaimed lazily *)
+  mutable ring_tags : int array;
+  mutable ring_used : int array;
+  mutable ring_mask : int;
+  mutable ring_grows : int;
+  sigs : (int, sig_cell list) Hashtbl.t;  (* block id -> signatures *)
+  (* fast-path event buffers, filled by the functional hooks in program
+     order with no per-instruction allocation: instruction, fired flag,
+     touched address (-1 for none), plus the fired bitmask, load-miss
+     bits and fired count folded into the same pass *)
+  mutable ev_ins : Instr.t array;
+  mutable ev_fired : bool array;
+  mutable ev_addr : int array;
+  mutable ev_mask : int array;
+  mutable ev_miss : int array;
+  mutable ev_n : int;
+  mutable ev_fired_n : int;
+  (* reused per-block scratch, cleared instead of reallocated (hot
+     path): the slot-indexed operand-availability table (completion and
+     producer index; producer -2 = unset, -1 = external input with the
+     hop folded in), the issue-cycle buffer, and the memo-key deltas *)
+  mutable avail_c : int array;
+  mutable avail_p : int array;
+  mutable issue_buf : int array;
+  mutable issue_n : int;
+  mutable delta_buf : int array;
+  mutable memo_entries : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable sampled_skips : int;
+  mutable sample_err : int;  (* accumulated extrapolation drift, cycles *)
   mutable prev_dispatch_end : int;
   mutable last_commit : int;
   commit_ring : int array;  (* commit times of the last [window] blocks *)
@@ -102,14 +257,41 @@ type machine = {
   mutable started : bool;
 }
 
-let make_machine ?(trace = 0) t =
+let ring_initial_capacity = 256
+let ev_initial_capacity = 256
+
+let make_machine ?(trace = 0) ?(trace_ppf = Fmt.stderr) ?(sample = 0) t =
   {
     t;
+    fc = config_of_env ~sample;
     trace = ref trace;
+    trace_ppf;
     predictor = Predictor.create ();
     cache = Cache.create ~size_words:t.cache_size_words ~line_words:t.cache_line_words ();
     reg_ready = Hashtbl.create 256;
     issue_load = Hashtbl.create 4096;
+    ring_tags = Array.make ring_initial_capacity min_int;
+    ring_used = Array.make ring_initial_capacity 0;
+    ring_mask = ring_initial_capacity - 1;
+    ring_grows = 0;
+    sigs = Hashtbl.create 64;
+    ev_ins = Array.make ev_initial_capacity dummy_instr;
+    ev_fired = Array.make ev_initial_capacity false;
+    ev_addr = Array.make ev_initial_capacity (-1);
+    ev_mask = Array.make ((ev_initial_capacity / 62) + 1) 0;
+    ev_miss = Array.make ((ev_initial_capacity / 62) + 1) 0;
+    ev_n = 0;
+    ev_fired_n = 0;
+    avail_c = Array.make 128 0;
+    avail_p = Array.make 128 (-2);
+    issue_buf = Array.make 128 0;
+    issue_n = 0;
+    delta_buf = Array.make 64 0;
+    memo_entries = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    sampled_skips = 0;
+    sample_err = 0;
     prev_dispatch_end = 0;
     last_commit = 0;
     commit_ring = Array.make t.window_blocks 0;
@@ -124,7 +306,10 @@ let make_machine ?(trace = 0) t =
     started = false;
   }
 
-(* Greedy issue-slot search from [ready]. *)
+(* ---- issue allocators --------------------------------------------------- *)
+
+(* Legacy greedy issue-slot search from [ready] (TRIPS_NO_SIM_FAST):
+   one hashtable entry per simulated cycle, never pruned. *)
 let issue_at m ~ready =
   let rec find c =
     let used = Option.value ~default:0 (Hashtbl.find_opt m.issue_load c) in
@@ -135,6 +320,596 @@ let issue_at m ~ready =
     else find (c + 1)
   in
   find ready
+
+(* Ring variants.  [horizon] is the retiring block's dispatch-end: every
+   future probe starts at or after it, so smaller tags are dead.  On a
+   live collision the ring is rebuilt at the smallest power of two
+   exceeding the live span, which makes residues collision-free (any
+   two live tags then differ by less than the capacity). *)
+let ring_grow m ~horizon ~need =
+  let old_tags = m.ring_tags and old_used = m.ring_used in
+  let max_tag =
+    Array.fold_left (fun acc t -> if t >= horizon then max acc t else acc) need old_tags
+  in
+  let span = max_tag - horizon + 1 in
+  let cap = ref (2 * (m.ring_mask + 1)) in
+  while !cap < span + 1 do
+    cap := !cap * 2
+  done;
+  m.ring_tags <- Array.make !cap min_int;
+  m.ring_used <- Array.make !cap 0;
+  m.ring_mask <- !cap - 1;
+  m.ring_grows <- m.ring_grows + 1;
+  Array.iteri
+    (fun i tag ->
+      if tag >= horizon then begin
+        let j = tag land m.ring_mask in
+        m.ring_tags.(j) <- tag;
+        m.ring_used.(j) <- old_used.(i)
+      end)
+    old_tags
+
+let ring_load m c =
+  let i = c land m.ring_mask in
+  if m.ring_tags.(i) = c then m.ring_used.(i) else 0
+
+let rec ring_issue m ~horizon c =
+  let i = c land m.ring_mask in
+  let tag = m.ring_tags.(i) in
+  if tag = c then
+    if m.ring_used.(i) < m.t.issue_width then begin
+      m.ring_used.(i) <- m.ring_used.(i) + 1;
+      c
+    end
+    else ring_issue m ~horizon (c + 1)
+  else if tag < horizon then begin
+    m.ring_tags.(i) <- c;
+    m.ring_used.(i) <- 1;
+    c
+  end
+  else begin
+    ring_grow m ~horizon ~need:c;
+    ring_issue m ~horizon c
+  end
+
+let rec ring_add m ~horizon c n =
+  let i = c land m.ring_mask in
+  let tag = m.ring_tags.(i) in
+  if tag = c then m.ring_used.(i) <- m.ring_used.(i) + n
+  else if tag < horizon then begin
+    m.ring_tags.(i) <- c;
+    m.ring_used.(i) <- n
+  end
+  else begin
+    ring_grow m ~horizon ~need:c;
+    ring_add m ~horizon c n
+  end
+
+(* Occupancy access independent of the allocator in use, so the memo
+   works over both (the legacy hashtable never prunes, but occupancy is
+   only ever read at or above the horizon, where both agree). *)
+let occ_load m c =
+  if m.fc.fc_fast then ring_load m c
+  else Option.value ~default:0 (Hashtbl.find_opt m.issue_load c)
+
+let occ_add m ~horizon c n =
+  if m.fc.fc_fast then ring_add m ~horizon c n
+  else Hashtbl.replace m.issue_load c (occ_load m c + n)
+
+let issue_slot m ~horizon ~ready =
+  if m.fc.fc_fast then ring_issue m ~horizon ready else issue_at m ~ready
+
+(* ---- placement model ---------------------------------------------------- *)
+
+(* Instructions are placed round-robin across the ALU grid in fetch
+   order (the static-placement half of SPDI); operand latency between
+   two instructions is the Manhattan distance between their ALUs, so
+   dependence chains mapped far apart pay for the operand network, as
+   on the real array.  Grid 0 charges a flat hop (optimized SPDI). *)
+let hop_between t a b =
+  let grid = max 0 t.spatial_grid in
+  if grid = 0 then t.operand_hop
+  else
+    let cell_a = a mod (grid * grid) and cell_b = b mod (grid * grid) in
+    let ax, ay = (cell_a mod grid, cell_a / grid) in
+    let bx, by = (cell_b mod grid, cell_b / grid) in
+    let manhattan = abs (ax - bx) + abs (ay - by) in
+    t.operand_hop * max 1 manhattan
+
+(* ---- legacy timing body (both hatches engaged) -------------------------- *)
+
+(* The original per-instruction path, kept verbatim: per-operand double
+   hashtable lookups, cache probes inline, hashtable issue allocation.
+   Returns block-done and branch times plus a closure applying the
+   register exports (which, in this formulation, needs the commit). *)
+let retire_legacy m ~dispatch_end ~events =
+  let t = m.t in
+  let local_done : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  (* register -> (completion, producer slot index) *)
+  let input_ready ~consumer_idx r =
+    match Hashtbl.find_opt local_done r with
+    | Some (c, producer_idx) -> c + hop_between t producer_idx consumer_idx
+    | None ->
+      let produced = Option.value ~default:0 (Hashtbl.find_opt m.reg_ready r) in
+      max (dispatch_end + t.reg_read_latency) (produced + t.operand_hop)
+  in
+  let block_done = ref dispatch_end in
+  List.iteri
+    (fun idx ((i : Instr.t), fired, addr) ->
+      if fired then begin
+        m.instrs_fired <- m.instrs_fired + 1;
+        let ready =
+          List.fold_left
+            (fun acc r -> max acc (input_ready ~consumer_idx:idx r))
+            dispatch_end (Instr.uses i)
+        in
+        let issue = issue_at m ~ready in
+        let latency =
+          Latency.of_op i.Instr.op
+          +
+          match (i.Instr.op, addr) with
+          | Instr.Load _, Some a ->
+            if Cache.access m.cache ~addr:a then 0 else t.miss_penalty
+          | Instr.Store _, Some a ->
+            ignore (Cache.access m.cache ~addr:a);
+            0
+          | _ -> 0
+        in
+        let done_ = issue + latency in
+        List.iter
+          (fun d -> Hashtbl.replace local_done d (done_, idx))
+          (Instr.defs i);
+        if done_ > !block_done then block_done := done_
+      end)
+    events;
+  (* branch resolution: the firing exit's guard producer (branches sit
+     at the end of the mapped block) *)
+  let n_instrs = List.length events in
+  let branch_time =
+    match m.cur_exit with
+    | Some { Block.eguard = Some g; _ } ->
+      input_ready ~consumer_idx:n_instrs g.Instr.greg
+    | Some { Block.eguard = None; _ } | None -> dispatch_end
+  in
+  let export ~commit =
+    (* export register writes for later blocks *)
+    List.iter
+      (fun ((i : Instr.t), fired, _) ->
+        if fired then
+          List.iter
+            (fun d ->
+              Hashtbl.replace m.reg_ready d
+                (match Hashtbl.find_opt local_done d with
+                | Some (c, _) -> c
+                | None -> commit))
+            (Instr.defs i))
+      events
+  in
+  (!block_done, branch_time, export)
+
+(* ---- fast timing body --------------------------------------------------- *)
+
+(* Hot-path hashtable read without the [find_opt] option allocation. *)
+let ht_find0 tbl k =
+  match Hashtbl.find tbl k with v -> v | exception Not_found -> 0
+
+let bit_set words idx = words.(idx / 62) land (1 lsl (idx mod 62)) <> 0
+
+(* Per-signature static analysis, computed once: dense register
+   renumbering, each fired instruction's use/def slots as arrays (no
+   per-instance list allocation), and which registers the instance
+   reads from outside — a use with no earlier *fired* def, in
+   first-use order, including the firing exit's guard.  Determined by
+   the signature (block, fired mask, guard). *)
+let make_sig_info m ~guard_reg =
+  let n = m.ev_n in
+  let uses = Array.make n [||] in
+  let defs = Array.make n [||] in
+  let slot_of = Hashtbl.create 32 in
+  let names = ref [] in
+  let nregs = ref 0 in
+  let slot r =
+    match Hashtbl.find slot_of r with
+    | s -> s
+    | exception Not_found ->
+      let s = !nregs in
+      Hashtbl.add slot_of r s;
+      names := r :: !names;
+      incr nregs;
+      s
+  in
+  let defined = Hashtbl.create 32 in
+  let ext_set = Hashtbl.create 16 in
+  let ext = ref [] in
+  let ext_slots = ref [] in
+  let note_ext r s =
+    if (not (Hashtbl.mem defined r)) && not (Hashtbl.mem ext_set r) then begin
+      Hashtbl.add ext_set r ();
+      ext := r :: !ext;
+      ext_slots := s :: !ext_slots
+    end
+  in
+  for idx = 0 to n - 1 do
+    if m.ev_fired.(idx) then begin
+      let i = m.ev_ins.(idx) in
+      let us = Instr.uses i and ds = Instr.defs i in
+      uses.(idx) <-
+        Array.of_list
+          (List.map
+             (fun r ->
+               let s = slot r in
+               note_ext r s;
+               s)
+             us);
+      defs.(idx) <- Array.of_list (List.map slot ds);
+      List.iter (fun d -> Hashtbl.replace defined d ()) ds
+    end
+  done;
+  let guard_slot =
+    if guard_reg >= 0 then begin
+      let s = slot guard_reg in
+      note_ext guard_reg s;
+      s
+    end
+    else -1
+  in
+  {
+    si_ext = Array.of_list (List.rev !ext);
+    si_ext_slots = Array.of_list (List.rev !ext_slots);
+    si_names = Array.of_list (List.rev !names);
+    si_nregs = !nregs;
+    si_guard_slot = guard_slot;
+    si_uses = uses;
+    si_defs = defs;
+    si_entries = Hashtbl.create 8;
+    si_seen = 0;
+    si_tick = 0;
+    si_skipped = 0;
+  }
+
+let apply_exports m ~dispatch_end (exports : (int * int) array) =
+  Array.iter
+    (fun (r, off) -> Hashtbl.replace m.reg_ready r (dispatch_end + off))
+    exports
+
+let push_issue m c =
+  if m.issue_n = Array.length m.issue_buf then begin
+    let bigger = Array.make (2 * m.issue_n) 0 in
+    Array.blit m.issue_buf 0 bigger 0 m.issue_n;
+    m.issue_buf <- bigger
+  end;
+  m.issue_buf.(m.issue_n) <- c;
+  m.issue_n <- m.issue_n + 1
+
+(* Full (measured) timing computation with batched wakeup; returns the
+   recorded entry.  [deltas] are the external readiness offsets already
+   gathered for the memo key, so the availability table is seeded from
+   them — one lookup per external register per block, not per use. *)
+let fast_compute m ~dispatch_end ~(si : sig_info) ~deltas =
+  let t = m.t in
+  let horizon = dispatch_end in
+  let n_instrs = m.ev_n in
+  let nregs = si.si_nregs in
+  if Array.length m.avail_c < nregs then begin
+    m.avail_c <- Array.make (2 * nregs) 0;
+    m.avail_p <- Array.make (2 * nregs) (-2)
+  end;
+  let ac = m.avail_c and ap = m.avail_p in
+  Array.fill ap 0 nregs (-2);
+  Array.iteri
+    (fun j s ->
+      ac.(s) <- dispatch_end + deltas.(j);
+      ap.(s) <- -1)
+    si.si_ext_slots;
+  let input_ready ~consumer_idx s =
+    let p = ap.(s) in
+    if p = -1 then ac.(s)
+    else if p >= 0 then ac.(s) + hop_between t p consumer_idx
+    else
+      (* unreachable by construction of [si_ext]; kept total *)
+      max (dispatch_end + t.reg_read_latency)
+        (ht_find0 m.reg_ready si.si_names.(s) + t.operand_hop)
+  in
+  let block_done = ref dispatch_end in
+  m.issue_n <- 0;
+  let max_issue = ref (dispatch_end - 1) in
+  for idx = 0 to n_instrs - 1 do
+    if m.ev_fired.(idx) then begin
+      let ready = ref dispatch_end in
+      let us = si.si_uses.(idx) in
+      for k = 0 to Array.length us - 1 do
+        let r = input_ready ~consumer_idx:idx us.(k) in
+        if r > !ready then ready := r
+      done;
+      let issue = issue_slot m ~horizon ~ready:!ready in
+      push_issue m issue;
+      if issue > !max_issue then max_issue := issue;
+      let latency =
+        Latency.of_op m.ev_ins.(idx).Instr.op
+        + (if bit_set m.ev_miss idx then t.miss_penalty else 0)
+      in
+      let done_ = issue + latency in
+      let ds = si.si_defs.(idx) in
+      for k = 0 to Array.length ds - 1 do
+        let d = ds.(k) in
+        ac.(d) <- done_;
+        ap.(d) <- idx
+      done;
+      if done_ > !block_done then block_done := done_
+    end
+  done;
+  let branch_time =
+    if si.si_guard_slot >= 0 then
+      input_ready ~consumer_idx:n_instrs si.si_guard_slot
+    else dispatch_end
+  in
+  (* exports: every slot a fired def finally wrote (producer >= 0), in
+     slot order — order is irrelevant, each register appears once *)
+  let nexp = ref 0 in
+  for s = 0 to nregs - 1 do
+    if ap.(s) >= 0 then incr nexp
+  done;
+  let exports = Array.make !nexp (0, 0) in
+  let k = ref 0 in
+  for s = 0 to nregs - 1 do
+    if ap.(s) >= 0 then begin
+      exports.(!k) <- (si.si_names.(s), ac.(s) - dispatch_end);
+      incr k
+    end
+  done;
+  apply_exports m ~dispatch_end exports;
+  let span = if m.issue_n = 0 then 0 else !max_issue - dispatch_end + 1 in
+  let full = span <= memo_max_span in
+  let iss = Array.make (if full then span else 0) 0 in
+  if full then
+    for k = 0 to m.issue_n - 1 do
+      let c = m.issue_buf.(k) - dispatch_end in
+      iss.(c) <- iss.(c) + 1
+    done;
+  let pre =
+    if full then
+      Array.init span (fun k -> occ_load m (dispatch_end + k) - iss.(k))
+    else [||]
+  in
+  let entry =
+    {
+      e_span = (if full then span else 0);
+      e_pre = pre;
+      e_iss = iss;
+      e_done_off = !block_done - dispatch_end;
+      e_branch_off = branch_time - dispatch_end;
+      e_exports = exports;
+    }
+  in
+  (entry, full)
+
+(* The structured body: signature lookup over the event buffers the
+   hooks filled, memo replay or full computation, and — in sampled
+   mode — key-aware extrapolation.  Returns block-done and branch
+   times; exports are applied inside (they never need the commit — a
+   fired def's completion is always recorded). *)
+let retire_fast m ~dispatch_end =
+  let t = m.t in
+  let horizon = dispatch_end in
+  let words = max 1 ((m.ev_n + 61) / 62) in
+  m.instrs_fired <- m.instrs_fired + m.ev_fired_n;
+  let guard_reg =
+    match m.cur_exit with
+    | Some { Block.eguard = Some g; _ } -> g.Instr.greg
+    | Some { Block.eguard = None; _ } | None -> -1
+  in
+  (* signature lookup: scan this block's signatures comparing guard and
+     mask words against the live buffers — a hit allocates nothing, and
+     the per-block lists stay short (one cell per distinct predication
+     outcome) *)
+  let mask_eq stored =
+    let rec go w = w >= words || (stored.(w) = m.ev_mask.(w) && go (w + 1)) in
+    go 0
+  in
+  let cells =
+    match Hashtbl.find m.sigs m.cur_block with
+    | l -> l
+    | exception Not_found -> []
+  in
+  let si =
+    let rec scan = function
+      | c :: rest ->
+        if c.sc_guard = guard_reg && mask_eq c.sc_mask then c.sc_info
+        else scan rest
+      | [] ->
+        let si = make_sig_info m ~guard_reg in
+        Hashtbl.replace m.sigs m.cur_block
+          ({ sc_guard = guard_reg;
+             sc_mask = Array.sub m.ev_mask 0 words;
+             sc_info = si }
+          :: cells);
+        si
+    in
+    scan cells
+  in
+  si.si_seen <- si.si_seen + 1;
+  (* memo-key deltas into the reusable scratch buffer, folding the
+     bucket hash along the way; key arrays are only materialized when a
+     new entry is stored *)
+  let ext_n = Array.length si.si_ext in
+  if Array.length m.delta_buf < ext_n then
+    m.delta_buf <- Array.make (2 * ext_n) 0;
+  let db = m.delta_buf in
+  let h = ref 0 in
+  for j = 0 to ext_n - 1 do
+    let d =
+      max t.reg_read_latency
+        (ht_find0 m.reg_ready si.si_ext.(j) + t.operand_hop - dispatch_end)
+    in
+    db.(j) <- d;
+    h := (!h * 31) + d
+  done;
+  for w = 0 to words - 1 do
+    h := (!h * 31) + m.ev_miss.(w)
+  done;
+  let h = !h land max_int in
+  let key_eq (k : inst_key) =
+    Array.length k.ik_deltas = ext_n
+    && (let rec go j = j >= ext_n || (k.ik_deltas.(j) = db.(j) && go (j + 1)) in
+        go 0)
+    && (let rec go w =
+          w >= words || (k.ik_miss.(w) = m.ev_miss.(w) && go (w + 1))
+        in
+        go 0)
+  in
+  let bucket =
+    if m.fc.fc_memo then
+      match Hashtbl.find si.si_entries h with
+      | l -> l
+      | exception Not_found -> []
+    else []
+  in
+  let cached =
+    let rec scan = function
+      | ((k, _) as p) :: rest -> if key_eq k then Some p else scan rest
+      | [] -> None
+    in
+    scan bucket
+  in
+  (* Sampled mode: once a signature has converged, only every Nth
+     instance is re-timed; the rest replay the entry recorded for their
+     *own* instance key without verifying or updating issue occupancy —
+     latencies and dependences stay exact, only cross-block issue
+     contention is extrapolated.  A key never seen is always measured. *)
+  let sampling = m.fc.fc_sample > 1 in
+  let skip =
+    sampling && cached <> None && si.si_seen > sample_converge
+    && si.si_tick mod m.fc.fc_sample <> 0
+  in
+  si.si_tick <- si.si_tick + 1;
+  match cached with
+  | Some (_, e) when skip ->
+    si.si_skipped <- si.si_skipped + 1;
+    m.sampled_skips <- m.sampled_skips + 1;
+    apply_exports m ~dispatch_end e.e_exports;
+    (dispatch_end + e.e_done_off, dispatch_end + e.e_branch_off)
+  | _ ->
+    let commit_of ~done_ ~branch =
+      max (max done_ branch) m.last_commit + t.commit_overhead
+    in
+    (* what a skip would have charged this instance, for the drift bound *)
+    let predicted =
+      match cached with
+      | Some (_, e) when sampling ->
+        Some
+          (commit_of ~done_:(dispatch_end + e.e_done_off)
+             ~branch:(dispatch_end + e.e_branch_off))
+      | _ -> None
+    in
+    let replayed =
+      match cached with
+      | Some (_, e) ->
+        (* bit-exact only if the pre-existing occupancy over the
+           recorded span matches the recording *)
+        let ok = ref true in
+        (try
+           for k = 0 to e.e_span - 1 do
+             if occ_load m (dispatch_end + k) <> e.e_pre.(k) then begin
+               ok := false;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !ok then Some e else None
+      | None -> None
+    in
+    let entry =
+      match replayed with
+      | Some e ->
+        m.memo_hits <- m.memo_hits + 1;
+        for k = 0 to e.e_span - 1 do
+          if e.e_iss.(k) > 0 then occ_add m ~horizon (dispatch_end + k) e.e_iss.(k)
+        done;
+        apply_exports m ~dispatch_end e.e_exports;
+        e
+      | None ->
+        m.memo_misses <- m.memo_misses + 1;
+        let entry, full = fast_compute m ~dispatch_end ~si ~deltas:db in
+        if full && m.memo_entries < memo_max_entries then begin
+          let ik =
+            {
+              ik_deltas = Array.sub db 0 ext_n;
+              ik_miss = Array.sub m.ev_miss 0 words;
+            }
+          in
+          match cached with
+          | Some (k0, _) ->
+            (* stale recording under this key (occupancy drifted):
+               swap it out in place, the key population is unchanged *)
+            Hashtbl.replace si.si_entries h
+              ((ik, entry) :: List.filter (fun (k, _) -> k != k0) bucket)
+          | None ->
+            Hashtbl.replace si.si_entries h ((ik, entry) :: bucket);
+            m.memo_entries <- m.memo_entries + 1
+        end;
+        entry
+    in
+    let block_done = dispatch_end + entry.e_done_off in
+    let branch_time = dispatch_end + entry.e_branch_off in
+    (match predicted with
+    | Some pred when si.si_skipped > 0 ->
+      let real = commit_of ~done_:block_done ~branch:branch_time in
+      m.sample_err <- m.sample_err + (abs (real - pred) * si.si_skipped);
+      si.si_skipped <- 0
+    | Some _ -> si.si_skipped <- 0
+    | None -> ());
+    (block_done, branch_time)
+
+(* ---- event intake ------------------------------------------------------- *)
+
+(* Fast-path instruction hook: append to the flat buffers, fold the
+   fired bitmask in, and resolve cache accesses right here — the hooks
+   fire in program order, exactly the order the legacy timing loop
+   probes the cache in, and cache state never feeds back into
+   functional execution, so probing early is byte-identical. *)
+let ev_push m i ~fired ~addr =
+  let idx = m.ev_n in
+  if idx = Array.length m.ev_ins then begin
+    let cap = 2 * idx in
+    let ins = Array.make cap dummy_instr in
+    let frd = Array.make cap false in
+    let adr = Array.make cap (-1) in
+    let msk = Array.make ((cap / 62) + 1) 0 in
+    let mis = Array.make ((cap / 62) + 1) 0 in
+    Array.blit m.ev_ins 0 ins 0 idx;
+    Array.blit m.ev_fired 0 frd 0 idx;
+    Array.blit m.ev_addr 0 adr 0 idx;
+    Array.blit m.ev_mask 0 msk 0 (Array.length m.ev_mask);
+    Array.blit m.ev_miss 0 mis 0 (Array.length m.ev_miss);
+    m.ev_ins <- ins;
+    m.ev_fired <- frd;
+    m.ev_addr <- adr;
+    m.ev_mask <- msk;
+    m.ev_miss <- mis
+  end;
+  m.ev_ins.(idx) <- i;
+  m.ev_fired.(idx) <- fired;
+  m.ev_addr.(idx) <- (match addr with Some a -> a | None -> -1);
+  m.ev_n <- idx + 1;
+  if fired then begin
+    m.ev_fired_n <- m.ev_fired_n + 1;
+    m.ev_mask.(idx / 62) <- m.ev_mask.(idx / 62) lor (1 lsl (idx mod 62));
+    match (i.Instr.op, addr) with
+    | Instr.Load _, Some a ->
+      if not (Cache.access m.cache ~addr:a) then
+        m.ev_miss.(idx / 62) <- m.ev_miss.(idx / 62) lor (1 lsl (idx mod 62))
+    | Instr.Store _, Some a -> ignore (Cache.access m.cache ~addr:a)
+    | _ -> ()
+  end
+
+let ev_reset m =
+  let words = max 1 ((m.ev_n + 61) / 62) in
+  Array.fill m.ev_mask 0 words 0;
+  Array.fill m.ev_miss 0 words 0;
+  m.ev_n <- 0;
+  m.ev_fired_n <- 0
+
+(* ---- retire -------------------------------------------------------------- *)
 
 (* Retire the accumulated block instance: compute its dispatch, issue and
    commit times, update predictor/window bookkeeping.  [next] is the id of
@@ -149,8 +924,9 @@ let retire ?attribution m ~next =
        functional driver (whose own poll covers the fetch side) *)
     Trips_obs.Watchdog.check ();
     let t = m.t in
-    let events = List.rev m.cur_events in
-    let n_instrs = List.length events in
+    let fast_body = m.fc.fc_fast || m.fc.fc_memo || m.fc.fc_sample > 1 in
+    let events = if fast_body then [] else List.rev m.cur_events in
+    let n_instrs = if fast_body then m.ev_n else List.length events in
     m.instrs_fetched <- m.instrs_fetched + n_instrs;
     (* window: the (window-1)-blocks-ago commit gates dispatch *)
     let slot = m.block_index mod t.window_blocks in
@@ -162,115 +938,52 @@ let retire ?attribution m ~next =
       dispatch_start + t.block_overhead
       + ((n_instrs + t.fetch_bandwidth - 1) / t.fetch_bandwidth)
     in
-    (* dataflow issue.  Instructions are placed round-robin across the
-       ALU grid in fetch order (the static-placement half of SPDI);
-       operand latency between two instructions is the Manhattan distance
-       between their ALUs, so dependence chains mapped far apart pay for
-       the operand network, as on the real array. *)
-    let grid = max 0 t.spatial_grid in
-    let slot_of idx =
-      if grid = 0 then (0, 0)
-      else
-        let cell = idx mod (grid * grid) in
-        (cell mod grid, cell / grid)
-    in
-    let hop_between a b =
-      if grid = 0 then t.operand_hop
-      else
-        let ax, ay = slot_of a and bx, by = slot_of b in
-        let manhattan = abs (ax - bx) + abs (ay - by) in
-        t.operand_hop * max 1 manhattan
-    in
-    let local_done : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
-    (* register -> (completion, producer slot index) *)
-    let input_ready ~consumer_idx r =
-      match Hashtbl.find_opt local_done r with
-      | Some (c, producer_idx) -> c + hop_between producer_idx consumer_idx
-      | None ->
-        let produced =
-          Option.value ~default:0 (Hashtbl.find_opt m.reg_ready r)
-        in
-        max (dispatch_end + t.reg_read_latency) (produced + t.operand_hop)
-    in
-    let block_done = ref dispatch_end in
-    List.iteri
-      (fun idx ((i : Instr.t), fired, addr) ->
-        if fired then begin
-          m.instrs_fired <- m.instrs_fired + 1;
-          let ready =
-            List.fold_left
-              (fun acc r -> max acc (input_ready ~consumer_idx:idx r))
-              dispatch_end (Instr.uses i)
-          in
-          let issue = issue_at m ~ready in
-          let latency =
-            Latency.of_op i.Instr.op
-            +
-            match (i.Instr.op, addr) with
-            | Instr.Load _, Some a ->
-              if Cache.access m.cache ~addr:a then 0 else t.miss_penalty
-            | Instr.Store _, Some a ->
-              ignore (Cache.access m.cache ~addr:a);
-              0
-            | _ -> 0
-          in
-          let done_ = issue + latency in
-          List.iter
-            (fun d -> Hashtbl.replace local_done d (done_, idx))
-            (Instr.defs i);
-          if done_ > !block_done then block_done := done_
-        end)
-      events;
-    (* branch resolution: the firing exit's guard producer (branches sit
-       at the end of the mapped block) *)
-    let branch_time =
-      match m.cur_exit with
-      | Some { Block.eguard = Some g; _ } ->
-        input_ready ~consumer_idx:n_instrs g.Instr.greg
-      | Some { Block.eguard = None; _ } | None -> dispatch_end
+    let block_done, branch_time, export =
+      if fast_body then begin
+        let done_, branch = retire_fast m ~dispatch_end in
+        (done_, branch, fun ~commit:_ -> ())
+      end
+      else retire_legacy m ~dispatch_end ~events
     in
     let commit =
-      max (max !block_done branch_time) m.last_commit + t.commit_overhead
+      max (max block_done branch_time) m.last_commit + t.commit_overhead
     in
-    (* export register writes for later blocks *)
-    List.iter
-      (fun ((i : Instr.t), fired, _) ->
-        if fired then
-          List.iter
-            (fun d ->
-              Hashtbl.replace m.reg_ready d
-                (match Hashtbl.find_opt local_done d with
-                | Some (c, _) -> c
-                | None -> commit))
-            (Instr.defs i))
-      events;
+    export ~commit;
     if !(m.trace) > 0 then begin
       decr m.trace;
-      Fmt.epr
+      Fmt.pf m.trace_ppf
         "[trace] b%d n=%d dispatch=%d..%d done=%d branch=%d commit=%d@."
-        m.cur_block n_instrs dispatch_start dispatch_end !block_done
+        m.cur_block n_instrs dispatch_start dispatch_end block_done
         branch_time commit
     end;
     (match attribution with
     | Some a ->
       Attribution.count_execution a ~block:m.cur_block;
-      List.iter
-        (fun ((i : Instr.t), fired, _) ->
-          Attribution.count_instr a ~block:m.cur_block i ~fired)
-        events;
+      if fast_body then
+        for idx = 0 to m.ev_n - 1 do
+          Attribution.count_instr a ~block:m.cur_block m.ev_ins.(idx)
+            ~fired:m.ev_fired.(idx)
+        done
+      else
+        List.iter
+          (fun ((i : Instr.t), fired, _) ->
+            Attribution.count_instr a ~block:m.cur_block i ~fired)
+          events;
       Attribution.add_cycles a ~block:m.cur_block (commit - m.last_commit)
     | None -> ());
     m.commit_ring.(slot) <- commit;
     m.last_commit <- commit;
     m.prev_dispatch_end <- dispatch_end;
     m.block_index <- m.block_index + 1;
-    (* next-block prediction *)
+    (* next-block prediction.  [Predictor.update]'s verdict is the one
+       source of truth: it is exactly "the stored target equalled the
+       actual successor", which is what a separate predict-then-compare
+       would recompute — so flushes always reconcile with the
+       predictor's own lookup/hit counters. *)
     (match next with
     | Some actual ->
-      let predicted = Predictor.predict m.predictor ~block:m.cur_block in
       let correct = Predictor.update m.predictor ~block:m.cur_block ~actual in
-      let was_hit = correct && predicted = Some actual in
-      if not was_hit then begin
+      if not correct then begin
         m.mispredictions <- m.mispredictions + 1;
         m.redirect_at <- branch_time + t.flush_penalty;
         match attribution with
@@ -283,9 +996,14 @@ let retire ?attribution m ~next =
 (** Run [cfg] under the timing model.  Functionally identical to
     [Func_sim.run]; additionally reports cycles and microarchitectural
     statistics. *)
-let run ?(timing = default_timing) ?(trace = 0) ?attribution ?fuel
-    ?strict_exits ?registers ~memory cfg : result =
-  let m = make_machine ~trace timing in
+let run ?(timing = default_timing) ?(trace = 0) ?trace_ppf ?(sample = 0)
+    ?attribution ?fuel ?strict_exits ?registers ~memory cfg : result =
+  let m = make_machine ~trace ?trace_ppf ~sample timing in
+  let fast_body = m.fc.fc_fast || m.fc.fc_memo || m.fc.fc_sample > 1 in
+  let on_instr =
+    if fast_body then fun i ~fired ~addr -> ev_push m i ~fired ~addr
+    else fun i ~fired ~addr -> m.cur_events <- (i, fired, addr) :: m.cur_events
+  in
   let hooks =
     {
       Func_sim.on_block =
@@ -294,9 +1012,9 @@ let run ?(timing = default_timing) ?(trace = 0) ?attribution ?fuel
           m.started <- true;
           m.cur_block <- id;
           m.cur_events <- [];
+          ev_reset m;
           m.cur_exit <- None);
-      on_instr =
-        (fun i ~fired ~addr -> m.cur_events <- (i, fired, addr) :: m.cur_events);
+      on_instr;
       on_exit = (fun e -> m.cur_exit <- Some e);
     }
   in
@@ -307,6 +1025,12 @@ let run ?(timing = default_timing) ?(trace = 0) ?attribution ?fuel
   Trips_obs.Metrics.incr ~by:m.instrs_fetched "sim.cycle.fetched";
   Trips_obs.Metrics.incr ~by:m.instrs_fired "sim.cycle.fired";
   Trips_obs.Metrics.incr ~by:m.mispredictions "sim.cycle.flushes";
+  Trips_obs.Metrics.incr ~by:m.memo_hits "sim.cycle.memo.hits";
+  Trips_obs.Metrics.incr ~by:m.memo_misses "sim.cycle.memo.misses";
+  Trips_obs.Metrics.incr ~by:m.ring_grows "sim.cycle.ring.grows";
+  if m.fc.fc_fast then
+    Trips_obs.Metrics.incr ~by:(m.ring_mask + 1) "sim.cycle.ring.capacity";
+  Trips_obs.Metrics.incr ~by:m.sampled_skips "sim.cycle.sample.skips";
   let lookups, hits = Predictor.counters m.predictor in
   Trips_obs.Metrics.incr ~by:lookups "sim.predictor.lookups";
   Trips_obs.Metrics.incr ~by:hits "sim.predictor.hits";
@@ -321,6 +1045,10 @@ let run ?(timing = default_timing) ?(trace = 0) ?attribution ?fuel
     mispredictions = m.mispredictions;
     predictor_accuracy = Predictor.accuracy m.predictor;
     cache_miss_rate = Cache.miss_rate m.cache;
+    sample_error_bound =
+      (if m.fc.fc_sample > 1 then
+         Some (float_of_int m.sample_err /. float_of_int (max 1 m.last_commit))
+       else None);
     ret = fr.Func_sim.ret;
     checksum = fr.Func_sim.checksum;
   }

@@ -8,8 +8,9 @@
    invariant every transformation must preserve.
 
    Semantics are total: memory addresses are wrapped into the memory size,
-   division by zero yields zero, so speculative code can never fault —
-   mirroring how an EDGE machine squashes mis-speculated work.
+   a zero-length memory reads 0 and absorbs stores, division by zero
+   yields zero, so speculative code can never fault — mirroring how an
+   EDGE machine squashes mis-speculated work.
 
    The simulator reports block and instruction counts (the paper's
    Table 3 metric) and exposes per-step hooks used by the profiler and by
@@ -63,7 +64,10 @@ let wrap_addr st a =
   let n = Array.length st.memory in
   if n = 0 then 0 else ((a mod n) + n) mod n
 
-(* Execute one instruction; returns the memory address touched, if any. *)
+(* Execute one instruction; returns the memory address touched, if any.
+   A zero-length memory has no addresses at all: loads read 0, stores
+   vanish, and neither reports an address (there is no memory system to
+   charge), keeping the semantics total on every input. *)
 let exec_instr st i =
   match i.Instr.op with
   | Instr.Binop (op, d, a, b) ->
@@ -76,13 +80,22 @@ let exec_instr st i =
     write_reg st d (operand_value st a);
     None
   | Instr.Load (d, a, off) ->
-    let addr = wrap_addr st (operand_value st a + off) in
-    write_reg st d st.memory.(addr);
-    Some addr
+    if Array.length st.memory = 0 then begin
+      write_reg st d 0;
+      None
+    end
+    else begin
+      let addr = wrap_addr st (operand_value st a + off) in
+      write_reg st d st.memory.(addr);
+      Some addr
+    end
   | Instr.Store (v, a, off) ->
-    let addr = wrap_addr st (operand_value st a + off) in
-    st.memory.(addr) <- operand_value st v;
-    Some addr
+    if Array.length st.memory = 0 then None
+    else begin
+      let addr = wrap_addr st (operand_value st a + off) in
+      st.memory.(addr) <- operand_value st v;
+      Some addr
+    end
   | Instr.Nullw _ -> None
 
 let memory_checksum memory =
@@ -112,9 +125,13 @@ let run ?(fuel = 50_000_000) ?(strict_exits = true) ?(hooks = no_hooks)
     hooks.on_block id;
     List.iter
       (fun i ->
-        st.fuel <- st.fuel - 1;
+        (* check-then-spend: fuel is the number of dynamic instructions
+           the run may execute, so a program needing exactly [fuel]
+           instructions completes and the [fuel+1]-th raises.  (The old
+           spend-then-check order made [fuel = n] admit only n-1.) *)
         if st.fuel <= 0 then
           raise (Out_of_fuel (Fmt.str "%s: fuel exhausted in b%d" cfg.Cfg.name id));
+        st.fuel <- st.fuel - 1;
         incr instrs_fetched;
         let fired = guard_holds st i.Instr.guard in
         let addr = if fired then exec_instr st i else None in

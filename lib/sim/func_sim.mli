@@ -7,8 +7,9 @@
     holds.  Strict mode asserts that uniqueness — the central dataflow
     invariant every transformation must preserve.
 
-    Semantics are total (addresses wrap, division by zero yields zero),
-    so speculative code can never fault.  Reports block and instruction
+    Semantics are total (addresses wrap, a zero-length memory reads 0
+    and absorbs stores, division by zero yields zero), so speculative
+    code can never fault.  Reports block and instruction
     counts (the paper's Table 3 metric) and exposes per-step hooks used
     by the profiler and the cycle-level timing model. *)
 
@@ -46,7 +47,8 @@ val run :
   result
 (** Run to completion (first firing [Ret] exit).  [memory] is mutated in
     place; [registers] preloads parameter values.
-    @param fuel dynamic-instruction bound (default 50M).
+    @param fuel dynamic-instruction bound (default 50M); a run that
+    needs exactly [fuel] instructions completes.
     @raise Out_of_fuel when exceeded.
     @raise Exit_invariant_violated when no exit guard holds, or — with
     [strict_exits] (default true) — more than one does. *)

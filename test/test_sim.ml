@@ -83,6 +83,47 @@ let test_fuel () =
        false
      with Func_sim.Out_of_fuel _ -> true)
 
+let test_fuel_boundary () =
+  (* fuel is the number of dynamic instructions the run may execute:
+     a 3-instruction program completes under fuel=3 and raises under
+     fuel=2 (the old spend-then-check order admitted only fuel-1) *)
+  let mk () =
+    single_block
+      [
+        mkins (Instr.Mov (1024, Instr.Imm 1));
+        mkins (Instr.Mov (1025, Instr.Imm 2));
+        mkins (Instr.Mov (1026, Instr.Imm 3));
+      ]
+      [ { Block.eguard = None; target = Block.Ret (Some (Instr.Reg 1026)) } ]
+  in
+  let r = Func_sim.run ~fuel:3 ~memory:(Array.make 4 0) (mk ()) in
+  check Alcotest.(option int) "exactly enough fuel completes" (Some 3)
+    r.Func_sim.ret;
+  check Alcotest.bool "one unit short raises" true
+    (try
+       ignore (Func_sim.run ~fuel:2 ~memory:(Array.make 4 0) (mk ()));
+       false
+     with Func_sim.Out_of_fuel _ -> true)
+
+let test_empty_memory () =
+  (* semantics stay total on a zero-length memory: loads read 0, stores
+     vanish, and the timing model charges no memory system *)
+  let mk () =
+    single_block
+      [
+        mkins (Instr.Store (Instr.Imm 42, Instr.Imm 3, 0));
+        mkins (Instr.Load (1024, Instr.Imm 3, 0));
+      ]
+      [ { Block.eguard = None; target = Block.Ret (Some (Instr.Reg 1024)) } ]
+  in
+  let r = Func_sim.run ~memory:[||] (mk ()) in
+  check Alcotest.(option int) "store vanished, load read 0" (Some 0)
+    r.Func_sim.ret;
+  let rc = Cycle_sim.run ~memory:[||] (mk ()) in
+  check Alcotest.(option int) "cycle model agrees" (Some 0) rc.Cycle_sim.ret;
+  check Alcotest.bool "no cache accesses charged" true
+    (rc.Cycle_sim.cache_miss_rate = 0.0)
+
 let test_memory_wrapping () =
   let cfg =
     single_block
@@ -233,6 +274,165 @@ let test_spatial_model () =
   check Alcotest.bool "operand network visible" true
     (pricey.Cycle_sim.cycles > spatial.Cycle_sim.cycles)
 
+(* ---- cycle-model fast paths (DESIGN.md §16) ----------------------------- *)
+
+let sim_hatches = [ "TRIPS_NO_SIM_FAST"; "TRIPS_NO_SIM_MEMO" ]
+
+(* [on] lists the hatches whose fast path stays enabled (empty value =
+   enabled); everything else is engaged for the call *)
+let with_hatches on f =
+  List.iter
+    (fun h -> Unix.putenv h (if List.mem h on then "" else "1"))
+    sim_hatches;
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun h -> Unix.putenv h "") sim_hatches)
+    f
+
+let compile_micro name =
+  let w = Option.get (Trips_workloads.Micro.by_name name) in
+  Trips_harness.Pipeline.compile ~backend:true Chf.Phases.Iupo_merged w
+
+(* Render everything observable about a cycle run — result fields,
+   per-block attribution, and the first blocks of the timing trace — so
+   equivalence checks compare byte-for-byte. *)
+let render_cycle_run ?sample (c : Trips_harness.Pipeline.compiled) =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  let a = Attribution.create () in
+  let memory = Trips_workloads.Workload.memory c.Trips_harness.Pipeline.workload in
+  let r =
+    Cycle_sim.run ~trace:8 ~trace_ppf:fmt ?sample ~attribution:a
+      ~registers:c.Trips_harness.Pipeline.registers ~memory
+      c.Trips_harness.Pipeline.cfg
+  in
+  Fmt.pf fmt
+    "cycles=%d blocks=%d fired=%d fetched=%d mispred=%d acc=%.6f miss=%.6f \
+     ret=%a checksum=%d@."
+    r.Cycle_sim.cycles r.Cycle_sim.blocks r.Cycle_sim.instrs_fired
+    r.Cycle_sim.instrs_fetched r.Cycle_sim.mispredictions
+    r.Cycle_sim.predictor_accuracy r.Cycle_sim.cache_miss_rate
+    Fmt.(Dump.option int)
+    r.Cycle_sim.ret r.Cycle_sim.checksum;
+  List.iter
+    (fun (row : Attribution.row) ->
+      Fmt.pf fmt "b%d execs=%d fetched=%d fired=%d cycles=%d flushes=%d %a@."
+        row.Attribution.r_block row.Attribution.r_execs
+        row.Attribution.r_fetched row.Attribution.r_fired
+        row.Attribution.r_cycles row.Attribution.r_flushes
+        Fmt.(list ~sep:sp (fun ppf (cls, f, fi) -> pf ppf "%s:%d/%d" cls f fi))
+        row.Attribution.r_classes)
+    (Attribution.rows a);
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let test_fast_path_equivalence () =
+  (* the ring issue core and the timing memo, alone and together, must
+     be byte-identical to the legacy path: cycles, attribution rows and
+     the timing trace all included *)
+  List.iter
+    (fun name ->
+      let c = compile_micro name in
+      let golden = with_hatches [] (fun () -> render_cycle_run c) in
+      List.iter
+        (fun (mode, on) ->
+          let got = with_hatches on (fun () -> render_cycle_run c) in
+          check Alcotest.string (name ^ ": " ^ mode ^ " byte-identical") golden
+            got)
+        [
+          ("ring core only", [ "TRIPS_NO_SIM_FAST" ]);
+          ("memo only", [ "TRIPS_NO_SIM_MEMO" ]);
+          ("ring + memo", sim_hatches);
+        ])
+    [ "sieve"; "gzip_1" ]
+
+let test_ring_bounded () =
+  (* the ring allocator's memory is bounded by the in-flight window, not
+     by simulated time: its final capacity stays orders of magnitude
+     below the cycle count (the legacy table held one entry per cycle) *)
+  Trips_obs.Metrics.reset ();
+  let r = cycle_of "sieve" Chf.Phases.Iupo_merged in
+  let snap = Trips_obs.Metrics.snapshot () in
+  let cap = Trips_obs.Metrics.counter_value snap "sim.cycle.ring.capacity" in
+  check Alcotest.bool "ring in use" true (cap > 0);
+  check Alcotest.bool
+    (Fmt.str "capacity %d stays far below %d cycles" cap r.Cycle_sim.cycles)
+    true
+    (cap * 4 < r.Cycle_sim.cycles)
+
+let test_predictor_accounting () =
+  (* [Predictor.update]'s verdict is the single source of truth, so the
+     flush count reconciles exactly with the predictor's own counters on
+     a misprediction-heavy run *)
+  Trips_obs.Metrics.reset ();
+  let r = cycle_of "art_1" Chf.Phases.Basic_blocks in
+  let snap = Trips_obs.Metrics.snapshot () in
+  let c = Trips_obs.Metrics.counter_value snap in
+  check Alcotest.bool "misprediction-heavy" true
+    (r.Cycle_sim.mispredictions > 0);
+  check Alcotest.int "flushes = lookups - hits"
+    (c "sim.predictor.lookups" - c "sim.predictor.hits")
+    (c "sim.cycle.flushes");
+  check Alcotest.int "result field agrees with the metric"
+    r.Cycle_sim.mispredictions (c "sim.cycle.flushes")
+
+let test_sampled_mode () =
+  let c = compile_micro "sieve" in
+  let exact = Trips_harness.Pipeline.run_cycles c in
+  let sampled = Trips_harness.Pipeline.run_cycles ~sample:8 c in
+  check Alcotest.bool "exact mode reports no bound" true
+    (exact.Cycle_sim.sample_error_bound = None);
+  (match sampled.Cycle_sim.sample_error_bound with
+  | None -> Alcotest.fail "sampled run must report a measured error bound"
+  | Some b ->
+    check Alcotest.bool (Fmt.str "measured bound %.4f within 0.05" b) true
+      (b <= 0.05));
+  check Alcotest.int "functional outputs unchanged" exact.Cycle_sim.checksum
+    sampled.Cycle_sim.checksum;
+  let dev =
+    abs_float (float_of_int (sampled.Cycle_sim.cycles - exact.Cycle_sim.cycles))
+    /. float_of_int (max 1 exact.Cycle_sim.cycles)
+  in
+  check Alcotest.bool (Fmt.str "cycle deviation %.4f within 0.05" dev) true
+    (dev <= 0.05)
+
+let test_attribution_partition_modes () =
+  (* the attribution partition invariants (class fetches sum to block
+     fetches, block cycles sum to the run total) hold under every fast
+     path, including sampled mode — skipped instances still count *)
+  let c = compile_micro "sieve" in
+  let check_mode name ?sample on =
+    with_hatches on (fun () ->
+        let a = Attribution.create () in
+        let r = Trips_harness.Pipeline.run_cycles ?sample ~attribution:a c in
+        let rows = Attribution.rows a in
+        check Alcotest.bool (name ^ ": rows present") true (rows <> []);
+        List.iter
+          (fun (row : Attribution.row) ->
+            let sum f =
+              List.fold_left (fun acc cl -> acc + f cl) 0
+                row.Attribution.r_classes
+            in
+            check Alcotest.int
+              (Fmt.str "%s: b%d class fetches partition block fetches" name
+                 row.Attribution.r_block)
+              row.Attribution.r_fetched
+              (sum (fun (_, f, _) -> f));
+            check Alcotest.int
+              (Fmt.str "%s: b%d class fired partition block fired" name
+                 row.Attribution.r_block)
+              row.Attribution.r_fired
+              (sum (fun (_, _, fi) -> fi)))
+          rows;
+        check Alcotest.int (name ^ ": block cycles partition the run total")
+          r.Cycle_sim.cycles
+          (List.fold_left
+             (fun acc (row : Attribution.row) -> acc + row.Attribution.r_cycles)
+             0 rows))
+  in
+  check_mode "fast" sim_hatches;
+  check_mode "memo only" [ "TRIPS_NO_SIM_MEMO" ];
+  check_mode "sampled" ~sample:8 sim_hatches
+
 let suite =
   ( "sim",
     [
@@ -241,6 +441,8 @@ let suite =
       Alcotest.test_case "exit invariant violation" `Quick test_exit_invariant_violation;
       Alcotest.test_case "no exit fires" `Quick test_no_exit_fires;
       Alcotest.test_case "fuel" `Quick test_fuel;
+      Alcotest.test_case "fuel boundary" `Quick test_fuel_boundary;
+      Alcotest.test_case "empty memory" `Quick test_empty_memory;
       Alcotest.test_case "memory wrapping" `Quick test_memory_wrapping;
       Alcotest.test_case "profile collection" `Quick test_profile_collection;
       Alcotest.test_case "predictor learns loops" `Quick test_predictor_learns_loop;
@@ -251,4 +453,12 @@ let suite =
       Alcotest.test_case "cycle deterministic" `Quick test_cycle_deterministic;
       Alcotest.test_case "flush penalty visible" `Quick test_flush_penalty_visible;
       Alcotest.test_case "block overhead visible" `Quick test_block_overhead_visible;
+      Alcotest.test_case "fast-path byte equivalence" `Quick
+        test_fast_path_equivalence;
+      Alcotest.test_case "ring allocator bounded" `Quick test_ring_bounded;
+      Alcotest.test_case "predictor accounting reconciles" `Quick
+        test_predictor_accounting;
+      Alcotest.test_case "sampled mode bounded" `Quick test_sampled_mode;
+      Alcotest.test_case "attribution partitions under fast paths" `Quick
+        test_attribution_partition_modes;
     ] )

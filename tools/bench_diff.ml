@@ -17,6 +17,10 @@
      fresh value exceeds baseline * (1 + tolerance); default tolerance
      0.5, override with the third argument.
    - speedups / rates: warn when fresh < baseline / (1 + tolerance).
+   - error bounds (keys containing [error] or [bound]): lower is
+     better — warn when the fresh value exceeds baseline * (1 +
+     tolerance) by more than a small epsilon (a bound of 0 staying 0 is
+     the healthy case, unlike a counter).
    - counters (everything else numeric): warn when a nonzero baseline
      collapsed to zero — a fast path that stopped firing is a
      regression even when the wall clock looks fine.
@@ -95,16 +99,21 @@ let scalars src =
            in
            Some { context = !context; key; v })
 
+let contains key sub = Re.execp (Re.compile (Re.str sub)) key
+
 let is_timing key =
-  key = "wall_s"
-  || (String.length key > 2 && Filename.check_suffix key "_s")
+  (* stddev is a noise measure, not a cost — the collapse rule is the
+     only one that makes sense for it, so it falls through to counters *)
+  (not (contains key "stddev"))
+  && (key = "wall_s" || (String.length key > 2 && Filename.check_suffix key "_s"))
 
 let is_higher_better key =
-  let contains sub =
-    Re.execp (Re.compile (Re.str sub)) key
-  in
-  contains "speedup" || contains "rate" || contains "rps"
-  || contains "throughput"
+  contains key "speedup" || contains key "rate" || contains key "rps"
+  || contains key "throughput"
+
+(* measured error/drift bounds: a rise past tolerance means an
+   approximation got worse even if every wall clock improved *)
+let is_lower_better key = contains key "error" || contains key "bound"
 
 let () =
   let usage () =
@@ -175,6 +184,11 @@ let () =
         if is_timing b.key then begin
           if fn > (bn *. (1.0 +. tol)) +. 0.05 then
             warn "%s/%s slowed: %.3f -> %.3f (tolerance %.0f%%)" f.context
+              f.key bn fn (100.0 *. tol)
+        end
+        else if is_lower_better b.key then begin
+          if fn > (bn *. (1.0 +. tol)) +. 0.005 then
+            warn "%s/%s worsened: %.4f -> %.4f (tolerance %.0f%%)" f.context
               f.key bn fn (100.0 *. tol)
         end
         else if is_higher_better b.key then begin

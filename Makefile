@@ -43,8 +43,13 @@ trace-check: build
 # byte-identical CFGs, stats and traces to the default fast paths; the
 # sim suite does the same for the cycle model's ring/memo fast paths
 # (results, attribution rows and timing traces, all byte-compared).
+# The second formation run repeats the suite with the trial cache and
+# speculation hatched off, so the oracle side of every equivalence
+# property is itself exercised both ways.
 equiv-check: build
 	dune exec test/test_main.exe -- test formation
+	TRIPS_NO_TRIAL_CACHE=1 TRIPS_NO_SPEC_TRIALS=1 \
+		dune exec test/test_main.exe -- test formation
 	dune exec test/test_main.exe -- test sim
 
 # Report determinism: the per-block utilization report on two fixed
@@ -88,7 +93,9 @@ bench: build
 
 # Formation fast-path attribution: legacy path (hatches engaged) vs the
 # pre-filter, incremental liveness, loop-forest reuse and indexed pool,
-# with an identical-output assertion (writes BENCH_formation.json).
+# plus jobs-sensitivity rows (speculative trials at -j1/-j2/-j4, K=4)
+# with an identical-output assertion across every configuration (writes
+# BENCH_formation.json, including the runtime-measured core count).
 bench-formation: build
 	dune exec bench/main.exe -- formation
 

@@ -33,6 +33,8 @@ let fast_path_hatches =
     "TRIPS_NO_INCR_LIVENESS";
     "TRIPS_NO_LOOP_REUSE";
     "TRIPS_NO_CAND_POOL";
+    "TRIPS_NO_TRIAL_CACHE";
+    "TRIPS_NO_SPEC_TRIALS";
   ]
 
 let with_hatches v f =

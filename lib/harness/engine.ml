@@ -167,6 +167,23 @@ module Pool = struct
     in
     loop ()
 
+  (* Speculative jobs: a cancellable wrapper around [submit].  The
+     cancel flag is checked once, when a worker dequeues the task — a
+     cancelled speculation that never started costs nothing; one already
+     running completes (its output goes to a private result cell the
+     submitter will ignore).  [await_spec] joins either way, which gives
+     the submitter a happens-before edge on the thunk's writes. *)
+  type spec = { cancelled : bool Atomic.t; sjob : unit job }
+
+  let submit_spec t f =
+    let cancelled = Atomic.make false in
+    let sjob = submit t (fun () -> if not (Atomic.get cancelled) then f ()) in
+    { cancelled; sjob }
+
+  let cancel_spec s = Atomic.set s.cancelled true
+
+  let await_spec ?help t s = ignore (await ?help t s.sjob)
+
   let shutdown t =
     Mutex.lock t.m;
     if t.closing then Mutex.unlock t.m
@@ -183,6 +200,25 @@ module Pool = struct
       t.workers <- 0
     end
 end
+
+(* ---- formation speculation over a pool --------------------------------- *)
+
+(* Adapter from a resident pool to [Formation]'s injected scheduler
+   (formation cannot depend on the harness, so the dependency points
+   this way).  [join] helps drain the queue while waiting, so the main
+   formation loop acts as the pool's +1 worker — on a degraded or
+   zero-worker pool the speculative trials simply run on the caller at
+   join time, preserving outputs. *)
+let formation_scheduler pool : Chf.Formation.scheduler =
+  {
+    Chf.Formation.spawn =
+      (fun thunk ->
+        let s = Pool.submit_spec pool thunk in
+        {
+          Chf.Formation.cancel = (fun () -> Pool.cancel_spec s);
+          join = (fun () -> Pool.await_spec ~help:true pool s);
+        });
+  }
 
 (* ---- legacy spawn-per-call map (TRIPS_NO_RESIDENT_POOL) ---------------- *)
 

@@ -55,7 +55,35 @@ module Pool : sig
   (** Graceful drain: stop accepting submissions, let workers finish the
       queue (helping from the calling thread), join every domain.
       Idempotent. *)
+
+  (** {2 Speculative jobs} *)
+
+  type spec
+  (** A cancellable speculative computation (unit-valued: it communicates
+      through its own side channel). *)
+
+  val submit_spec : t -> (unit -> unit) -> spec
+  (** Like {!submit}, but the task checks a cancel flag when a worker
+      dequeues it: cancelled-before-start costs nothing.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val cancel_spec : spec -> unit
+  (** Best-effort: a task not yet started never runs; one already
+      running completes (the submitter ignores its output). *)
+
+  val await_spec : ?help:bool -> t -> spec -> unit
+  (** Block until the task completed or was skipped; gives the caller a
+      happens-before edge on the thunk's writes.  [help] as in
+      {!await}. *)
 end
+
+val formation_scheduler : Pool.t -> Chf.Formation.scheduler
+(** Adapter from a resident pool to {!Chf.Formation}'s injected
+    speculation scheduler: spawn submits a cancellable speculative job,
+    join helps drain the queue while waiting (so the formation loop acts
+    as the pool's +1 worker, and a degraded pool still makes progress).
+    Install with [Formation.set_scheduler (Some (formation_scheduler
+    pool))]. *)
 
 (** {1 Sweep map} *)
 

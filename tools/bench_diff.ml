@@ -4,9 +4,11 @@
      bench_diff BASELINE FRESH [TOLERANCE]
 
    Wall clocks vary across machines, so this is a warn-only gate: it
-   always exits 0 unless the files are unreadable or structurally
-   incomparable (different key sequences — which means the bench shape
-   changed and the baseline must be regenerated, exit 3).
+   always exits 0 unless a file is unreadable (exit 2).  Scalars are
+   paired by their config-name context and key, so added or removed
+   config rows and unknown keys — the bench shape evolving ahead of the
+   committed baseline — produce warnings naming the unmatched fields
+   instead of a hard failure; the shared fields are still compared.
 
    Rules, keyed on field names (no JSON library in the tree, so scalar
    "key": value pairs are extracted positionally with a regex — the
@@ -135,76 +137,85 @@ let () =
   in
   let base = scalars (load baseline_path) in
   let fresh = scalars (load fresh_path) in
-  if List.map (fun s -> s.key) base <> List.map (fun s -> s.key) fresh then begin
-    (* Name every key that exists in only one file, so the offending
-       metric is obvious from the log instead of a generic shape error. *)
-    let count xs =
-      List.fold_left
-        (fun acc s ->
-          let l = s.context ^ "/" ^ s.key in
-          let n = try List.assoc l acc with Not_found -> 0 in
-          (l, n + 1) :: List.remove_assoc l acc)
-        [] xs
-    in
-    let bc = count base and fc = count fresh in
-    let missing_from other = List.filter (fun (l, n) ->
-        (try List.assoc l other with Not_found -> 0) < n)
-    in
-    let only_base = missing_from fc bc and only_fresh = missing_from bc fc in
-    List.iter
-      (fun (l, _) ->
-        Fmt.epr "bench-diff: ERROR: key %s present only in baseline %s@." l
-          baseline_path)
-      (List.rev only_base);
-    List.iter
-      (fun (l, _) ->
-        Fmt.epr "bench-diff: ERROR: key %s present only in fresh %s@." l
-          fresh_path)
-      (List.rev only_fresh);
-    if only_base = [] && only_fresh = [] then
-      Fmt.epr "bench-diff: ERROR: same keys, different order@.";
-    Fmt.epr
-      "bench-diff: %s and %s have different field sequences — the bench \
-       shape changed; regenerate the committed baseline@."
-      baseline_path fresh_path;
-    exit 3
-  end;
   let warnings = ref 0 in
   let warn fmt =
     incr warnings;
     Fmt.epr ("bench-diff: WARNING: " ^^ fmt ^^ "@.")
   in
-  List.iter2
-    (fun b f ->
-      match (b.v, f.v) with
-      | Bool bb, Bool fb ->
-        if bb && not fb then
-          warn "%s/%s flipped true -> false" f.context f.key
-      | Num bn, Num fn ->
-        if is_timing b.key then begin
-          if fn > (bn *. (1.0 +. tol)) +. 0.05 then
-            warn "%s/%s slowed: %.3f -> %.3f (tolerance %.0f%%)" f.context
-              f.key bn fn (100.0 *. tol)
-        end
-        else if is_lower_better b.key then begin
-          if fn > (bn *. (1.0 +. tol)) +. 0.005 then
-            warn "%s/%s worsened: %.4f -> %.4f (tolerance %.0f%%)" f.context
-              f.key bn fn (100.0 *. tol)
-        end
-        else if is_higher_better b.key then begin
-          if fn < (bn /. (1.0 +. tol)) -. 0.05 then
-            warn "%s/%s dropped: %.3f -> %.3f (tolerance %.0f%%)" f.context
-              f.key bn fn (100.0 *. tol)
-        end
-        else if bn > 0.0 && fn = 0.0 then
-          warn "%s/%s counter collapsed to 0 (baseline %.0f)" f.context f.key
-            bn
+  let compare_pair b f =
+    match (b.v, f.v) with
+    | Bool bb, Bool fb ->
+      if bb && not fb then warn "%s/%s flipped true -> false" f.context f.key
+    | Num bn, Num fn ->
+      if is_timing b.key then begin
+        if fn > (bn *. (1.0 +. tol)) +. 0.05 then
+          warn "%s/%s slowed: %.3f -> %.3f (tolerance %.0f%%)" f.context f.key
+            bn fn (100.0 *. tol)
+      end
+      else if is_lower_better b.key then begin
+        if fn > (bn *. (1.0 +. tol)) +. 0.005 then
+          warn "%s/%s worsened: %.4f -> %.4f (tolerance %.0f%%)" f.context
+            f.key bn fn (100.0 *. tol)
+      end
+      else if is_higher_better b.key then begin
+        if fn < (bn /. (1.0 +. tol)) -. 0.05 then
+          warn "%s/%s dropped: %.3f -> %.3f (tolerance %.0f%%)" f.context
+            f.key bn fn (100.0 *. tol)
+      end
+      else if bn > 0.0 && fn = 0.0 then
+        warn "%s/%s counter collapsed to 0 (baseline %.0f)" f.context f.key bn
+    | _ -> warn "%s/%s changed type" f.context f.key
+  in
+  (* Pair scalars by context/key label, positionally within a label for
+     the rare repeated field.  A label present in only one file is an
+     added or removed config row or an unknown key — the bench shape
+     evolved ahead of the committed baseline — which warns (naming the
+     field) instead of hard-failing; the shared fields still compare. *)
+  let label s = s.context ^ "/" ^ s.key in
+  let pending : (string, scalar Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let q =
+        match Hashtbl.find_opt pending (label f) with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.add pending (label f) q;
+          q
+      in
+      Queue.push f q)
+    fresh;
+  let matched : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let compared = ref 0 in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt pending (label b) with
+      | Some q when not (Queue.is_empty q) ->
+        let f = Queue.pop q in
+        Hashtbl.replace matched (label b)
+          (1 + Option.value ~default:0 (Hashtbl.find_opt matched (label b)));
+        incr compared;
+        compare_pair b f
       | _ ->
-        warn "%s/%s changed type" f.context f.key)
-    base fresh;
+        warn "%s present only in baseline %s (removed row or key)" (label b)
+          baseline_path)
+    base;
+  (* leftover fresh occurrences, reported in file order: the queue pops
+     matched the first [matched] occurrences of each label *)
+  let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let l = label f in
+      let k = Option.value ~default:0 (Hashtbl.find_opt seen l) in
+      Hashtbl.replace seen l (k + 1);
+      if k >= Option.value ~default:0 (Hashtbl.find_opt matched l) then
+        warn "%s present only in fresh %s (added row or key)" l fresh_path)
+    fresh;
   if !warnings = 0 then
     Fmt.pr "bench-diff: %s vs %s: %d field(s) within tolerance@."
-      baseline_path fresh_path (List.length base)
+      baseline_path fresh_path !compared
   else
-    Fmt.pr "bench-diff: %s vs %s: %d warning(s) (warn-only, not failing)@."
-      baseline_path fresh_path !warnings
+    Fmt.pr
+      "bench-diff: %s vs %s: %d field(s) compared, %d warning(s) (warn-only, \
+       not failing)@."
+      baseline_path fresh_path !compared !warnings

@@ -4,8 +4,8 @@ CHAOS_SEED ?= 42
 FUZZ_SEED ?= 42
 
 .PHONY: all build test chaos fuzz-smoke trace-check equiv-check report-check \
-	serve-smoke bench-diff check bench bench-formation bench-serve \
-	bench-sim bench-all clean
+	serve-smoke telemetry-check bench-diff check bench bench-formation \
+	bench-serve bench-sim bench-all clean
 
 all: build
 
@@ -70,6 +70,16 @@ report-check: build
 serve-smoke: build
 	dune exec tools/serve_smoke.exe
 
+# Request-scoped telemetry gate: boots a daemon, drives a deterministic
+# request mix, byte-compares the Prometheus exposition against the
+# committed golden (volatile floats masked; integers are structural),
+# replays one request's span tree from the daemon ring asserting
+# well-formedness, and checks served replies stay byte-identical to the
+# one-shot pipeline both with telemetry collecting and under
+# TRIPS_NO_REQ_TELEMETRY.  Regenerate the golden with --write-golden.
+telemetry-check: build
+	dune exec tools/telemetry_check.exe
+
 # Fresh formation + serve benches vs the committed BENCH_*.json
 # baselines.  Warn-only: wall clocks vary across machines; counters that
 # collapse to zero or outputs that diverge are called out.  The fresh
@@ -85,7 +95,7 @@ bench-diff: build
 	dune exec tools/bench_diff.exe -- BENCH_sim.json _build/bench/BENCH_sim.json
 
 check: build test chaos fuzz-smoke trace-check equiv-check report-check \
-	serve-smoke bench-diff
+	serve-smoke telemetry-check bench-diff
 
 # Full-sweep benchmark of the staged engine (writes BENCH_sweep.json).
 bench: build

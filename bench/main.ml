@@ -526,7 +526,17 @@ let run_serve () =
   in
   let workers = min 4 (Engine.default_jobs ()) in
   let queue_depth = 6 in
-  let srv = S.start ~workers ~queue_depth ~quiet:true ~socket () in
+  (* SLO sentinel armed: a latency bound far above any real machine (the
+     code path runs without flipping on p99) and an error-rate bound the
+     chaos/overload burst must trip — the bench asserts the Degraded bit
+     and the breach counter afterwards. *)
+  (* the burst contributes ~17 errors against ~320 requests total, a
+     rate just over 5%; 2% keeps the flip robust without firing on the
+     healthy measured phase (whose one timeout stays under 0.4%) *)
+  let srv =
+    S.start ~workers ~queue_depth ~slo_p99_s:3600.0 ~slo_error_rate:0.02
+      ~quiet:true ~socket ()
+  in
   let names = [| "sieve"; "matrix_1"; "gzip_1"; "vadd" |] in
   let compile ?deadline ?chaos name =
     P.Compile
@@ -638,6 +648,27 @@ let run_serve () =
   C.with_conn ~socket (fun c -> C.rpc c P.Shutdown);
   S.wait srv;
   let throughput = float_of_int requests /. wall in
+  (* rolling-window latency breakdown (queue wait vs execute vs render)
+     and the SLO sentinel's verdict after the burst *)
+  let module W = Trips_obs.Telemetry.Window in
+  let wq name =
+    match W.quantiles stats.P.st_window name with
+    | Some q -> (q.W.q_p50, q.W.q_p99)
+    | None -> (0.0, 0.0)
+  in
+  let qw50, qw99 = wq "serve.queue_wait_s" in
+  let ex50, ex99 = wq "serve.execute_s" in
+  let rd50, rd99 = wq "span.render_s" in
+  let _, lat99 = wq "serve.latency_s" in
+  let degraded = stats.P.st_degraded in
+  let breaches =
+    Trips_obs.Metrics.counter_value
+      (Trips_obs.Metrics.snapshot ())
+      "serve.slo.breach"
+  in
+  if not degraded then
+    Fmt.epr
+      "bench: WARNING: SLO sentinel did not flip degraded after the burst@.";
   let store name =
     List.find (fun s -> s.P.sc_name = name) stats.P.st_stores
   in
@@ -659,6 +690,12 @@ let run_serve () =
           served output identical: %b@."
     stats.P.st_shed (Atomic.get shed_replies) stats.P.st_timed_out
     stats.P.st_crashed timed_out_ok served_identical;
+  Fmt.pr
+    "window: queue-wait p50 %.4fs p99 %.4fs, execute p50 %.4fs p99 %.4fs, \
+     render p50 %.4fs p99 %.4fs@."
+    qw50 qw99 ex50 ex99 rd50 rd99;
+  Fmt.pr "slo: degraded %b after the burst, %d breach(es) recorded@." degraded
+    breaches;
   let json =
     Fmt.str
       "{@\n\
@@ -679,14 +716,19 @@ let run_serve () =
       \  \"timed_out\": %d,@\n\
       \  \"crashed\": %d,@\n\
       \  \"deadline_trips\": %b,@\n\
-      \  \"served_identical\": %b@\n\
+      \  \"served_identical\": %b,@\n\
+      \  \"window\": { \"queue_wait_p50_s\": %.6f, \"queue_wait_p99_s\": \
+       %.6f, \"execute_p50_s\": %.6f, \"execute_p99_s\": %.6f, \
+       \"render_p50_s\": %.6f, \"render_p99_s\": %.6f, \
+       \"window_latency_p99_s\": %.6f },@\n\
+      \  \"slo\": { \"slo_degraded\": %b, \"slo_breaches\": %d }@\n\
        }@\n"
       requests clients workers queue_depth wall throughput !mean stddev !mn
       !mx hist.Trips_obs.Metrics.h_p50 hist.Trips_obs.Metrics.h_p90
       hist.Trips_obs.Metrics.h_p99 prefix.P.sc_hits prefix.P.sc_misses
       (rate prefix) output.P.sc_hits output.P.sc_misses (rate output)
       stats.P.st_shed stats.P.st_timed_out stats.P.st_crashed timed_out_ok
-      served_identical
+      served_identical qw50 qw99 ex50 ex99 rd50 rd99 lat99 degraded breaches
   in
   let path = bench_out "BENCH_serve.json" in
   let oc = open_out path in

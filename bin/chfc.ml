@@ -834,18 +834,49 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress daemon log lines.")
   in
-  let run socket workers queue_depth deadline store_capacity quiet =
+  let slo_p99_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-p99-ms" ] ~docv:"MS"
+          ~doc:
+            "SLO sentinel: flip the daemon degraded when the rolling-window \
+             p99 request latency exceeds this many milliseconds.")
+  in
+  let slo_error_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-error-rate" ] ~docv:"FRACTION"
+          ~doc:
+            "SLO sentinel: flip the daemon degraded when the rolling-window \
+             error fraction (failed + timed out + crashed + shed) exceeds \
+             this threshold.")
+  in
+  let trace_ring =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-ring" ] ~docv:"N"
+          ~doc:
+            "Keep the last N finished request traces for $(b,chfc trace) \
+             (default 64).")
+  in
+  let run socket workers queue_depth deadline store_capacity quiet slo_p99_ms
+      slo_error_rate trace_ring =
     let workers = if workers <= 0 then None else Some workers in
+    let slo_p99_s = Option.map (fun ms -> ms /. 1000.0) slo_p99_ms in
     let t =
       Trips_serve.Server.start ?workers ?queue_depth
-        ?default_deadline_s:deadline ?store_capacity ~quiet ~socket ()
+        ?default_deadline_s:deadline ?store_capacity ?slo_p99_s
+        ?slo_error_rate ?trace_ring ~quiet ~socket ()
     in
     Trips_serve.Server.wait t
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ workers $ queue_depth $ deadline
-      $ store_capacity $ quiet)
+      $ store_capacity $ quiet $ slo_p99_ms $ slo_error_rate $ trace_ring)
 
 let submit_cmd =
   let doc =
@@ -905,11 +936,11 @@ let submit_cmd =
       table report =
     let module C = Trips_serve.Client in
     let module P = Trips_serve.Protocol in
-    let outcome =
+    let req_id, outcome =
       with_daemon socket (fun conn ->
           match (table, report) with
           | Some t, _ ->
-            C.rpc conn
+            C.rpc_traced conn
               (P.Sweep_cell
                  {
                    P.ss_table = t;
@@ -917,7 +948,7 @@ let submit_cmd =
                    ss_deadline_s = deadline;
                  })
           | None, true ->
-            C.rpc conn
+            C.rpc_traced conn
               (P.Report
                  {
                    P.rs_workloads = names;
@@ -928,7 +959,7 @@ let submit_cmd =
           | None, false -> (
             match names with
             | [ name ] ->
-              C.rpc conn
+              C.rpc_traced conn
                 (P.Compile
                    {
                      P.cs_workload = name;
@@ -945,6 +976,7 @@ let submit_cmd =
                  --report / --table)@.";
               exit 2))
     in
+    Option.iter (fun id -> Fmt.epr "chfc: request %s@." id) req_id;
     match outcome with
     | Ok text -> print_string text
     | Error e ->
@@ -957,12 +989,30 @@ let submit_cmd =
       $ verify_arg $ deadline $ chaos_seed $ table $ report)
 
 let stats_cmd =
-  let doc = "Print a running daemon's scheduler and artifact-store counters." in
-  let run socket =
+  let doc =
+    "Print a running daemon's scheduler and artifact-store counters, plus \
+     its rolling telemetry window.  $(b,--prom) emits Prometheus text with \
+     a stable line order; $(b,--watch) refreshes in place."
+  in
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:"Emit the Prometheus-style text exposition instead.")
+  in
+  let watch =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECONDS"
+          ~doc:"Refresh every SECONDS until interrupted.")
+  in
+  let render_text (s : Trips_serve.Protocol.stats_payload) =
     let module P = Trips_serve.Protocol in
-    let s = with_daemon socket (fun conn -> Trips_serve.Client.rpc conn P.Stats) in
-    Fmt.pr "daemon      : protocol v%d, up %.1fs, %d worker domain(s)@."
-      s.P.st_version s.P.st_uptime_s s.P.st_workers;
+    let module W = Trips_obs.Telemetry.Window in
+    Fmt.pr "daemon      : protocol v%d, up %.1fs, %d worker domain(s)%s@."
+      s.P.st_version s.P.st_uptime_s s.P.st_workers
+      (if s.P.st_degraded then "  [DEGRADED]" else "");
     Fmt.pr
       "scheduler   : depth %d, pending %d, submitted %d, completed %d, shed \
        %d, timed out %d, crashed %d@."
@@ -973,9 +1023,84 @@ let stats_cmd =
         Fmt.pr "%-12s: %d hit(s), %d miss(es), %d eviction(s), %d/%d entries@."
           k.P.sc_name k.P.sc_hits k.P.sc_misses k.P.sc_evictions k.P.sc_entries
           k.P.sc_capacity)
-      s.P.st_stores
+      s.P.st_stores;
+    let w = s.P.st_window in
+    Fmt.pr "window      : last %.0fs@." w.W.w_span_s;
+    List.iter (fun (n, v) -> Fmt.pr "  %-34s %8d@." n v) w.W.w_counters;
+    List.iter (fun (n, v) -> Fmt.pr "  %-34s %12.3f  (gauge)@." n v) w.W.w_gauges;
+    List.iter
+      (fun (n, (q : W.quantiles)) ->
+        Fmt.pr "  %-34s n=%-5d p50=%.4f p90=%.4f p99=%.4f@." n q.W.q_count
+          q.W.q_p50 q.W.q_p90 q.W.q_p99)
+      w.W.w_histograms
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ socket_arg)
+  let run socket prom watch =
+    let module P = Trips_serve.Protocol in
+    let fetch () =
+      with_daemon socket (fun conn -> Trips_serve.Client.rpc conn P.Stats)
+    in
+    let show s =
+      if prom then print_string (Trips_serve.Expo.render_prom s)
+      else render_text s
+    in
+    match watch with
+    | None -> show (fetch ())
+    | Some period ->
+      let period = Float.max 0.1 period in
+      while true do
+        let s = fetch () in
+        (* ANSI clear-screen + home, so the display refreshes in place. *)
+        print_string "\027[2J\027[H";
+        show s;
+        Fmt.pr "@?";
+        Unix.sleepf period
+      done
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ socket_arg $ prom $ watch)
+
+let trace_cmd =
+  let doc =
+    "Fetch one finished request's span tree from the daemon's bounded trace \
+     ring and print it (or export Chrome trace-event JSON with \
+     $(b,--chrome)).  Request ids are printed by $(b,chfc submit) on \
+     stderr and appear in the daemon log."
+  in
+  let req_id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST-ID" ~doc:"The request id, e.g. req-0f3a9c1d2e4b.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Write the span tree as Chrome trace-event JSON to FILE.")
+  in
+  let run socket req_id chrome =
+    let module P = Trips_serve.Protocol in
+    match
+      with_daemon socket (fun conn ->
+          Trips_serve.Client.rpc conn (P.Trace_of req_id))
+    with
+    | None ->
+      Fmt.epr
+        "chfc: trace: no trace for %s (unknown id, or evicted from the \
+         ring; raise --trace-ring on the daemon)@."
+        req_id;
+      exit 1
+    | Some tr -> (
+      print_string (Trips_obs.Telemetry.render tr);
+      match chrome with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        output_string oc (Trips_serve.Expo.trace_to_chrome tr);
+        close_out oc;
+        Fmt.epr "chfc: wrote %s@." file)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ socket_arg $ req_id $ chrome)
 
 let shutdown_cmd =
   let doc =
@@ -998,5 +1123,5 @@ let () =
           [
             list_cmd; compile_cmd; compile_file_cmd; chaos_cmd; fuzz_cmd;
             report_cmd; table1_cmd; table2_cmd; table3_cmd; figure7_cmd;
-            serve_cmd; submit_cmd; stats_cmd; shutdown_cmd;
+            serve_cmd; submit_cmd; stats_cmd; trace_cmd; shutdown_cmd;
           ]))

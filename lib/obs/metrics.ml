@@ -19,6 +19,7 @@ type histogram = {
 
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * float) list;
   histograms : (string * histogram) list;
 }
 
@@ -34,6 +35,7 @@ type agg = {
 
 let mutex = Mutex.create ()
 let counter_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
+let gauge_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
 let histo_tbl : (string, agg) Hashtbl.t = Hashtbl.create 16
 
 (* Capture mode diverts a thunk's counter increments into a domain-local
@@ -66,9 +68,21 @@ let incr ?(by = 1) name =
     let v = Option.value ~default:0 (Hashtbl.find_opt tbl name) in
     Hashtbl.replace tbl name (v + by)
   | None ->
+    (* captured deltas reach the collector when [apply]ed, so the
+       notification lives on the uncaptured path only — a trial's counts
+       land in the owning request exactly once, like everywhere else *)
+    if Telemetry.active () then Telemetry.count ~by name;
     Mutex.protect mutex (fun () ->
         let v = Option.value ~default:0 (Hashtbl.find_opt counter_tbl name) in
         Hashtbl.replace counter_tbl name (v + by))
+
+let set_gauge name v =
+  Mutex.protect mutex (fun () -> Hashtbl.replace gauge_tbl name v)
+
+let add_gauge name dv =
+  Mutex.protect mutex (fun () ->
+      let v = Option.value ~default:0.0 (Hashtbl.find_opt gauge_tbl name) in
+      Hashtbl.replace gauge_tbl name (v +. dv))
 
 let apply ds = List.iter (fun (name, by) -> incr ~by name) ds
 
@@ -88,6 +102,7 @@ let observe name x =
 let reset () =
   Mutex.protect mutex (fun () ->
       Hashtbl.reset counter_tbl;
+      Hashtbl.reset gauge_tbl;
       Hashtbl.reset histo_tbl)
 
 let sorted_bindings tbl =
@@ -121,16 +136,26 @@ let snapshot () =
                    h_p99 = q 0.99;
                  } ))
       in
-      { counters = sorted_bindings counter_tbl; histograms })
+      {
+        counters = sorted_bindings counter_tbl;
+        gauges = sorted_bindings gauge_tbl;
+        histograms;
+      })
 
 let counter_value s name =
   Option.value ~default:0 (List.assoc_opt name s.counters)
+
+let gauge_value s name =
+  Option.value ~default:0.0 (List.assoc_opt name s.gauges)
 
 let render fmt s =
   Format.fprintf fmt "@[<v>metrics:@,";
   List.iter
     (fun (name, v) -> Format.fprintf fmt "  %-36s %12d@," name v)
     s.counters;
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "  %-36s %12.3f  (gauge)@," name v)
+    s.gauges;
   if s.histograms <> [] then begin
     Format.fprintf fmt "  %-36s %8s %12s %10s %10s %10s %10s %10s@,"
       "histogram" "count" "mean" "min" "max" "p50" "p90" "p99";
@@ -154,6 +179,13 @@ let to_json s =
       comma ();
       Buffer.add_string buf (Printf.sprintf "%S:%d" name v))
     s.counters;
+  Buffer.add_string buf "},\"gauges\":{";
+  sep := false;
+  List.iter
+    (fun (name, v) ->
+      comma ();
+      Buffer.add_string buf (Printf.sprintf "%S:%.12g" name v))
+    s.gauges;
   Buffer.add_string buf "},\"histograms\":{";
   sep := false;
   List.iter

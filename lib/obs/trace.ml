@@ -17,7 +17,13 @@
    [with_cell] span (single compiles, tests) records under cell -1 with
    a monotonically increasing seq. *)
 
-type value = Int of int | Float of float | Str of string | Bool of bool
+(* [value] is shared with Telemetry so instrumentation sites feed both
+   the global stream and a per-request collector with one field list. *)
+type value = Telemetry.value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
 
 type event = {
   cell : int;
@@ -43,7 +49,10 @@ type tagging = { mutable cur_cell : int; mutable cur_seq : int }
 
 let tag_key = Domain.DLS.new_key (fun () -> { cur_cell = -1; cur_seq = 0 })
 
-let is_enabled () = Atomic.get enabled
+(* Gated emitters (formation attempts, optimizer passes) build their
+   field lists when either consumer is listening: the global stream, or
+   a request-scoped collector on this domain. *)
+let is_enabled () = Atomic.get enabled || Telemetry.active ()
 let spans_enabled () = Atomic.get spans_flag
 
 let start ?(spans = false) () =
@@ -106,19 +115,26 @@ let capture f =
   (v, List.rev !buf)
 
 let record kind fields =
-  if Atomic.get enabled then begin
+  let tele = Telemetry.active () in
+  if Atomic.get enabled || tele then begin
     match !(Domain.DLS.get capture_key) with
-    | Some buf -> buf := (kind, fields) :: !buf
+    | Some buf ->
+      (* capture diverts everything — a request-scoped collector sees
+         captured events at replay time, never twice *)
+      buf := (kind, fields) :: !buf
     | None ->
-      let fields =
-        (* span mode: place point events on the exporter's timeline *)
-        if Atomic.get spans_flag then fields @ [ ("ts", Float (now_us ())) ]
-        else fields
-      in
-      let t = Domain.DLS.get tag_key in
-      let ev = { cell = t.cur_cell; seq = t.cur_seq; kind; fields } in
-      t.cur_seq <- t.cur_seq + 1;
-      push ev
+      if tele then Telemetry.note kind fields;
+      if Atomic.get enabled then begin
+        let fields =
+          (* span mode: place point events on the exporter's timeline *)
+          if Atomic.get spans_flag then fields @ [ ("ts", Float (now_us ())) ]
+          else fields
+        in
+        let t = Domain.DLS.get tag_key in
+        let ev = { cell = t.cur_cell; seq = t.cur_seq; kind; fields } in
+        t.cur_seq <- t.cur_seq + 1;
+        push ev
+      end
   end
 
 let replay cap = List.iter (fun (kind, fields) -> record kind fields) cap
@@ -128,9 +144,12 @@ let replay cap = List.iter (fun (kind, fields) -> record kind fields) cap
    accounting whether or not tracing is on.  The "span" event itself is
    emitted only in span mode. *)
 let span ?(fields = []) ?on_close name f =
+  let tele = Telemetry.active () in
+  if tele then Telemetry.span_enter name fields;
   let t0 = Unix.gettimeofday () in
   let finish () =
     let dt = Unix.gettimeofday () -. t0 in
+    if tele then Telemetry.span_exit ~dur_s:dt;
     (match on_close with Some g -> g dt | None -> ());
     if Atomic.get enabled && Atomic.get spans_flag then begin
       let ts = (t0 -. Atomic.get base_time) *. 1e6 in

@@ -13,7 +13,13 @@
     rendering preserves that order, so two identical events always render
     to identical bytes (stable field order). *)
 
-type value = Int of int | Float of float | Str of string | Bool of bool
+type value = Telemetry.value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+      (** Shared with {!Telemetry} so one field list feeds both the
+          global stream and a per-request collector. *)
 
 type event = {
   cell : int;  (** engine slot index; [-1] outside a parallel sweep *)
@@ -35,7 +41,10 @@ val stop : unit -> event list
     the buffer. *)
 
 val is_enabled : unit -> bool
-(** Cheap guard for callers that want to skip building field lists. *)
+(** Cheap guard for callers that want to skip building field lists.
+    True when the global stream is recording {e or} a request-scoped
+    {!Telemetry} collector is installed on the calling domain — either
+    consumer wants the events. *)
 
 val spans_enabled : unit -> bool
 (** Whether span mode is on (see {!start}). *)
@@ -50,11 +59,14 @@ val span :
     with [name], ["ts"] and ["dur"] fields (microseconds).  [on_close]
     receives the duration in seconds — always, even when tracing is off
     or [f] raises — so callers can keep their own accounting on the same
-    clock ({!Stage.time} builds on this). *)
+    clock ({!Stage.time} builds on this).  When a {!Telemetry} collector
+    is active on this domain the span also lands in the owning request's
+    span tree. *)
 
 val record : string -> (string * value) list -> unit
 (** [record kind fields] appends one event tagged with the calling
-    domain's current cell.  No-op when tracing is off. *)
+    domain's current cell, and notifies the request-scoped collector if
+    one is active.  No-op when both are off. *)
 
 val with_cell : int -> (unit -> 'a) -> 'a
 (** [with_cell i f] runs [f] with the calling domain's cell index set to

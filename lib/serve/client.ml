@@ -15,9 +15,27 @@ let connect ~socket =
      raise e);
   { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
-let rpc conn (type a) (req : a Protocol.request) : a =
-  Protocol.write_request conn.oc (Protocol.wire_of_request req);
-  Protocol.reply_of_wire req (Protocol.read_reply conn.ic)
+module Telemetry = Trips_obs.Telemetry
+
+(* Job-carrying requests get a fresh context minted here — the id the
+   user can later feed to [chfc trace] — seeded with the spec's deadline
+   and chaos seed so the daemon-side trace is self-describing.  Control
+   requests travel bare. *)
+let mint_ctx : type a. a Protocol.request -> Telemetry.ctx option = function
+  | Protocol.Compile c ->
+    Telemetry.mint ?deadline_s:c.cs_deadline_s ?chaos_seed:c.cs_chaos_seed ()
+  | Protocol.Report r -> Telemetry.mint ?deadline_s:r.rs_deadline_s ()
+  | Protocol.Sweep_cell s -> Telemetry.mint ?deadline_s:s.ss_deadline_s ()
+  | Protocol.Stats | Protocol.Trace_of _ | Protocol.Shutdown -> None
+
+let rpc_traced conn (type a) (req : a Protocol.request) :
+    string option * a =
+  let ctx = mint_ctx req in
+  Protocol.write_request conn.oc ?ctx (Protocol.wire_of_request req);
+  let reply = Protocol.reply_of_wire req (Protocol.read_reply conn.ic) in
+  (Option.map (fun c -> c.Telemetry.tc_id) ctx, reply)
+
+let rpc conn req = snd (rpc_traced conn req)
 
 let close conn =
   (* both channels share the socket fd; closing the out channel flushes

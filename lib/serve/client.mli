@@ -15,6 +15,11 @@ val rpc : conn -> 'a Protocol.request -> 'a
 (** @raise Protocol.Protocol_error on version skew or a reply that
     violates the session type; [End_of_file] if the daemon vanished. *)
 
+val rpc_traced : conn -> 'a Protocol.request -> string option * 'a
+(** Like {!rpc}, also returning the request id minted into the frame's
+    telemetry context — the handle for [chfc trace <id>].  [None] for
+    control requests or under [TRIPS_NO_REQ_TELEMETRY]. *)
+
 val close : conn -> unit
 
 val with_conn : socket:string -> (conn -> 'a) -> 'a

@@ -18,6 +18,8 @@
    marshaled payload is a plain variant, so framing is self-delimiting
    via [Marshal]'s own header. *)
 
+module Telemetry = Trips_obs.Telemetry
+
 (* ---- message payloads -------------------------------------------------- *)
 
 type compile_spec = {
@@ -64,6 +66,8 @@ type stats_payload = {
   st_timed_out : int;
   st_crashed : int;
   st_stores : store_counters list;
+  st_degraded : bool;
+  st_window : Telemetry.Window.snapshot;
 }
 
 type served_error =
@@ -85,6 +89,17 @@ let pp_served_error fmt = function
       te_deadline_s
   | Draining -> Fmt.pf fmt "draining: the daemon is shutting down"
 
+(* outcome class of a completed job, as recorded in the rolling window
+   (the scheduler classifies timeouts and crashes before it ever builds
+   an [output], so those classes are stamped scheduler-side) *)
+let output_class : output -> string = function
+  | Ok _ -> "ok"
+  | Error (Bad_request _) -> "bad_request"
+  | Error (Compile_failed _) -> "failed"
+  | Error (Overloaded _) -> "shed"
+  | Error (Timed_out _) -> "timed_out"
+  | Error Draining -> "draining"
+
 (* ---- typed requests ---------------------------------------------------- *)
 
 type _ request =
@@ -92,6 +107,7 @@ type _ request =
   | Report : report_spec -> output request
   | Sweep_cell : sweep_spec -> output request
   | Stats : stats_payload request
+  | Trace_of : string -> Telemetry.trace option request
   | Shutdown : unit request
 
 type packed = Packed : 'a request -> packed
@@ -125,22 +141,27 @@ let run_worker (w : worker) = function
   | Job_sweep s -> w.w_sweep_cell s
 
 type scheduler_handlers = {
-  sh_job : job -> output;
+  sh_job : Telemetry.ctx option -> job -> output;
   sh_stats : unit -> stats_payload;
+  sh_trace : string -> Telemetry.trace option;
   sh_shutdown : unit -> unit;
 }
 
-let dispatch : type a. scheduler_handlers -> a request -> a =
- fun h -> function
-  | Compile c -> h.sh_job (Job_compile c)
-  | Report r -> h.sh_job (Job_report r)
-  | Sweep_cell s -> h.sh_job (Job_sweep s)
+let dispatch : type a. scheduler_handlers -> ctx:Telemetry.ctx option -> a request -> a =
+ fun h ~ctx -> function
+  | Compile c -> h.sh_job ctx (Job_compile c)
+  | Report r -> h.sh_job ctx (Job_report r)
+  | Sweep_cell s -> h.sh_job ctx (Job_sweep s)
   | Stats -> h.sh_stats ()
+  | Trace_of id -> h.sh_trace id
   | Shutdown -> h.sh_shutdown ()
 
 (* ---- versioned wire encoding ------------------------------------------- *)
 
-let version = 1
+(* v2: the request frame gained the telemetry context and the Trace_of
+   request; the stats payload gained the window snapshot and degraded
+   bit.  A v1 peer is rejected with the structured skew error below. *)
+let version = 2
 let magic = "CHFS"
 
 exception Protocol_error of string
@@ -150,11 +171,13 @@ type wire_request =
   | W_report of report_spec
   | W_sweep of sweep_spec
   | W_stats
+  | W_trace of string
   | W_shutdown
 
 type wire_reply =
   | R_output of output
   | R_stats of stats_payload
+  | R_trace of Telemetry.trace option
   | R_unit
   | R_error of string  (* protocol-level failure reported by the peer *)
 
@@ -163,6 +186,7 @@ let wire_of_request : type a. a request -> wire_request = function
   | Report r -> W_report r
   | Sweep_cell s -> W_sweep s
   | Stats -> W_stats
+  | Trace_of id -> W_trace id
   | Shutdown -> W_shutdown
 
 let request_of_wire = function
@@ -170,6 +194,7 @@ let request_of_wire = function
   | W_report r -> Packed (Report r)
   | W_sweep s -> Packed (Sweep_cell s)
   | W_stats -> Packed Stats
+  | W_trace id -> Packed (Trace_of id)
   | W_shutdown -> Packed Shutdown
 
 let reply_to_wire : type a. a request -> a -> wire_reply =
@@ -179,6 +204,7 @@ let reply_to_wire : type a. a request -> a -> wire_reply =
   | Report _ -> R_output reply
   | Sweep_cell _ -> R_output reply
   | Stats -> R_stats reply
+  | Trace_of _ -> R_trace reply
   | Shutdown -> R_unit
 
 (* The request's type index names the only frame shape a conforming peer
@@ -197,9 +223,11 @@ let reply_of_wire : type a. a request -> wire_reply -> a =
   | Report _, R_output o -> o
   | Sweep_cell _, R_output o -> o
   | Stats, R_stats s -> s
+  | Trace_of _, R_trace t -> t
   | Shutdown, R_unit -> ()
   | (Compile _ | Report _ | Sweep_cell _), _ -> violation "output"
   | Stats, _ -> violation "stats"
+  | Trace_of _, _ -> violation "trace"
   | Shutdown, _ -> violation "unit"
 
 let error_reply msg = R_error msg
@@ -225,7 +253,12 @@ let read_frame ic =
             version));
   Marshal.from_channel ic
 
-let write_request oc (r : wire_request) = write_frame oc r
-let read_request ic : wire_request = read_frame ic
+(* A request frame carries the minted telemetry context beside the
+   message — [None] for control requests, or whenever the client runs
+   under TRIPS_NO_REQ_TELEMETRY. *)
+let write_request oc ?ctx (r : wire_request) =
+  write_frame oc ((ctx : Telemetry.ctx option), r)
+
+let read_request ic : Telemetry.ctx option * wire_request = read_frame ic
 let write_reply oc (r : wire_reply) = write_frame oc r
 let read_reply ic : wire_reply = read_frame ic

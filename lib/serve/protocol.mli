@@ -23,7 +23,15 @@
 
     Wire encoding is versioned: every frame starts with a magic tag and
     a version byte, so an old client talking to a new daemon fails with
-    a structured error, not a marshal crash. *)
+    a structured error, not a marshal crash.
+
+    Since v2 every request frame also carries the client-minted
+    {!Trips_obs.Telemetry.ctx} ([None] for control requests or under
+    [TRIPS_NO_REQ_TELEMETRY]), which the scheduler installs around the
+    worker thunk so the whole pipeline's instrumentation tags the owning
+    request. *)
+
+module Telemetry = Trips_obs.Telemetry
 
 (** {1 Message payloads} *)
 
@@ -74,6 +82,9 @@ type stats_payload = {
   st_timed_out : int;
   st_crashed : int;
   st_stores : store_counters list;  (** prefix store, output store, ... *)
+  st_degraded : bool;  (** the SLO sentinel's verdict on the window *)
+  st_window : Telemetry.Window.snapshot;
+      (** rolling-window counters / gauges / quantiles *)
 }
 
 type served_error =
@@ -91,6 +102,11 @@ type output = (string, served_error) result
 
 val pp_served_error : Format.formatter -> served_error -> unit
 
+val output_class : output -> string
+(** The rolling-window outcome class of a completed job: ["ok"],
+    ["bad_request"], ["failed"], ["shed"], ["timed_out"] or
+    ["draining"]. *)
+
 (** {1 Typed requests (the session types)} *)
 
 type _ request =
@@ -98,6 +114,9 @@ type _ request =
   | Report : report_spec -> output request
   | Sweep_cell : sweep_spec -> output request
   | Stats : stats_payload request
+  | Trace_of : string -> Telemetry.trace option request
+      (** fetch one finished request's span tree from the daemon's
+          bounded ring ([None] = unknown id or already evicted) *)
   | Shutdown : unit request
 
 type packed = Packed : 'a request -> packed
@@ -128,14 +147,17 @@ type worker = {
 val run_worker : worker -> job -> output
 
 type scheduler_handlers = {
-  sh_job : job -> output;  (** queue onto the pool and await *)
+  sh_job : Telemetry.ctx option -> job -> output;
+      (** queue onto the pool and await; the context (if any) rides
+          along so the executing worker can attribute its events *)
   sh_stats : unit -> stats_payload;
+  sh_trace : string -> Telemetry.trace option;
   sh_shutdown : unit -> unit;
 }
 (** The scheduler role: jobs are delegated, control is answered
     directly. *)
 
-val dispatch : scheduler_handlers -> 'a request -> 'a
+val dispatch : scheduler_handlers -> ctx:Telemetry.ctx option -> 'a request -> 'a
 (** Type-indexed dispatch: the reply type follows the request
     constructor, so a handler returning the wrong shape is a type
     error. *)
@@ -164,10 +186,11 @@ val error_reply : string -> wire_reply
 (** A server-side protocol-level error frame (decoded by
     {!reply_of_wire} into {!Protocol_error}). *)
 
-val write_request : out_channel -> wire_request -> unit
-val read_request : in_channel -> wire_request
+val write_request : out_channel -> ?ctx:Telemetry.ctx -> wire_request -> unit
+val read_request : in_channel -> Telemetry.ctx option * wire_request
 val write_reply : out_channel -> wire_reply -> unit
 val read_reply : in_channel -> wire_reply
 (** Framed I/O: magic + version byte + marshaled payload; writers flush.
-    Readers raise {!Protocol_error} on bad magic or version skew and
-    [End_of_file] on a closed peer. *)
+    A request frame carries the minted telemetry context beside the
+    message.  Readers raise {!Protocol_error} on bad magic or version
+    skew and [End_of_file] on a closed peer. *)

@@ -39,6 +39,19 @@ type counters = {
   k_crashed : int;
 }
 
+type slo = {
+  slo_p99_s : float option;
+      (** breach when the window's p99 of [serve.latency_s] exceeds this *)
+  slo_error_rate : float option;
+      (** breach when (failed + timed out + crashed + shed + draining) /
+          total over the window exceeds this fraction *)
+}
+(** Thresholds for the SLO sentinel, evaluated against the rolling
+    window after every completion and every refusal.  The degraded bit
+    flips in both directions — the daemon recovers once the breaching
+    requests age out of the window — and only the false→true transition
+    bumps the [serve.slo.breach] metric. *)
+
 type ('j, 'r) t
 
 type 'r ticket
@@ -48,6 +61,10 @@ val create :
   ?queue_depth:int ->
   ?default_deadline_s:float ->
   ?deadline_of:('j -> float option) ->
+  ?ctx_of:('j -> Trips_obs.Telemetry.ctx option) ->
+  ?kind_of:('j -> string) ->
+  ?class_of:('r -> string) ->
+  ?slo:slo ->
   workers:int ->
   run:('j -> 'r) ->
   unit ->
@@ -58,7 +75,16 @@ val create :
     deadline is [deadline_of job] (default: none) falling back to
     [default_deadline_s]; jobs with a deadline run inside
     [Watchdog.run ~stage:"serve"], so the pipeline's cooperative
-    {!Trips_obs.Watchdog.check} polls bound them. *)
+    {!Trips_obs.Watchdog.check} polls bound them.
+
+    Telemetry: [ctx_of] (default: none) extracts the request context
+    carried beside a job; when present, a {!Trips_obs.Telemetry}
+    collector is opened at dequeue with the measured queue wait,
+    installed around the run, and finished with the outcome class —
+    [class_of] (default ["ok"]) classifies a [Done] result, timeouts and
+    crashes classify themselves.  [kind_of] names the job kind in the
+    trace.  [slo] arms the sentinel (see {!slo}); it reads the global
+    rolling window, so it only fires when telemetry is enabled. *)
 
 val submit : ('j, 'r) t -> 'j -> ('r ticket, 'r outcome) result
 (** Admit a job, or refuse with [Error Overloaded] / [Error Draining].
@@ -75,6 +101,9 @@ val run_sync : ('j, 'r) t -> 'j -> 'r outcome
 (** [submit] + [await] in one call — the connection-thread fast path. *)
 
 val counters : ('j, 'r) t -> counters
+
+val degraded : ('j, 'r) t -> bool
+(** The SLO sentinel's current verdict (always false without [slo]). *)
 
 val drain : ('j, 'r) t -> unit
 (** Stop admitting, wait for every admitted job to complete, shut the

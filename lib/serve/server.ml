@@ -17,11 +17,12 @@
 module Store = Trips_store.Store
 module Engine = Trips_harness.Engine
 module Stage = Trips_harness.Stage
+module Telemetry = Trips_obs.Telemetry
 
 type t = {
   socket_path : string;
   listen_fd : Unix.file_descr;
-  sched : (Protocol.job, Protocol.output) Scheduler.t;
+  sched : (Protocol.job * Telemetry.ctx option, Protocol.output) Scheduler.t;
   worker : Worker.t;
   started_at : float;
   quiet : bool;
@@ -62,6 +63,8 @@ let stats t =
           (Stage.store_counters (Worker.prefix_cache t.worker));
         store "serve.output" (Store.counters (Worker.output_store t.worker));
       ];
+    st_degraded = Scheduler.degraded t.sched;
+    st_window = Telemetry.win_snapshot ();
   }
 
 (* Every scheduler outcome is a structured reply; a crashed job is
@@ -97,8 +100,10 @@ let handle_conn t fd =
   let handlers =
     {
       Protocol.sh_job =
-        (fun job -> output_of_outcome (Scheduler.run_sync t.sched job));
+        (fun ctx job ->
+          output_of_outcome (Scheduler.run_sync t.sched (job, ctx)));
       sh_stats = (fun () -> stats t);
+      sh_trace = Telemetry.find;
       (* ack first: the connection loop initiates after the reply has
          been flushed, so the shutdown client always hears back *)
       sh_shutdown = (fun () -> ());
@@ -106,11 +111,11 @@ let handle_conn t fd =
   in
   let rec loop () =
     match Protocol.read_request ic with
-    | wire -> (
+    | ctx, wire -> (
       match Protocol.request_of_wire wire with
       | Protocol.Packed req ->
         let reply =
-          match Protocol.dispatch handlers req with
+          match Protocol.dispatch handlers ~ctx req with
           | v -> Protocol.reply_to_wire req v
           | exception e -> Protocol.error_reply (Printexc.to_string e)
         in
@@ -155,7 +160,7 @@ let accept_loop t =
       Condition.broadcast t.fc)
 
 let start ?workers ?queue_depth ?default_deadline_s ?store_capacity
-    ?(quiet = false) ~socket () =
+    ?slo_p99_s ?slo_error_rate ?trace_ring ?(quiet = false) ~socket () =
   (* a client hanging up mid-reply must be an EPIPE on its connection
      thread, not a fatal signal for the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -171,10 +176,22 @@ let start ?workers ?queue_depth ?default_deadline_s ?store_capacity
   in
   let worker = Worker.create ~prefix_store ~output_store () in
   let handlers = Worker.handlers worker in
+  (match trace_ring with
+  | Some n -> Telemetry.set_ring_capacity n
+  | None -> ());
+  let slo =
+    match (slo_p99_s, slo_error_rate) with
+    | None, None -> None
+    | _ ->
+      Some { Scheduler.slo_p99_s; slo_error_rate }
+  in
   let sched =
     Scheduler.create ?queue_depth ?default_deadline_s
-      ~deadline_of:Protocol.job_deadline ~workers
-      ~run:(fun job -> Protocol.run_worker handlers job)
+      ~deadline_of:(fun (job, _) -> Protocol.job_deadline job)
+      ~ctx_of:snd
+      ~kind_of:(fun (job, _) -> Protocol.job_kind job)
+      ~class_of:Protocol.output_class ?slo ~workers
+      ~run:(fun (job, _) -> Protocol.run_worker handlers job)
       ()
   in
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in

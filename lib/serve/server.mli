@@ -22,6 +22,9 @@ val start :
   ?queue_depth:int ->
   ?default_deadline_s:float ->
   ?store_capacity:int ->
+  ?slo_p99_s:float ->
+  ?slo_error_rate:float ->
+  ?trace_ring:int ->
   ?quiet:bool ->
   socket:string ->
   unit ->
@@ -29,11 +32,19 @@ val start :
 (** Defaults: [workers] = {!Trips_harness.Engine.default_jobs},
     [queue_depth] = [4 * workers], no default deadline,
     [store_capacity] = the store's default, [quiet] = false.  A stale
-    socket file from a dead daemon is unlinked before binding. *)
+    socket file from a dead daemon is unlinked before binding.
+
+    [slo_p99_s] / [slo_error_rate] arm the scheduler's SLO sentinel
+    (see {!Scheduler.slo}); [trace_ring] resizes the bounded ring of
+    finished request traces (default 64). *)
 
 val scheduler :
-  t -> (Protocol.job, Protocol.output) Scheduler.t
-(** The daemon's scheduler — exposed for in-process tests and stats. *)
+  t ->
+  ( Protocol.job * Trips_obs.Telemetry.ctx option,
+    Protocol.output )
+  Scheduler.t
+(** The daemon's scheduler — exposed for in-process tests and stats.
+    Jobs carry the request's telemetry context beside them. *)
 
 val stats : t -> Protocol.stats_payload
 

@@ -54,7 +54,12 @@ let create ?(capacity = 512) ~name () =
 
 let name t = t.sname
 
-let metric t suffix = Trips_obs.Metrics.incr ("store." ^ t.sname ^ "." ^ suffix)
+let metric t suffix =
+  let name = "store." ^ t.sname ^ "." ^ suffix in
+  Trips_obs.Metrics.incr name;
+  (* same name in the rolling window, so the exposition surface can
+     report a recent hit rate next to the lifetime one *)
+  Trips_obs.Telemetry.win_incr name
 
 (* ---- recency list (call with t.m held) -------------------------------- *)
 

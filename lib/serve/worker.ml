@@ -19,6 +19,7 @@
 open Trips_workloads
 open Trips_harness
 module Store = Trips_store.Store
+module Trace = Trips_obs.Trace
 
 (* ---- name resolution (shared with the chfc CLI) ------------------------ *)
 
@@ -71,6 +72,9 @@ let compile_report ?cache ~ordering ~config ~backend ~verify w =
     let c = Pipeline.compile ?cache ~config ~backend ~verify ordering w in
     let r = Pipeline.verify_against ~baseline c in
     let cycles = Pipeline.run_cycles c in
+    (* report rendering under its own span, so a request's latency
+       breakdown separates compute from formatting *)
+    Trace.span "render" (fun () ->
     let buf = Buffer.create 512 in
     let fmt = Format.formatter_of_buffer buf in
     Fmt.pf fmt "workload        : %s (%s)@." w.Workload.name
@@ -104,7 +108,7 @@ let compile_report ?cache ~ordering ~config ~backend ~verify w =
     if verify then
       Fmt.pf fmt "per-phase       : structural + differential checks passed@.";
     Format.pp_print_flush fmt ();
-    Ok (c, Buffer.contents buf)
+    Ok (c, Buffer.contents buf))
   with
   | Pipeline.Verify_failed { vf_workload; vf_ordering; vf_failure } ->
     Error
@@ -167,7 +171,15 @@ let bad_request msg = Error (Protocol.Bad_request msg)
 let with_output_cache t ~src ~kind ~config compute =
   let key = { Store.src; stage = "output." ^ kind; config } in
   match Store.find t.outputs key with
-  | Some text -> Ok text
+  | Some text ->
+    if Trace.is_enabled () then
+      Trace.record "store"
+        [
+          ("store", Trace.Str "serve.output");
+          ("kind", Trace.Str kind);
+          ("hit", Trace.Bool true);
+        ];
+    Ok text
   | None -> (
     match compute () with
     | Ok text ->
@@ -236,7 +248,7 @@ let w_report t (s : Protocol.report_spec) : Protocol.output =
       ~config:config_key (fun () ->
         let cache = Stage.of_store t.prefix_store in
         let o = Reporter.run ~config ~cache ~jobs:1 ~ordering ~workloads () in
-        Ok (Fmt.str "%a" Reporter.render o))
+        Ok (Trace.span "render" (fun () -> Fmt.str "%a" Reporter.render o)))
 
 let w_sweep_cell t (s : Protocol.sweep_spec) : Protocol.output =
   let spec_selection = function

@@ -17,6 +17,7 @@ let () =
       Test_verify.suite;
       Test_engine.suite;
       Test_obs.suite;
+      Test_telemetry.suite;
       Test_provenance.suite;
       Test_fuzz.suite;
       Test_serve.suite;

@@ -144,12 +144,39 @@ let test_metrics_registry () =
     check (Alcotest.float 1e-9) "histo p99" 6.0 h.Metrics.h_p99
   | _ -> Alcotest.fail "expected exactly the lat histogram");
   check Alcotest.string "json is sorted and stable"
-    "{\"counters\":{\"a.counter\":3,\"b.counter\":1},\"histograms\":{\"lat\":\
+    "{\"counters\":{\"a.counter\":3,\"b.counter\":1},\"gauges\":{},\
+     \"histograms\":{\"lat\":\
      {\"count\":2,\"sum\":8,\"min\":2,\"max\":6,\"p50\":2,\"p90\":6,\"p99\":6}}}"
     (Metrics.to_json s);
   Metrics.reset ();
   check Alcotest.int "reset drops counters" 0
     (List.length (Metrics.snapshot ()).Metrics.counters)
+
+(* Gauges: last value wins under set, add accumulates, render/json keep
+   them between counters and histograms, sorted by name. *)
+let test_metrics_gauges () =
+  Metrics.reset ();
+  Metrics.set_gauge "z.depth" 3.0;
+  Metrics.set_gauge "z.depth" 1.0;
+  Metrics.add_gauge "a.util" 0.25;
+  Metrics.add_gauge "a.util" 0.5;
+  let s = Metrics.snapshot () in
+  check
+    Alcotest.(list (pair string (float 1e-9)))
+    "gauges sorted, set overwrites, add accumulates"
+    [ ("a.util", 0.75); ("z.depth", 1.0) ]
+    s.Metrics.gauges;
+  check (Alcotest.float 1e-9) "gauge_value hit" 1.0
+    (Metrics.gauge_value s "z.depth");
+  check (Alcotest.float 1e-9) "gauge_value miss is 0" 0.0
+    (Metrics.gauge_value s "nope");
+  check Alcotest.string "gauges in json between counters and histograms"
+    "{\"counters\":{},\"gauges\":{\"a.util\":0.75,\"z.depth\":1},\
+     \"histograms\":{}}"
+    (Metrics.to_json s);
+  Metrics.reset ();
+  check Alcotest.int "reset drops gauges" 0
+    (List.length (Metrics.snapshot ()).Metrics.gauges)
 
 (* ---- spans and the Chrome exporter ------------------------------------- *)
 
@@ -410,6 +437,7 @@ let test_metrics_multidomain_golden () =
   let s = Metrics.snapshot () in
   check Alcotest.string "sorted keys, stable field order, exact quantiles"
     "{\"counters\":{\"a.counter\":2,\"m.counter\":1,\"z.counter\":1},\
+     \"gauges\":{},\
      \"histograms\":{\"form.lat\":{\"count\":2,\"sum\":4,\"min\":1,\"max\":3,\
      \"p50\":1,\"p90\":3,\"p99\":3},\"sim.lat\":{\"count\":2,\"sum\":6,\
      \"min\":2,\"max\":4,\"p50\":2,\"p90\":4,\"p99\":4}}}"
@@ -653,6 +681,7 @@ let suite =
       Alcotest.test_case "metrics capture/apply" `Quick
         test_metrics_capture_apply;
       Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+      Alcotest.test_case "metrics gauges" `Quick test_metrics_gauges;
       Alcotest.test_case "span api" `Quick test_span_api;
       Alcotest.test_case "chrome trace is valid json" `Quick
         test_chrome_trace_valid;

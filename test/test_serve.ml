@@ -57,8 +57,11 @@ let test_request_round_trip () =
   List.iter
     (fun (P.Packed req) ->
       with_pipe (fun ic oc ->
-          P.write_request oc (P.wire_of_request req);
-          let (P.Packed decoded) = P.request_of_wire (P.read_request ic) in
+          let ctx = Trips_obs.Telemetry.mint ~deadline_s:0.5 () in
+          P.write_request oc ?ctx (P.wire_of_request req);
+          let ctx', wire = P.read_request ic in
+          Alcotest.(check bool) "ctx survives the wire" true (ctx = ctx');
+          let (P.Packed decoded) = P.request_of_wire wire in
           let same =
             match (req, decoded) with
             | P.Compile a, P.Compile b -> a = b

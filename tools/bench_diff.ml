@@ -113,9 +113,14 @@ let is_higher_better key =
   contains key "speedup" || contains key "rate" || contains key "rps"
   || contains key "throughput"
 
-(* measured error/drift bounds: a rise past tolerance means an
-   approximation got worse even if every wall clock improved *)
-let is_lower_better key = contains key "error" || contains key "bound"
+(* measured error/drift bounds and SLO breach counts: a rise past
+   tolerance means an approximation (or the service's health) got worse
+   even if every wall clock improved.  [slo_degraded] needs no rule of
+   its own: the bench arms the sentinel so the burst must flip it, and
+   the boolean true -> false rule catches a sentinel that stopped
+   firing. *)
+let is_lower_better key =
+  contains key "error" || contains key "bound" || contains key "breach"
 
 let () =
   let usage () =

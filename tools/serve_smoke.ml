@@ -39,15 +39,22 @@ let compile ?deadline ?chaos name =
     }
 
 let () =
+  (* the window-accounting checks below need telemetry on *)
+  Unix.putenv Trips_obs.Telemetry.hatch "";
   let socket =
     Filename.concat (Filename.get_temp_dir_name ()) "chfc-serve-smoke.sock"
   in
   let srv = S.start ~workers:2 ~queue_depth:4 ~quiet:true ~socket () in
   let names = [ "sieve"; "vadd"; "matrix_1"; "sieve"; "vadd"; "sieve" ] in
   let first : (string, string) Hashtbl.t = Hashtbl.create 4 in
+  let first_req_id = ref None in
   List.iteri
     (fun i name ->
-      match C.with_conn ~socket (fun c -> C.rpc c (compile name)) with
+      let id, reply =
+        C.with_conn ~socket (fun c -> C.rpc_traced c (compile name))
+      in
+      if !first_req_id = None then first_req_id := id;
+      match reply with
       | Error e -> fail "request %d (%s): %a" i name P.pp_served_error e
       | Ok text -> (
         match Hashtbl.find_opt first name with
@@ -104,6 +111,46 @@ let () =
     List.find (fun s -> s.P.sc_name = "serve.output") st.P.st_stores
   in
   if output.P.sc_hits = 0 then fail "output store never hit on repeats";
+  (* rolling-window accounting: every request appears exactly once, under
+     its outcome class, and the window agrees with the lifetime counters
+     (the whole smoke fits inside the 30s window) *)
+  let module W = Trips_obs.Telemetry.Window in
+  let w = st.P.st_window in
+  let ok = W.counter_value w "serve.req.ok"
+  and crashed = W.counter_value w "serve.req.crashed"
+  and timed_out = W.counter_value w "serve.req.timed_out" in
+  (* 6 listed + 1 after-crash + 1 after-timeout compiles succeeded *)
+  if ok <> List.length names + 2 then
+    fail "window: %d ok requests, expected %d" ok (List.length names + 2);
+  if crashed <> st.P.st_crashed then
+    fail "window: %d crashed vs %d lifetime" crashed st.P.st_crashed;
+  if timed_out <> st.P.st_timed_out then
+    fail "window: %d timed out vs %d lifetime" timed_out st.P.st_timed_out;
+  if ok + crashed + timed_out <> st.P.st_submitted then
+    fail "window: classes sum to %d, %d submitted"
+      (ok + crashed + timed_out)
+      st.P.st_submitted;
+  (match W.quantiles w "serve.latency_s" with
+  | Some q ->
+    if q.W.q_count <> st.P.st_submitted then
+      fail "window: %d latency samples, %d submitted" q.W.q_count
+        st.P.st_submitted
+  | None -> fail "window: no latency histogram");
+  if st.P.st_degraded then fail "degraded with no SLO armed";
+  (* full request reconstruction: the first compile's trace is in the
+     ring, well-formed, with the right outcome *)
+  (match !first_req_id with
+  | None -> fail "client minted no request id"
+  | Some id -> (
+    match C.with_conn ~socket (fun c -> C.rpc c (P.Trace_of id)) with
+    | None -> fail "trace %s not retrievable" id
+    | Some tr ->
+      if tr.Trips_obs.Telemetry.tr_outcome <> "ok" then
+        fail "trace %s outcome %s, expected ok" id
+          tr.Trips_obs.Telemetry.tr_outcome;
+      (match Trips_obs.Telemetry.check tr with
+      | Ok () -> ()
+      | Error m -> fail "trace %s malformed: %s" id m)));
   (* graceful shutdown: ack, drain, socket removed, connections refused *)
   C.with_conn ~socket (fun c -> C.rpc c P.Shutdown);
   S.wait srv;
@@ -114,6 +161,6 @@ let () =
     fail "daemon still accepting after shutdown"
   | exception Unix.Unix_error _ -> ());
   Fmt.pr
-    "serve-smoke: %d requests, crash isolation, deadline, stats, byte \
-     identity, clean shutdown: OK@."
+    "serve-smoke: %d requests, crash isolation, deadline, stats, window \
+     accounting, trace reconstruction, byte identity, clean shutdown: OK@."
     (List.length names)
